@@ -1,0 +1,14 @@
+#!/bin/bash
+# Runs every bench binary in order, printing each one's report.
+cd "$(dirname "$0")"
+for b in build/bench/*; do
+    name=$(basename "$b")
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo "=== $name ==="
+    if [ "$name" = "micro_tier_latency" ]; then
+        "$b" --benchmark_min_time=0.1 2>/dev/null
+    else
+        "$b" 2>/dev/null
+    fi
+    echo
+done

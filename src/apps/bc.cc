@@ -1,0 +1,198 @@
+#include "apps/bc.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/logging.h"
+#include "base/rng.h"
+
+namespace memtier {
+
+std::vector<NodeId>
+bcSampleSources(const CsrGraph &g, int num_sources, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<NodeId> sources;
+    sources.reserve(static_cast<std::size_t>(num_sources));
+    const auto n = static_cast<std::uint64_t>(g.numNodes());
+    while (sources.size() < static_cast<std::size_t>(num_sources)) {
+        const auto s = static_cast<NodeId>(rng.nextBounded(n));
+        if (g.degree(s) > 0)
+            sources.push_back(s);
+    }
+    return sources;
+}
+
+BcOutput
+runBc(Engine &eng, SimHeap &heap, const SimCsrGraph &g, int num_sources,
+      std::uint64_t seed)
+{
+    ThreadContext &t0 = eng.thread(0);
+    const auto n = static_cast<std::uint64_t>(g.numNodes());
+    const std::vector<NodeId> sources =
+        bcSampleSources(g.host(), num_sources, seed);
+
+    SimVector<double> scores = heap.alloc<double>(t0, "bc.scores", n);
+    eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+        scores.set(t, v, 0.0);
+    });
+
+    BcOutput out;
+    std::vector<std::vector<NodeId>> staged(eng.threadCount());
+
+    for (const NodeId source : sources) {
+        ++out.sourcesProcessed;
+
+        // Per-source working set, allocated fresh each iteration
+        // (Figure 7's recurring allocate/free pattern).
+        SimVector<std::int32_t> depths =
+            heap.alloc<std::int32_t>(t0, "bc.depths", n);
+        SimVector<double> sigma =
+            heap.alloc<double>(t0, "bc.path_counts", n);
+        SimVector<double> delta = heap.alloc<double>(t0, "bc.deltas", n);
+        SimVector<NodeId> queue = heap.alloc<NodeId>(t0, "bc.queue", n);
+
+        eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+            depths.set(t, v, -1);
+            sigma.set(t, v, 0.0);
+            delta.set(t, v, 0.0);
+        });
+
+        depths.set(t0, static_cast<std::uint64_t>(source), 0);
+        sigma.set(t0, static_cast<std::uint64_t>(source), 1.0);
+        queue.set(t0, 0, source);
+
+        // Forward: level-synchronous BFS counting shortest paths.
+        // level_bounds[d] = first queue index of depth d.
+        std::vector<std::uint64_t> level_bounds{0, 1};
+        std::int32_t depth = 0;
+        while (level_bounds[static_cast<std::size_t>(depth) + 1] >
+               level_bounds[static_cast<std::size_t>(depth)]) {
+            const std::uint64_t begin =
+                level_bounds[static_cast<std::size_t>(depth)];
+            const std::uint64_t end =
+                level_bounds[static_cast<std::size_t>(depth) + 1];
+            eng.parallelFor(end - begin, [&](ThreadContext &t,
+                                             std::uint64_t i) {
+                const NodeId u = queue.get(t, begin + i);
+                const double sigma_u =
+                    sigma.get(t, static_cast<std::uint64_t>(u));
+                g.forNeighbors(t, u, [&](NodeId v) {
+                    const auto vi = static_cast<std::uint64_t>(v);
+                    const std::int32_t dv = depths.get(t, vi);
+                    if (dv == -1) {
+                        depths.set(t, vi, depth + 1);
+                        sigma.set(t, vi, sigma_u);
+                        staged[t.id()].push_back(v);
+                    } else if (dv == depth + 1) {
+                        sigma.update(t, vi, [&](double s) {
+                            return s + sigma_u;
+                        });
+                    }
+                });
+            });
+            // Append the discovered level to the queue.
+            std::uint64_t pos = end;
+            std::vector<NodeId> next;
+            for (auto &s : staged) {
+                next.insert(next.end(), s.begin(), s.end());
+                s.clear();
+            }
+            eng.parallelFor(next.size(),
+                            [&](ThreadContext &t, std::uint64_t i) {
+                                queue.set(t, pos + i, next[i]);
+                            });
+            level_bounds.push_back(pos + next.size());
+            ++depth;
+        }
+
+        // Backward: accumulate dependencies level by level.
+        for (std::int32_t d = depth - 1; d >= 0; --d) {
+            const std::uint64_t begin =
+                level_bounds[static_cast<std::size_t>(d)];
+            const std::uint64_t end =
+                level_bounds[static_cast<std::size_t>(d) + 1];
+            eng.parallelFor(end - begin, [&](ThreadContext &t,
+                                             std::uint64_t i) {
+                const NodeId u = queue.get(t, begin + i);
+                const auto ui = static_cast<std::uint64_t>(u);
+                const double sigma_u = sigma.get(t, ui);
+                double acc = 0.0;
+                g.forNeighbors(t, u, [&](NodeId v) {
+                    const auto vi = static_cast<std::uint64_t>(v);
+                    if (depths.get(t, vi) == d + 1) {
+                        acc += (sigma_u / sigma.get(t, vi)) *
+                               (1.0 + delta.get(t, vi));
+                    }
+                });
+                delta.set(t, ui, acc);
+                if (u != source) {
+                    scores.update(t, ui,
+                                  [&](double s) { return s + acc; });
+                }
+            });
+        }
+
+        heap.free(t0, queue);
+        heap.free(t0, delta);
+        heap.free(t0, sigma);
+        heap.free(t0, depths);
+    }
+
+    out.scores.assign(scores.host(), scores.host() + n);
+    heap.free(t0, scores);
+    return out;
+}
+
+std::vector<double>
+hostBcScores(const CsrGraph &g, int num_sources, std::uint64_t seed)
+{
+    const auto n = static_cast<std::size_t>(g.numNodes());
+    std::vector<double> scores(n, 0.0);
+    const std::vector<NodeId> sources =
+        bcSampleSources(g, num_sources, seed);
+
+    for (const NodeId source : sources) {
+        std::vector<std::int32_t> depth(n, -1);
+        std::vector<double> sigma(n, 0.0);
+        std::vector<double> delta(n, 0.0);
+        std::vector<NodeId> order;
+        order.reserve(n);
+
+        depth[static_cast<std::size_t>(source)] = 0;
+        sigma[static_cast<std::size_t>(source)] = 1.0;
+        std::deque<NodeId> queue{source};
+        while (!queue.empty()) {
+            const NodeId u = queue.front();
+            queue.pop_front();
+            order.push_back(u);
+            for (const NodeId v : g.neighbors(u)) {
+                const auto vi = static_cast<std::size_t>(v);
+                const auto ui = static_cast<std::size_t>(u);
+                if (depth[vi] == -1) {
+                    depth[vi] = depth[ui] + 1;
+                    sigma[vi] = sigma[ui];
+                    queue.push_back(v);
+                } else if (depth[vi] == depth[ui] + 1) {
+                    sigma[vi] += sigma[ui];
+                }
+            }
+        }
+        for (auto it = order.rbegin(); it != order.rend(); ++it) {
+            const NodeId u = *it;
+            const auto ui = static_cast<std::size_t>(u);
+            for (const NodeId v : g.neighbors(u)) {
+                const auto vi = static_cast<std::size_t>(v);
+                if (depth[vi] == depth[ui] + 1) {
+                    delta[ui] +=
+                        (sigma[ui] / sigma[vi]) * (1.0 + delta[vi]);
+                }
+            }
+            if (u != source)
+                scores[ui] += delta[ui];
+        }
+    }
+    return scores;
+}
+
+}  // namespace memtier

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Betweenness centrality (Brandes' algorithm with sampled sources, as
+ * GAPBS runs it) on simulated tiered memory. BC is the paper's deep-dive
+ * workload: its per-source allocation churn produces the object
+ * lifetimes of Figure 7 and its forward/backward sweeps dominate the
+ * NVM traffic analyzed in Sections 5 and 6.
+ */
+
+#ifndef MEMTIER_APPS_BC_H_
+#define MEMTIER_APPS_BC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/sim_graph.h"
+#include "runtime/sim_heap.h"
+
+namespace memtier {
+
+/** Host-side result of a BC run. */
+struct BcOutput
+{
+    std::vector<double> scores;  ///< Centrality per vertex (unnormalized).
+    int sourcesProcessed = 0;
+};
+
+/**
+ * Run BC from @p num_sources sampled sources.
+ *
+ * Per-source working arrays (depths, path counts, deltas, wavefront
+ * queue) are allocated and freed each iteration, exactly the allocation
+ * pattern whose recurrence Figure 7 shows.
+ */
+BcOutput runBc(Engine &engine, SimHeap &heap, const SimCsrGraph &g,
+               int num_sources, std::uint64_t seed = 27491);
+
+/** Untimed host reference (exact Brandes over the same sources). */
+std::vector<double> hostBcScores(const CsrGraph &g, int num_sources,
+                                 std::uint64_t seed = 27491);
+
+/** The deterministic source sample both implementations use. */
+std::vector<NodeId> bcSampleSources(const CsrGraph &g, int num_sources,
+                                    std::uint64_t seed);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_APPS_BC_H_

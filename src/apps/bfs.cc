@@ -1,0 +1,198 @@
+#include "apps/bfs.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+namespace {
+
+/** Per-thread host-side staging of discovered vertices. */
+using Staging = std::vector<std::vector<NodeId>>;
+
+/** Flatten staging buffers into one host vector (thread order). */
+std::vector<NodeId>
+flatten(Staging &staged)
+{
+    std::vector<NodeId> flat;
+    for (auto &s : staged) {
+        flat.insert(flat.end(), s.begin(), s.end());
+        s.clear();
+    }
+    return flat;
+}
+
+}  // namespace
+
+BfsOutput
+runBfs(Engine &eng, SimHeap &heap, const SimCsrGraph &g, NodeId source,
+       const BfsParams &params)
+{
+    ThreadContext &t0 = eng.thread(0);
+    const auto n = static_cast<std::uint64_t>(g.numNodes());
+    MEMTIER_ASSERT(source >= 0 &&
+                       source < static_cast<NodeId>(g.numNodes()),
+                   "BFS source out of range");
+
+    SimVector<NodeId> parent =
+        heap.alloc<NodeId>(t0, "bfs.parent", n);
+    SimVector<NodeId> frontier =
+        heap.alloc<NodeId>(t0, "bfs.frontier", n);
+    SimVector<std::uint8_t> front_map =
+        heap.alloc<std::uint8_t>(t0, "bfs.front_map", n);
+    SimVector<std::uint8_t> next_map =
+        heap.alloc<std::uint8_t>(t0, "bfs.next_map", n);
+
+    eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+        parent.set(t, v, -1);
+        front_map.set(t, v, 0);
+        next_map.set(t, v, 0);
+    });
+
+    parent.set(t0, static_cast<std::uint64_t>(source), source);
+    frontier.set(t0, 0, source);
+    std::uint64_t frontier_size = 1;
+    bool frontier_in_queue = true;
+
+    BfsOutput out;
+    out.reached = 1;
+    const std::int64_t total_edges = g.numEdges();
+    std::int64_t edges_explored = 0;
+
+    Staging staged(eng.threadCount());
+
+    while (frontier_size > 0) {
+        ++out.supersteps;
+
+        // Direction heuristic (simplified GAPBS): go bottom-up while the
+        // frontier is a large fraction of the graph.
+        const bool bottom_up =
+            frontier_size * static_cast<std::uint64_t>(params.alpha) >
+                n - static_cast<std::uint64_t>(out.reached) +
+                    frontier_size &&
+            frontier_size > n / static_cast<std::uint64_t>(params.beta);
+
+        if (bottom_up) {
+            ++out.bottomUpSteps;
+            if (frontier_in_queue) {
+                // Convert queue -> bitmap.
+                eng.parallelFor(
+                    frontier_size,
+                    [&](ThreadContext &t, std::uint64_t i) {
+                        const NodeId u = frontier.get(t, i);
+                        front_map.set(
+                            t, static_cast<std::uint64_t>(u), 1);
+                    });
+                frontier_in_queue = false;
+            }
+            eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+                if (parent.get(t, v) != -1)
+                    return;
+                const NodeId node = static_cast<NodeId>(v);
+                const std::int64_t begin = g.offset(t, node);
+                const std::int64_t end =
+                    g.offset(t, node + 1);
+                for (std::int64_t e = begin; e < end; ++e) {
+                    const NodeId u = g.neighbor(t, e);
+                    if (front_map.get(
+                            t, static_cast<std::uint64_t>(u)) != 0) {
+                        parent.set(t, v, u);
+                        next_map.set(t, v, 1);
+                        staged[t.id()].push_back(node);
+                        break;
+                    }
+                }
+            });
+            // Swap maps; clear the consumed one.
+            std::swap(front_map, next_map);
+            eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+                next_map.set(t, v, 0);
+            });
+        } else {
+            if (!frontier_in_queue) {
+                // Convert bitmap -> queue (scan all vertices).
+                std::uint64_t q = 0;
+                std::vector<NodeId> collected;
+                eng.parallelFor(
+                    n, [&](ThreadContext &t, std::uint64_t v) {
+                        if (front_map.get(t, v) != 0) {
+                            staged[t.id()].push_back(
+                                static_cast<NodeId>(v));
+                            front_map.set(t, v, 0);
+                        }
+                    });
+                collected = flatten(staged);
+                for (const NodeId v : collected) {
+                    frontier.set(t0, q++, v);
+                }
+                frontier_size = q;
+                frontier_in_queue = true;
+            }
+            eng.parallelFor(
+                frontier_size, [&](ThreadContext &t, std::uint64_t i) {
+                    const NodeId u = frontier.get(t, i);
+                    g.forNeighbors(t, u, [&](NodeId v) {
+                        const auto vi = static_cast<std::uint64_t>(v);
+                        if (parent.get(t, vi) == -1) {
+                            parent.set(t, vi, u);
+                            staged[t.id()].push_back(v);
+                        }
+                    });
+                });
+        }
+
+        const std::vector<NodeId> next = flatten(staged);
+        out.reached += static_cast<std::int64_t>(next.size());
+        edges_explored += static_cast<std::int64_t>(frontier_size);
+        (void)total_edges;
+        (void)edges_explored;
+
+        if (bottom_up) {
+            frontier_size = next.size();
+            frontier_in_queue = false;
+            // front_map already holds the next frontier.
+        } else {
+            // Write the next frontier queue (timed stores).
+            eng.parallelFor(next.size(),
+                            [&](ThreadContext &t, std::uint64_t i) {
+                                frontier.set(t, i, next[i]);
+                            });
+            frontier_size = next.size();
+            frontier_in_queue = true;
+        }
+    }
+
+    out.parent.assign(parent.host(), parent.host() + n);
+
+    heap.free(t0, next_map);
+    heap.free(t0, front_map);
+    heap.free(t0, frontier);
+    heap.free(t0, parent);
+    return out;
+}
+
+std::vector<std::int64_t>
+hostBfsDepths(const CsrGraph &g, NodeId source)
+{
+    std::vector<std::int64_t> depth(
+        static_cast<std::size_t>(g.numNodes()), -1);
+    std::deque<NodeId> queue;
+    depth[static_cast<std::size_t>(source)] = 0;
+    queue.push_back(source);
+    while (!queue.empty()) {
+        const NodeId u = queue.front();
+        queue.pop_front();
+        for (const NodeId v : g.neighbors(u)) {
+            if (depth[static_cast<std::size_t>(v)] == -1) {
+                depth[static_cast<std::size_t>(v)] =
+                    depth[static_cast<std::size_t>(u)] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    return depth;
+}
+
+}  // namespace memtier

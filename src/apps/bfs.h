@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Direction-optimizing breadth-first search (Beamer's algorithm, as in
+ * GAPBS) running on simulated tiered memory.
+ */
+
+#ifndef MEMTIER_APPS_BFS_H_
+#define MEMTIER_APPS_BFS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/sim_graph.h"
+#include "runtime/sim_heap.h"
+
+namespace memtier {
+
+/** Host-side result of one BFS run (simulated arrays are freed). */
+struct BfsOutput
+{
+    std::vector<NodeId> parent;   ///< Parent per vertex, -1 unreached.
+    std::int64_t reached = 0;     ///< Vertices reached (incl. source).
+    int supersteps = 0;           ///< Frontier expansions executed.
+    int bottomUpSteps = 0;        ///< Supersteps run in bottom-up mode.
+};
+
+/** Tuning knobs of the direction-optimizing heuristic (GAPBS values). */
+struct BfsParams
+{
+    int alpha = 15;  ///< Top-down -> bottom-up switch factor.
+    int beta = 18;   ///< Bottom-up -> top-down switch factor.
+};
+
+/**
+ * Run BFS from @p source.
+ *
+ * All working state (parent array, frontier queue, frontier bitmaps)
+ * is allocated as tracked objects in simulated memory and freed before
+ * returning; the returned host copy supports validation.
+ */
+BfsOutput runBfs(Engine &engine, SimHeap &heap, const SimCsrGraph &g,
+                 NodeId source, const BfsParams &params = BfsParams{});
+
+/** Untimed host reference: depth per vertex, -1 unreached. */
+std::vector<std::int64_t> hostBfsDepths(const CsrGraph &g, NodeId source);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_APPS_BFS_H_

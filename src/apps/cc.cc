@@ -1,0 +1,92 @@
+#include "apps/cc.h"
+
+#include <deque>
+#include <unordered_set>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+CcOutput
+runCc(Engine &eng, SimHeap &heap, const SimCsrGraph &g)
+{
+    ThreadContext &t0 = eng.thread(0);
+    const auto n = static_cast<std::uint64_t>(g.numNodes());
+
+    SimVector<NodeId> comp = heap.alloc<NodeId>(t0, "cc.comp", n);
+    eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+        comp.set(t, v, static_cast<NodeId>(v));
+    });
+
+    CcOutput out;
+    bool change = true;
+    while (change) {
+        change = false;
+        ++out.iterations;
+
+        // Hooking: for every edge (u, v), attach the root of the larger
+        // label to the smaller one when the larger endpoint is a root.
+        eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t ui) {
+            const NodeId u = static_cast<NodeId>(ui);
+            g.forNeighbors(t, u, [&](NodeId v) {
+                const NodeId comp_u = comp.get(t, ui);
+                const NodeId comp_v =
+                    comp.get(t, static_cast<std::uint64_t>(v));
+                if (comp_u < comp_v) {
+                    const NodeId root = comp.get(
+                        t, static_cast<std::uint64_t>(comp_v));
+                    if (root == comp_v) {
+                        comp.set(t, static_cast<std::uint64_t>(comp_v),
+                                 comp_u);
+                        change = true;
+                    }
+                }
+            });
+        });
+
+        // Pointer jumping: compress label chains.
+        eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+            NodeId label = comp.get(t, v);
+            while (label !=
+                   comp.get(t, static_cast<std::uint64_t>(label))) {
+                label = comp.get(t, static_cast<std::uint64_t>(label));
+            }
+            comp.set(t, v, label);
+        });
+    }
+
+    out.comp.assign(comp.host(), comp.host() + n);
+    std::unordered_set<NodeId> distinct(out.comp.begin(), out.comp.end());
+    out.numComponents = static_cast<std::int64_t>(distinct.size());
+
+    heap.free(t0, comp);
+    return out;
+}
+
+std::vector<NodeId>
+hostCcLabels(const CsrGraph &g)
+{
+    const auto n = static_cast<std::size_t>(g.numNodes());
+    std::vector<NodeId> label(n, -1);
+    for (std::size_t s = 0; s < n; ++s) {
+        if (label[s] != -1)
+            continue;
+        // Flood fill with the smallest vertex id as the label.
+        label[s] = static_cast<NodeId>(s);
+        std::deque<NodeId> queue{static_cast<NodeId>(s)};
+        while (!queue.empty()) {
+            const NodeId u = queue.front();
+            queue.pop_front();
+            for (const NodeId v : g.neighbors(u)) {
+                if (label[static_cast<std::size_t>(v)] == -1) {
+                    label[static_cast<std::size_t>(v)] =
+                        static_cast<NodeId>(s);
+                    queue.push_back(v);
+                }
+            }
+        }
+    }
+    return label;
+}
+
+}  // namespace memtier

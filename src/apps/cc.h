@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Connected components via Shiloach-Vishkin style hooking and pointer
+ * jumping (the GAPBS "cc_sv" kernel) on simulated tiered memory.
+ */
+
+#ifndef MEMTIER_APPS_CC_H_
+#define MEMTIER_APPS_CC_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/sim_graph.h"
+#include "runtime/sim_heap.h"
+
+namespace memtier {
+
+/** Host-side result of a CC run. */
+struct CcOutput
+{
+    std::vector<NodeId> comp;  ///< Component label per vertex.
+    int iterations = 0;        ///< Hook+compress rounds executed.
+    std::int64_t numComponents = 0;
+};
+
+/** Run connected components. */
+CcOutput runCc(Engine &engine, SimHeap &heap, const SimCsrGraph &g);
+
+/** Untimed host reference labelling (BFS flood fill). */
+std::vector<NodeId> hostCcLabels(const CsrGraph &g);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_APPS_CC_H_

@@ -1,0 +1,78 @@
+#include "apps/pagerank.h"
+
+#include "base/logging.h"
+
+namespace memtier {
+
+PageRankOutput
+runPageRank(Engine &eng, SimHeap &heap, const SimCsrGraph &g,
+            int iterations, double damping)
+{
+    ThreadContext &t0 = eng.thread(0);
+    const auto n = static_cast<std::uint64_t>(g.numNodes());
+    const double base =
+        (1.0 - damping) / static_cast<double>(g.numNodes());
+
+    SimVector<double> rank = heap.alloc<double>(t0, "pr.rank", n);
+    SimVector<double> contrib =
+        heap.alloc<double>(t0, "pr.contrib", n);
+
+    const double init = 1.0 / static_cast<double>(g.numNodes());
+    eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+        rank.set(t, v, init);
+    });
+
+    PageRankOutput out;
+    for (int it = 0; it < iterations; ++it) {
+        ++out.iterations;
+        // Scatter phase: contribution = rank / degree.
+        eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+            const std::int64_t begin =
+                g.offset(t, static_cast<NodeId>(v));
+            const std::int64_t end =
+                g.offset(t, static_cast<NodeId>(v) + 1);
+            const std::int64_t deg = end - begin;
+            const double r = rank.get(t, v);
+            contrib.set(t, v,
+                        deg > 0 ? r / static_cast<double>(deg) : 0.0);
+        });
+        // Gather phase: pull neighbor contributions.
+        eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+            double sum = 0.0;
+            g.forNeighbors(t, static_cast<NodeId>(v), [&](NodeId u) {
+                sum += contrib.get(t, static_cast<std::uint64_t>(u));
+            });
+            rank.set(t, v, base + damping * sum);
+        });
+    }
+
+    out.rank.assign(rank.host(), rank.host() + n);
+    heap.free(t0, contrib);
+    heap.free(t0, rank);
+    return out;
+}
+
+std::vector<double>
+hostPageRank(const CsrGraph &g, int iterations, double damping)
+{
+    const auto n = static_cast<std::size_t>(g.numNodes());
+    const double base = (1.0 - damping) / static_cast<double>(n);
+    std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+    std::vector<double> contrib(n, 0.0);
+    for (int it = 0; it < iterations; ++it) {
+        for (std::size_t v = 0; v < n; ++v) {
+            const auto deg = g.degree(static_cast<NodeId>(v));
+            contrib[v] = deg > 0 ? rank[v] / static_cast<double>(deg)
+                                 : 0.0;
+        }
+        for (std::size_t v = 0; v < n; ++v) {
+            double sum = 0.0;
+            for (const NodeId u : g.neighbors(static_cast<NodeId>(v)))
+                sum += contrib[static_cast<std::size_t>(u)];
+            rank[v] = base + damping * sum;
+        }
+    }
+    return rank;
+}
+
+}  // namespace memtier

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * PageRank (pull-based power iteration, GAPBS "pr" kernel). Not part of
+ * the paper's three workloads; included as an extension workload for the
+ * harness and the ablation benches.
+ */
+
+#ifndef MEMTIER_APPS_PAGERANK_H_
+#define MEMTIER_APPS_PAGERANK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/sim_graph.h"
+#include "runtime/sim_heap.h"
+
+namespace memtier {
+
+/** Host-side result of a PageRank run. */
+struct PageRankOutput
+{
+    std::vector<double> rank;  ///< Final rank per vertex.
+    int iterations = 0;
+};
+
+/**
+ * Run @p iterations of pull-based PageRank with damping @p damping.
+ */
+PageRankOutput runPageRank(Engine &engine, SimHeap &heap,
+                           const SimCsrGraph &g, int iterations,
+                           double damping = 0.85);
+
+/** Untimed host reference. */
+std::vector<double> hostPageRank(const CsrGraph &g, int iterations,
+                                 double damping = 0.85);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_APPS_PAGERANK_H_

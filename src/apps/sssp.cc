@@ -1,0 +1,110 @@
+#include "apps/sssp.h"
+
+#include <limits>
+#include <queue>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+namespace {
+
+constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
+
+}  // namespace
+
+SsspOutput
+runSssp(Engine &eng, SimHeap &heap, const SimCsrGraph &g, NodeId source)
+{
+    MEMTIER_ASSERT(g.hasWeights(), "SSSP needs a weighted graph");
+    ThreadContext &t0 = eng.thread(0);
+    const auto n = static_cast<std::uint64_t>(g.numNodes());
+
+    SimVector<std::int64_t> dist =
+        heap.alloc<std::int64_t>(t0, "sssp.dist", n);
+    SimVector<std::uint8_t> in_next =
+        heap.alloc<std::uint8_t>(t0, "sssp.in_next", n);
+    eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
+        dist.set(t, v, kInf);
+        in_next.set(t, v, 0);
+    });
+    dist.set(t0, static_cast<std::uint64_t>(source), 0);
+
+    SsspOutput out;
+    std::vector<NodeId> frontier{source};
+    std::vector<std::vector<NodeId>> staged(eng.threadCount());
+
+    while (!frontier.empty()) {
+        ++out.rounds;
+        eng.parallelFor(
+            frontier.size(), [&](ThreadContext &t, std::uint64_t i) {
+                const NodeId u = frontier[i];
+                const auto ui = static_cast<std::uint64_t>(u);
+                const std::int64_t du = dist.get(t, ui);
+                const std::int64_t begin = g.offset(t, u);
+                const std::int64_t end = g.offset(t, u + 1);
+                for (std::int64_t e = begin; e < end; ++e) {
+                    const NodeId v = g.neighbor(t, e);
+                    const std::int64_t w = g.weightOf(t, e);
+                    const auto vi = static_cast<std::uint64_t>(v);
+                    if (du + w < dist.get(t, vi)) {
+                        dist.set(t, vi, du + w);
+                        if (in_next.get(t, vi) == 0) {
+                            in_next.set(t, vi, 1);
+                            staged[t.id()].push_back(v);
+                        }
+                    }
+                }
+            });
+        frontier.clear();
+        for (auto &s : staged) {
+            frontier.insert(frontier.end(), s.begin(), s.end());
+            s.clear();
+        }
+        eng.parallelFor(frontier.size(),
+                        [&](ThreadContext &t, std::uint64_t i) {
+                            in_next.set(
+                                t,
+                                static_cast<std::uint64_t>(frontier[i]),
+                                0);
+                        });
+    }
+
+    out.dist.resize(n);
+    for (std::uint64_t v = 0; v < n; ++v) {
+        const std::int64_t d = dist.host()[v];
+        out.dist[v] = d == kInf ? -1 : d;
+    }
+    heap.free(t0, in_next);
+    heap.free(t0, dist);
+    return out;
+}
+
+std::vector<std::int64_t>
+hostSsspDistances(const CsrGraph &g, NodeId source)
+{
+    MEMTIER_ASSERT(g.hasWeights(), "SSSP needs a weighted graph");
+    const auto n = static_cast<std::size_t>(g.numNodes());
+    std::vector<std::int64_t> dist(n, -1);
+    using Item = std::pair<std::int64_t, NodeId>;
+    std::priority_queue<Item, std::vector<Item>, std::greater<>> pq;
+    pq.push({0, source});
+    while (!pq.empty()) {
+        const auto [d, u] = pq.top();
+        pq.pop();
+        const auto ui = static_cast<std::size_t>(u);
+        if (dist[ui] != -1)
+            continue;
+        dist[ui] = d;
+        const auto begin = g.offsets()[ui];
+        const auto end = g.offsets()[ui + 1];
+        for (std::int64_t e = begin; e < end; ++e) {
+            const NodeId v = g.adjacency()[static_cast<std::size_t>(e)];
+            if (dist[static_cast<std::size_t>(v)] == -1)
+                pq.push({d + g.weight(e), v});
+        }
+    }
+    return dist;
+}
+
+}  // namespace memtier

@@ -1,0 +1,157 @@
+#include "autonuma/autonuma.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+AutoNuma::AutoNuma(Kernel &kernel, const AutoNumaParams &params)
+    : kernel(kernel), cfg(params), hotThreshold(params.initialThreshold),
+      rateTokens(static_cast<double>(params.rateLimitBytesPerSec))
+{
+    kernel.setTieringPolicy(this);
+}
+
+void
+AutoNuma::scanTick(Cycles now)
+{
+    const AddressSpace &space = kernel.addressSpace();
+    if (space.vmas().empty())
+        return;
+
+    std::uint32_t marked = 0;
+    // Walk VMAs starting from the cursor, wrapping once. Only scannable
+    // regions participate: page-cache ranges are reclaim-only and
+    // mbind-pinned regions are never migrated (Section 7).
+    for (int pass = 0; pass < 2 && marked < cfg.scanPagesPerRound;
+         ++pass) {
+        for (const auto &[start, vma] : space.vmas()) {
+            if (marked >= cfg.scanPagesPerRound)
+                break;
+            if (vma.end <= scanCursor)
+                continue;
+            if (vma.pageCache || vma.policy.pinned())
+                continue;
+            PageNum vpn = pageOf(std::max(vma.start, scanCursor));
+            const PageNum end_vpn = pageOf(vma.end);
+            for (; vpn < end_vpn && marked < cfg.scanPagesPerRound;
+                 ++vpn) {
+                PageMeta *meta = kernel.pageMetaMutable(vpn);
+                if (meta == nullptr || !meta->present || meta->protNone)
+                    continue;
+                meta->protNone = true;
+                meta->scanTime = now;
+                kernel.shootdown(vpn);
+                ++marked;
+                ++stat.pagesScanned;
+            }
+            scanCursor = pageBase(vpn);
+        }
+        if (marked < cfg.scanPagesPerRound)
+            scanCursor = 0;  // Wrap to the start of the address space.
+    }
+    maybeAdjustThreshold(now);
+}
+
+bool
+AutoNuma::rateLimitAllows(Cycles now, std::uint64_t bytes)
+{
+    // Token bucket refilled continuously, capped at one second's worth.
+    // Hint faults arrive stamped with per-thread clocks, which are not
+    // globally monotone; only refill when time moved forward (an
+    // unsigned underflow here would refill the bucket to full).
+    const double rate = static_cast<double>(cfg.rateLimitBytesPerSec);
+    if (now > rateLastRefill) {
+        const double elapsed = cyclesToSeconds(now - rateLastRefill);
+        rateTokens = std::min(rateTokens + elapsed * rate, rate);
+        rateLastRefill = now;
+    }
+    if (rateTokens >= static_cast<double>(bytes)) {
+        rateTokens -= static_cast<double>(bytes);
+        return true;
+    }
+    return false;
+}
+
+void
+AutoNuma::maybeAdjustThreshold(Cycles now)
+{
+    if (nextAdjust == 0) {
+        nextAdjust = now + cfg.adjustPeriod;
+        return;
+    }
+    if (now < nextAdjust)
+        return;
+
+    // Compare the candidate volume of the window against the rate limit
+    // budget: too many candidates -> lower the threshold (stricter);
+    // too few -> raise it (more permissive). (Section 2.2.)
+    const double window_sec = cyclesToSeconds(cfg.adjustPeriod);
+    const double budget =
+        static_cast<double>(cfg.rateLimitBytesPerSec) * window_sec;
+    if (static_cast<double>(windowCandidateBytes) > budget) {
+        hotThreshold = std::max(cfg.thresholdMin, hotThreshold / 2);
+    } else {
+        hotThreshold = std::min(cfg.thresholdMax,
+                                hotThreshold + hotThreshold / 8);
+    }
+    stat.thresholdSeconds.add(cyclesToSeconds(now),
+                              cyclesToSeconds(hotThreshold));
+    windowCandidateBytes = 0;
+    nextAdjust = now + cfg.adjustPeriod;
+}
+
+Cycles
+AutoNuma::onHintFault(PageNum vpn, Cycles now, PageMeta &meta)
+{
+    ++stat.hintFaults;
+    const Cycles latency = now >= meta.scanTime ? now - meta.scanTime : 0;
+    stat.hintLatencySeconds.add(cyclesToSeconds(latency));
+    maybeAdjustThreshold(now);
+
+    if (meta.node != MemNode::NVM)
+        return 0;  // DRAM hint faults only feed the latency statistics.
+
+    ++stat.hintFaultsNvm;
+
+    // Free-capacity fast path: promote on any hint fault (Section 2.2:
+    // "if there is enough free space ... all pages can be promoted").
+    if (kernel.dramHasFreeCapacity()) {
+        if (!rateLimitAllows(now, kPageSize)) {
+            ++stat.rejectedByRateLimit;
+            ++kernel.vmstatMutable().promoteRateLimited;
+            return 0;
+        }
+        const Cycles cost = kernel.promotePage(vpn, now);
+        if (cost > 0) {
+            ++stat.promotedFreePath;
+        } else {
+            ++stat.promotionFailures;
+        }
+        return cost;
+    }
+
+    // Constrained path: threshold-gated candidate promotion.
+    if (latency >= hotThreshold) {
+        ++stat.rejectedByThreshold;
+        return 0;
+    }
+    ++kernel.vmstatMutable().promoteCandidates;
+    windowCandidateBytes += kPageSize;
+
+    if (!rateLimitAllows(now, kPageSize)) {
+        ++stat.rejectedByRateLimit;
+        ++kernel.vmstatMutable().promoteRateLimited;
+        return 0;
+    }
+    const Cycles cost = kernel.promotePage(vpn, now);
+    if (cost > 0) {
+        ++stat.promotedThresholdPath;
+    } else {
+        ++stat.promotionFailures;
+    }
+    return cost;
+}
+
+}  // namespace memtier

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generators.
+ *
+ * Everything random in memtier (graph generation, sampling jitter, access
+ * interleaving tie-breaks) draws from these seeded generators so that a run
+ * is exactly reproducible, which the test suite depends on.
+ */
+
+#ifndef MEMTIER_BASE_RNG_H_
+#define MEMTIER_BASE_RNG_H_
+
+#include <cstdint>
+
+namespace memtier {
+
+/** SplitMix64: used to seed Xoshiro and for cheap standalone streams. */
+class SplitMix64
+{
+  public:
+    explicit SplitMix64(std::uint64_t seed) : state(seed) {}
+
+    /** Next 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+  private:
+    std::uint64_t state;
+};
+
+/**
+ * Xoshiro256** by Blackman & Vigna: fast, high-quality generator used as
+ * the workhorse RNG for graph generation and sampling.
+ */
+class Rng
+{
+  public:
+    /** Seed the generator deterministically from @p seed via SplitMix64. */
+    explicit Rng(std::uint64_t seed = 0x9d2c5680);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using Lemire rejection-free mapping. */
+    std::uint64_t nextBounded(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Bernoulli draw with probability @p p. */
+    bool nextBool(double p);
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s[4];
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_BASE_RNG_H_

@@ -1,0 +1,158 @@
+#include "base/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+void
+RunningStat::add(double x)
+{
+    if (n == 0) {
+        lo = hi = x;
+    } else {
+        lo = std::min(lo, x);
+        hi = std::max(hi, x);
+    }
+    ++n;
+    total += x;
+    const double delta = x - mu;
+    mu += delta / static_cast<double>(n);
+    m2 += delta * (x - mu);
+}
+
+double
+RunningStat::variance() const
+{
+    if (n < 2)
+        return 0.0;
+    return m2 / static_cast<double>(n - 1);
+}
+
+double
+RunningStat::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+PercentileSummary::ensureSorted() const
+{
+    if (!sorted) {
+        std::sort(values.begin(), values.end());
+        sorted = true;
+    }
+}
+
+double
+PercentileSummary::percentile(double q) const
+{
+    if (values.empty())
+        return 0.0;
+    ensureSorted();
+    if (q <= 0.0)
+        return values.front();
+    if (q >= 1.0)
+        return values.back();
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const std::size_t below = static_cast<std::size_t>(pos);
+    const double frac = pos - static_cast<double>(below);
+    if (below + 1 >= values.size())
+        return values.back();
+    return values[below] * (1.0 - frac) + values[below + 1] * frac;
+}
+
+double
+PercentileSummary::mean() const
+{
+    if (values.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double v : values)
+        sum += v;
+    return sum / static_cast<double>(values.size());
+}
+
+double
+PercentileSummary::stddev() const
+{
+    if (values.size() < 2)
+        return 0.0;
+    const double mu = mean();
+    double m2 = 0.0;
+    for (double v : values)
+        m2 += (v - mu) * (v - mu);
+    return std::sqrt(m2 / static_cast<double>(values.size() - 1));
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo(lo), hi(hi), counts(buckets, 0)
+{
+    MEMTIER_ASSERT(buckets > 0, "histogram needs at least one bucket");
+    MEMTIER_ASSERT(hi > lo, "histogram range must be non-empty");
+}
+
+void
+Histogram::add(double x)
+{
+    ++n;
+    if (x < lo) {
+        ++under;
+        return;
+    }
+    if (x >= hi) {
+        ++over;
+        return;
+    }
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    auto idx = static_cast<std::size_t>((x - lo) / width);
+    if (idx >= counts.size())
+        idx = counts.size() - 1;
+    ++counts[idx];
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    const double width = (hi - lo) / static_cast<double>(counts.size());
+    return lo + width * static_cast<double>(i);
+}
+
+void
+TimeSeries::add(double time, double value)
+{
+    MEMTIER_ASSERT(data.empty() || time >= data.back().time,
+                   "time series must be appended in time order");
+    data.push_back({time, value});
+}
+
+double
+TimeSeries::max() const
+{
+    double best = 0.0;
+    for (const auto &p : data)
+        best = std::max(best, p.value);
+    return best;
+}
+
+TimeSeries
+TimeSeries::downsampled(std::size_t max_points) const
+{
+    TimeSeries out;
+    if (data.empty() || max_points == 0)
+        return out;
+    if (data.size() <= max_points) {
+        out.data = data;
+        return out;
+    }
+    const std::size_t stride = (data.size() + max_points - 1) / max_points;
+    for (std::size_t i = 0; i < data.size(); i += stride)
+        out.data.push_back(data[i]);
+    if (out.data.back().time != data.back().time)
+        out.data.push_back(data.back());
+    return out;
+}
+
+}  // namespace memtier

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Lightweight statistics containers shared by the profiler and the
+ * experiment harness: running moments, percentile summaries, histograms
+ * and sampled time series.
+ */
+
+#ifndef MEMTIER_BASE_STATS_H_
+#define MEMTIER_BASE_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memtier {
+
+/** Incremental mean/variance/min/max (Welford's algorithm). */
+class RunningStat
+{
+  public:
+    /** Fold one observation into the statistic. */
+    void add(double x);
+
+    /** Number of observations. */
+    std::uint64_t count() const { return n; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const { return n ? mu : 0.0; }
+
+    /** Unbiased sample variance (0 when n < 2). */
+    double variance() const;
+
+    /** Sample standard deviation. */
+    double stddev() const;
+
+    /** Minimum observation (0 when empty). */
+    double min() const { return n ? lo : 0.0; }
+
+    /** Maximum observation (0 when empty). */
+    double max() const { return n ? hi : 0.0; }
+
+    /** Sum of all observations. */
+    double sum() const { return total; }
+
+  private:
+    std::uint64_t n = 0;
+    double mu = 0.0;
+    double m2 = 0.0;
+    double lo = 0.0;
+    double hi = 0.0;
+    double total = 0.0;
+};
+
+/**
+ * Exact percentile summary over a retained set of observations.
+ *
+ * Figure 5 of the paper reports min/25th/50th/75th/avg/max of page reuse
+ * intervals; this type computes exactly that summary.
+ */
+class PercentileSummary
+{
+  public:
+    /** Record one observation. */
+    void add(double x) { values.push_back(x); }
+
+    /** Number of observations. */
+    std::size_t count() const { return values.size(); }
+
+    /**
+     * Value at quantile @p q in [0, 1], by linear interpolation between
+     * order statistics. Returns 0 when empty.
+     */
+    double percentile(double q) const;
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Sample standard deviation (0 when n < 2). */
+    double stddev() const;
+
+    /** Smallest observation. */
+    double min() const { return percentile(0.0); }
+
+    /** Largest observation. */
+    double max() const { return percentile(1.0); }
+
+  private:
+    mutable std::vector<double> values;
+    mutable bool sorted = false;
+
+    void ensureSorted() const;
+};
+
+/** Fixed-bucket histogram over [lo, hi) with overflow/underflow buckets. */
+class Histogram
+{
+  public:
+    /**
+     * @param lo lower bound of the first regular bucket.
+     * @param hi upper bound of the last regular bucket.
+     * @param buckets number of regular buckets (> 0).
+     */
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Count in regular bucket @p i. */
+    std::uint64_t bucketCount(std::size_t i) const { return counts.at(i); }
+
+    /** Inclusive lower edge of regular bucket @p i. */
+    double bucketLow(std::size_t i) const;
+
+    /** Observations below the histogram range. */
+    std::uint64_t underflow() const { return under; }
+
+    /** Observations at or above the histogram range. */
+    std::uint64_t overflow() const { return over; }
+
+    /** Total observations including under/overflow. */
+    std::uint64_t total() const { return n; }
+
+    /** Number of regular buckets. */
+    std::size_t numBuckets() const { return counts.size(); }
+
+  private:
+    double lo;
+    double hi;
+    std::vector<std::uint64_t> counts;
+    std::uint64_t under = 0;
+    std::uint64_t over = 0;
+    std::uint64_t n = 0;
+};
+
+/**
+ * A (time, value) series sampled at irregular instants, used for the
+ * Figure 9/10 style timelines (memory usage, counters, CPU utilization).
+ */
+class TimeSeries
+{
+  public:
+    struct Point
+    {
+        double time;   ///< Simulated seconds.
+        double value;  ///< Sampled value.
+    };
+
+    /** Append a sample; times must be non-decreasing. */
+    void add(double time, double value);
+
+    /** All points in time order. */
+    const std::vector<Point> &points() const { return data; }
+
+    /** Number of samples. */
+    std::size_t size() const { return data.size(); }
+
+    /** Last sampled value (0 when empty). */
+    double last() const { return data.empty() ? 0.0 : data.back().value; }
+
+    /** Largest sampled value (0 when empty). */
+    double max() const;
+
+    /**
+     * Downsample to at most @p max_points by keeping every k-th point
+     * (always keeping the final point), for compact report output.
+     */
+    TimeSeries downsampled(std::size_t max_points) const;
+
+  private:
+    std::vector<Point> data;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_BASE_STATS_H_

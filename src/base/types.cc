@@ -1,0 +1,25 @@
+#include "base/types.h"
+
+namespace memtier {
+
+const char *
+memNodeName(MemNode node)
+{
+    return node == MemNode::DRAM ? "DRAM" : "NVM";
+}
+
+const char *
+memLevelName(MemLevel level)
+{
+    switch (level) {
+      case MemLevel::L1: return "L1";
+      case MemLevel::LFB: return "LFB";
+      case MemLevel::L2: return "L2";
+      case MemLevel::L3: return "L3";
+      case MemLevel::DRAM: return "DRAM";
+      case MemLevel::NVM: return "NVM";
+    }
+    return "?";
+}
+
+}  // namespace memtier

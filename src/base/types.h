@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Fundamental scalar types and unit helpers used across memtier.
+ *
+ * All simulated quantities use explicit unit-bearing aliases so that a
+ * virtual address is never confused with a cycle count or a byte size.
+ */
+
+#ifndef MEMTIER_BASE_TYPES_H_
+#define MEMTIER_BASE_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace memtier {
+
+/** A simulated virtual or physical byte address. */
+using Addr = std::uint64_t;
+
+/** A simulated time duration or timestamp, in CPU cycles. */
+using Cycles = std::uint64_t;
+
+/** Index of a 4 KiB virtual page (vaddr >> kPageShift). */
+using PageNum = std::uint64_t;
+
+/** Index of a physical frame within one memory tier. */
+using FrameNum = std::uint64_t;
+
+/** Logical simulated-thread identifier. */
+using ThreadId = std::uint32_t;
+
+/** Identifier of a tracked memory object (mmap region). */
+using ObjectId = std::int64_t;
+
+/** Sentinel for "no object maps to this address". */
+inline constexpr ObjectId kNoObject = -1;
+
+/** Page geometry (fixed 4 KiB pages, as on the paper's x86 testbed). */
+inline constexpr unsigned kPageShift = 12;
+inline constexpr std::uint64_t kPageSize = 1ULL << kPageShift;
+
+/** Cache-line geometry (64 B lines). */
+inline constexpr unsigned kLineShift = 6;
+inline constexpr std::uint64_t kLineSize = 1ULL << kLineShift;
+
+/** Size literals. */
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+/** Clock frequency of the simulated CPU (Xeon Gold 6240 @ 2.60 GHz). */
+inline constexpr std::uint64_t kCyclesPerSecond = 2'600'000'000ULL;
+
+/** Extract the page number containing @p addr. */
+constexpr PageNum
+pageOf(Addr addr)
+{
+    return addr >> kPageShift;
+}
+
+/** Extract the cache-line index containing @p addr. */
+constexpr Addr
+lineOf(Addr addr)
+{
+    return addr >> kLineShift;
+}
+
+/** First byte address of page @p page. */
+constexpr Addr
+pageBase(PageNum page)
+{
+    return page << kPageShift;
+}
+
+/** Round @p bytes up to a whole number of pages. */
+constexpr std::uint64_t
+roundUpPages(std::uint64_t bytes)
+{
+    return (bytes + kPageSize - 1) >> kPageShift;
+}
+
+/** Convert a cycle count to seconds of simulated time. */
+constexpr double
+cyclesToSeconds(Cycles c)
+{
+    return static_cast<double>(c) / static_cast<double>(kCyclesPerSecond);
+}
+
+/** Convert seconds of simulated time to cycles. */
+constexpr Cycles
+secondsToCycles(double s)
+{
+    return static_cast<Cycles>(s * static_cast<double>(kCyclesPerSecond));
+}
+
+/** The two memory tiers of the simulated machine, as NUMA node ids. */
+enum class MemNode : std::uint8_t {
+    DRAM = 0,  ///< CPU-attached fast tier (NUMA node 0).
+    NVM = 1,   ///< CPU-less slow tier, Optane-like (NUMA node 1).
+};
+
+/** Number of memory tiers. */
+inline constexpr int kNumNodes = 2;
+
+/** Human-readable tier name ("DRAM" / "NVM"). */
+const char *memNodeName(MemNode node);
+
+/**
+ * Memory-hierarchy level that serviced an access, mirroring the levels
+ * reported by perf-mem samples in the paper (Section 3.1).
+ */
+enum class MemLevel : std::uint8_t {
+    L1 = 0,
+    LFB,   ///< Line-fill buffer: hit on an in-flight miss.
+    L2,
+    L3,
+    DRAM,  ///< External access serviced by the fast tier.
+    NVM,   ///< External access serviced by the slow tier.
+};
+
+/** Number of distinct MemLevel values. */
+inline constexpr int kNumMemLevels = 6;
+
+/** Human-readable level name ("L1", "LFB", ...). */
+const char *memLevelName(MemLevel level);
+
+/** True for accesses serviced outside the cache hierarchy (Section 5.1). */
+constexpr bool
+isExternalLevel(MemLevel level)
+{
+    return level == MemLevel::DRAM || level == MemLevel::NVM;
+}
+
+/** Kind of a memory operation. */
+enum class MemOp : std::uint8_t {
+    Load = 0,
+    Store,
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_BASE_TYPES_H_

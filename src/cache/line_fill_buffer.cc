@@ -1,0 +1,34 @@
+#include "cache/line_fill_buffer.h"
+
+namespace memtier {
+
+std::optional<Cycles>
+LineFillBuffer::inFlight(Addr line, Cycles now) const
+{
+    for (const auto &e : entries) {
+        if (e.valid && e.line == line && now < e.ready)
+            return e.ready - now;
+    }
+    return std::nullopt;
+}
+
+bool
+LineFillBuffer::recentlyFilled(Addr line, Cycles now, Cycles window) const
+{
+    for (const auto &e : entries) {
+        if (e.valid && e.line == line && now >= e.ready &&
+            now < e.ready + window) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+LineFillBuffer::add(Addr line, Cycles ready)
+{
+    entries[nextSlot] = Entry{line, ready, true};
+    nextSlot = (nextSlot + 1) % kEntries;
+}
+
+}  // namespace memtier

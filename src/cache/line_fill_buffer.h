@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Line-fill buffer (miss status holding registers) model.
+ *
+ * perf-mem attributes a load to the LFB level when it hits a line whose
+ * miss is already in flight. We model a small per-thread buffer of
+ * outstanding fills with their completion times.
+ */
+
+#ifndef MEMTIER_CACHE_LINE_FILL_BUFFER_H_
+#define MEMTIER_CACHE_LINE_FILL_BUFFER_H_
+
+#include <array>
+#include <cstdint>
+#include <optional>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** Tracks up to kEntries outstanding cache-line fills. */
+class LineFillBuffer
+{
+  public:
+    /** Skylake has 10-12 fill buffers per core. */
+    static constexpr std::size_t kEntries = 10;
+
+    /**
+     * Check whether @p line has a fill in flight at time @p now.
+     * @return remaining cycles until the fill completes, when in flight.
+     */
+    std::optional<Cycles> inFlight(Addr line, Cycles now) const;
+
+    /**
+     * Record a new outstanding fill of @p line completing at @p ready,
+     * replacing the oldest entry.
+     */
+    void add(Addr line, Cycles ready);
+
+    /**
+     * True when @p line's fill completed within @p window cycles before
+     * @p now (the access would have overlapped the fill on an
+     * out-of-order core, so PEBS attributes it to the LFB).
+     */
+    bool recentlyFilled(Addr line, Cycles now, Cycles window) const;
+
+    /** Number of LFB hits observed. */
+    std::uint64_t hits() const { return hit_count; }
+
+    /** Count a hit (called by the access path). */
+    void countHit() { ++hit_count; }
+
+  private:
+    struct Entry
+    {
+        Addr line = 0;
+        Cycles ready = 0;
+        bool valid = false;
+    };
+
+    std::array<Entry, kEntries> entries{};
+    std::size_t nextSlot = 0;
+    std::uint64_t hit_count = 0;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_CACHE_LINE_FILL_BUFFER_H_

@@ -1,0 +1,108 @@
+#include "cache/set_assoc_cache.h"
+
+#include <bit>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+SetAssocCache::SetAssocCache(std::string name, std::uint64_t size_bytes,
+                             unsigned ways_)
+    : label(std::move(name)), assoc(ways_)
+{
+    MEMTIER_ASSERT(assoc > 0, "cache needs at least one way");
+    MEMTIER_ASSERT(size_bytes % (assoc * kLineSize) == 0,
+                   "cache size must be a multiple of ways * line size");
+    num_sets = size_bytes / (assoc * kLineSize);
+    MEMTIER_ASSERT(std::has_single_bit(num_sets),
+                   "number of sets must be a power of two");
+    ways.resize(num_sets * assoc);
+}
+
+bool
+SetAssocCache::access(Addr line, bool is_write)
+{
+    const std::size_t base = setIndex(line) * assoc;
+    ++tick;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Way &way = ways[base + w];
+        if (way.valid && way.tag == line) {
+            way.lastUse = tick;
+            if (is_write)
+                way.dirty = true;
+            ++hit_count;
+            return true;
+        }
+    }
+    ++miss_count;
+    return false;
+}
+
+CacheEviction
+SetAssocCache::insert(Addr line, bool dirty)
+{
+    const std::size_t base = setIndex(line) * assoc;
+    ++tick;
+
+    // Prefer an invalid way; otherwise evict true-LRU.
+    std::size_t victim = base;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Way &way = ways[base + w];
+        if (!way.valid) {
+            victim = base + w;
+            break;
+        }
+        if (way.lastUse < ways[victim].lastUse)
+            victim = base + w;
+    }
+
+    CacheEviction evicted;
+    Way &slot = ways[victim];
+    if (slot.valid) {
+        evicted.valid = true;
+        evicted.line = slot.tag;
+        evicted.dirty = slot.dirty;
+        if (slot.dirty)
+            ++writeback_count;
+    }
+    slot.tag = line;
+    slot.valid = true;
+    slot.dirty = dirty;
+    slot.lastUse = tick;
+    return evicted;
+}
+
+void
+SetAssocCache::invalidate(Addr line)
+{
+    const std::size_t base = setIndex(line) * assoc;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Way &way = ways[base + w];
+        if (way.valid && way.tag == line) {
+            way.valid = false;
+            way.dirty = false;
+            return;
+        }
+    }
+}
+
+void
+SetAssocCache::clear()
+{
+    for (auto &way : ways)
+        way = Way{};
+}
+
+bool
+SetAssocCache::contains(Addr line) const
+{
+    const std::size_t base = setIndex(line) * assoc;
+    for (unsigned w = 0; w < assoc; ++w) {
+        const Way &way = ways[base + w];
+        if (way.valid && way.tag == line)
+            return true;
+    }
+    return false;
+}
+
+}  // namespace memtier

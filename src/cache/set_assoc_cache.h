@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Generic set-associative, write-back, write-allocate cache with LRU
+ * replacement, used for L1/L2 (per logical thread) and the shared L3.
+ *
+ * The simulator indexes caches by virtual line address: graph objects are
+ * large contiguous mmap regions so virtual and physical locality coincide,
+ * and page migration between tiers does not move data relative to the
+ * cache index in a way that matters for the paper's characterization.
+ */
+
+#ifndef MEMTIER_CACHE_SET_ASSOC_CACHE_H_
+#define MEMTIER_CACHE_SET_ASSOC_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** Information about a line displaced by an insert. */
+struct CacheEviction
+{
+    bool valid = false;  ///< True when a line was displaced.
+    Addr line = 0;       ///< Line index (addr >> kLineShift) displaced.
+    bool dirty = false;  ///< True when the displaced line needs writeback.
+};
+
+/** A single cache level. */
+class SetAssocCache
+{
+  public:
+    /**
+     * @param name level name for stats ("L1", "L2", "L3").
+     * @param size_bytes total capacity (must be sets*ways*64).
+     * @param ways associativity.
+     */
+    SetAssocCache(std::string name, std::uint64_t size_bytes, unsigned ways);
+
+    /**
+     * Look up @p line; updates LRU and the dirty bit on hit.
+     * @param line line index (addr >> kLineShift).
+     * @param is_write true for stores (sets the dirty bit on hit).
+     * @return true on hit.
+     */
+    bool access(Addr line, bool is_write);
+
+    /**
+     * Insert @p line after a miss, evicting the LRU way if needed.
+     * @param line line index to insert.
+     * @param dirty initial dirty state (true for store-allocate).
+     * @return the displaced line, if any.
+     */
+    CacheEviction insert(Addr line, bool dirty);
+
+    /** Remove @p line if present (no writeback signalling). */
+    void invalidate(Addr line);
+
+    /** Drop all lines (e.g. between experiment phases). */
+    void clear();
+
+    /** True when @p line is currently resident (no LRU update). */
+    bool contains(Addr line) const;
+
+    std::uint64_t hits() const { return hit_count; }
+    std::uint64_t misses() const { return miss_count; }
+    std::uint64_t writebacks() const { return writeback_count; }
+    const std::string &name() const { return label; }
+    std::uint64_t sizeBytes() const { return num_sets * assoc * kLineSize; }
+
+  private:
+    struct Way
+    {
+        Addr tag = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    std::size_t setIndex(Addr line) const { return line & (num_sets - 1); }
+
+    std::string label;
+    std::uint64_t num_sets;
+    unsigned assoc;
+    std::vector<Way> ways;  ///< num_sets * assoc, set-major.
+    std::uint64_t tick = 0;
+    std::uint64_t hit_count = 0;
+    std::uint64_t miss_count = 0;
+    std::uint64_t writeback_count = 0;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_CACHE_SET_ASSOC_CACHE_H_

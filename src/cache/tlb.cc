@@ -1,0 +1,109 @@
+#include "cache/tlb.h"
+
+#include <bit>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+void
+Tlb::Level::init(unsigned total, unsigned ways_)
+{
+    MEMTIER_ASSERT(ways_ > 0 && total % ways_ == 0,
+                   "TLB entries must divide evenly into ways");
+    ways = ways_;
+    sets = total / ways_;
+    MEMTIER_ASSERT(std::has_single_bit(sets),
+                   "TLB set count must be a power of two");
+    entries.assign(total, Entry{});
+}
+
+bool
+Tlb::Level::lookup(PageNum vpn, std::uint64_t tick)
+{
+    const std::size_t base = (vpn & (sets - 1)) * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.vpn == vpn) {
+            e.lastUse = tick;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+Tlb::Level::insert(PageNum vpn, std::uint64_t tick)
+{
+    const std::size_t base = (vpn & (sets - 1)) * ways;
+    std::size_t victim = base;
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry &e = entries[base + w];
+        if (!e.valid) {
+            victim = base + w;
+            break;
+        }
+        if (e.lastUse < entries[victim].lastUse)
+            victim = base + w;
+    }
+    entries[victim] = Entry{vpn, tick, true};
+}
+
+void
+Tlb::Level::invalidate(PageNum vpn)
+{
+    const std::size_t base = (vpn & (sets - 1)) * ways;
+    for (unsigned w = 0; w < ways; ++w) {
+        Entry &e = entries[base + w];
+        if (e.valid && e.vpn == vpn)
+            e.valid = false;
+    }
+}
+
+void
+Tlb::Level::flush()
+{
+    for (auto &e : entries)
+        e.valid = false;
+}
+
+Tlb::Tlb(const TlbParams &params) : cfg(params)
+{
+    l1.init(cfg.l1Entries, cfg.l1Ways);
+    stlb.init(cfg.stlbEntries, cfg.stlbWays);
+}
+
+TlbOutcome
+Tlb::lookup(PageNum vpn)
+{
+    ++tick;
+    if (l1.lookup(vpn, tick)) {
+        ++l1_hits;
+        return TlbOutcome::L1Hit;
+    }
+    if (stlb.lookup(vpn, tick)) {
+        ++stlb_hits;
+        l1.insert(vpn, tick);
+        return TlbOutcome::StlbHit;
+    }
+    ++miss_count;
+    l1.insert(vpn, tick);
+    stlb.insert(vpn, tick);
+    return TlbOutcome::Miss;
+}
+
+void
+Tlb::invalidate(PageNum vpn)
+{
+    l1.invalidate(vpn);
+    stlb.invalidate(vpn);
+}
+
+void
+Tlb::flushAll()
+{
+    l1.flush();
+    stlb.flush();
+}
+
+}  // namespace memtier

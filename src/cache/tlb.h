@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Two-level data TLB (L1 dTLB + STLB) per logical thread.
+ *
+ * The paper's Table 3 splits external access cost by TLB hit vs. TLB miss;
+ * we define "TLB miss" as an access that missed both levels and required a
+ * page walk, matching the perf-mem dtlb_miss flag.
+ */
+
+#ifndef MEMTIER_CACHE_TLB_H_
+#define MEMTIER_CACHE_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** Outcome of a TLB lookup. */
+enum class TlbOutcome : std::uint8_t {
+    L1Hit = 0,  ///< Hit in the first-level dTLB (no extra cost).
+    StlbHit,    ///< Missed L1, hit the unified second level (small cost).
+    Miss,       ///< Missed both levels; page walk required.
+};
+
+/** Configuration of the two TLB levels. */
+struct TlbParams
+{
+    unsigned l1Entries = 64;     ///< Skylake-like 64-entry 4-way dTLB.
+    unsigned l1Ways = 4;
+    unsigned stlbEntries = 1536; ///< 1536-entry 12-way unified STLB.
+    unsigned stlbWays = 12;
+    Cycles stlbHitCycles = 9;    ///< Added when L1 misses but STLB hits.
+};
+
+/** A two-level, set-associative, LRU TLB over 4 KiB pages. */
+class Tlb
+{
+  public:
+    /** @param params geometry and timing. */
+    explicit Tlb(const TlbParams &params = TlbParams{});
+
+    /**
+     * Translate page @p vpn; fills both levels on miss.
+     * @return where the translation was found.
+     */
+    TlbOutcome lookup(PageNum vpn);
+
+    /** Drop any cached translation of @p vpn (PTE changed). */
+    void invalidate(PageNum vpn);
+
+    /** Flush both levels. */
+    void flushAll();
+
+    /** Extra cycles charged for an STLB hit. */
+    Cycles stlbHitCycles() const { return cfg.stlbHitCycles; }
+
+    std::uint64_t l1Hits() const { return l1_hits; }
+    std::uint64_t stlbHits() const { return stlb_hits; }
+    std::uint64_t misses() const { return miss_count; }
+
+  private:
+    struct Entry
+    {
+        PageNum vpn = 0;
+        std::uint64_t lastUse = 0;
+        bool valid = false;
+    };
+
+    struct Level
+    {
+        std::vector<Entry> entries;
+        std::uint64_t sets = 0;
+        unsigned ways = 0;
+
+        void init(unsigned total, unsigned ways);
+        bool lookup(PageNum vpn, std::uint64_t tick);
+        void insert(PageNum vpn, std::uint64_t tick);
+        void invalidate(PageNum vpn);
+        void flush();
+    };
+
+    TlbParams cfg;
+    Level l1;
+    Level stlb;
+    std::uint64_t tick = 0;
+    std::uint64_t l1_hits = 0;
+    std::uint64_t stlb_hits = 0;
+    std::uint64_t miss_count = 0;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_CACHE_TLB_H_

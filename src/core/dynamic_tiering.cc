@@ -1,0 +1,107 @@
+#include "core/dynamic_tiering.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace memtier {
+
+DynamicObjectTiering::DynamicObjectTiering(
+    Engine &engine, const MmapTracker &tracker,
+    const DynamicTieringParams &params)
+    : eng(engine), tracker(tracker), cfg(params)
+{
+}
+
+void
+DynamicObjectTiering::install()
+{
+    eng.addObserver(this);
+    eng.addPeriodicService(cfg.interval,
+                           [this](Cycles now) { rebalance(now); });
+}
+
+void
+DynamicObjectTiering::onAccess(const AccessRecord &record)
+{
+    if (!isExternalLevel(record.level))
+        return;
+    const ObjectId obj = tracker.objectAt(record.vaddr, record.time);
+    if (obj == kNoObject)
+        return;
+    windowCounts[obj] += 1.0;
+}
+
+void
+DynamicObjectTiering::rebalance(Cycles now)
+{
+    ++stat.rebalances;
+
+    // Rank live objects by windowed accesses per byte (the static
+    // planner's score, computed online).
+    struct Ranked
+    {
+        const AllocationRecord *rec;
+        double score;
+    };
+    std::vector<Ranked> ranked;
+    for (const AllocationRecord &rec : tracker.records()) {
+        if (!rec.live() || rec.bytes == 0)
+            continue;
+        auto it = windowCounts.find(rec.object);
+        const double count =
+            it == windowCounts.end() ? 0.0 : it->second;
+        ranked.push_back({&rec, count / static_cast<double>(rec.bytes)});
+    }
+    std::sort(ranked.begin(), ranked.end(),
+              [](const Ranked &a, const Ranked &b) {
+                  if (a.score != b.score)
+                      return a.score > b.score;
+                  return a.rec->object < b.rec->object;
+              });
+
+    // Greedy DRAM budget fill, then migrate mismatched objects under
+    // the per-interval page budget -- demotions first so promotions
+    // have room to land.
+    const auto budget_bytes = static_cast<std::uint64_t>(
+        static_cast<double>(
+            eng.physicalMemory().dram().params().capacityBytes) *
+        (1.0 - cfg.dramReserveFrac));
+    std::uint64_t planned = 0;
+    std::vector<const AllocationRecord *> want_dram;
+    std::vector<const AllocationRecord *> want_nvm;
+    for (const Ranked &r : ranked) {
+        if (r.score > 0.0 && planned + r.rec->bytes <= budget_bytes) {
+            planned += r.rec->bytes;
+            want_dram.push_back(r.rec);
+        } else {
+            want_nvm.push_back(r.rec);
+        }
+    }
+
+    std::uint32_t budget = cfg.migrationBudgetPages;
+    Kernel &kern = eng.kernel();
+    for (const AllocationRecord *rec : want_nvm) {
+        if (budget == 0)
+            break;
+        const std::uint32_t moved =
+            kern.migratePages(rec->start, rec->start + rec->bytes,
+                              MemNode::NVM, budget, now);
+        stat.pagesMovedDown += moved;
+        budget -= moved;
+    }
+    for (const AllocationRecord *rec : want_dram) {
+        if (budget == 0)
+            break;
+        const std::uint32_t moved =
+            kern.migratePages(rec->start, rec->start + rec->bytes,
+                              MemNode::DRAM, budget, now);
+        stat.pagesMovedUp += moved;
+        budget -= moved;
+    }
+
+    // Decay the window so the ranking tracks phase changes.
+    for (auto &[obj, count] : windowCounts)
+        count *= cfg.decay;
+}
+
+}  // namespace memtier

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Dynamic object-level tiering -- the natural online extension of the
+ * paper's static proposal (its conclusion suggests moving from offline
+ * profiling to runtime object management). Instead of a one-shot plan,
+ * this policy watches external accesses per live object, periodically
+ * re-ranks objects by accesses-per-byte over a decaying window, and
+ * migrates whole objects between tiers under a per-interval budget.
+ *
+ * It replaces the AutoNUMA scanner (run with autonumaEnabled=false,
+ * tieringKernel=true) while reusing the kernel's reclaim/migration
+ * machinery and counters.
+ */
+
+#ifndef MEMTIER_CORE_DYNAMIC_TIERING_H_
+#define MEMTIER_CORE_DYNAMIC_TIERING_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "profile/mmap_tracker.h"
+#include "sim/engine.h"
+
+namespace memtier {
+
+/** Tunables of the dynamic object policy. */
+struct DynamicTieringParams
+{
+    /** Rebalance interval. */
+    Cycles interval = secondsToCycles(0.02);
+
+    /** Pages migrated per rebalance at most. */
+    std::uint32_t migrationBudgetPages = 1024;
+
+    /** DRAM fraction reserved for kernel/page cache. */
+    double dramReserveFrac = 0.12;
+
+    /** Exponential decay applied to window counts each rebalance. */
+    double decay = 0.5;
+};
+
+/** Observable statistics of the dynamic policy. */
+struct DynamicTieringStats
+{
+    std::uint64_t rebalances = 0;
+    std::uint64_t pagesMovedUp = 0;    ///< Toward DRAM.
+    std::uint64_t pagesMovedDown = 0;  ///< Toward NVM.
+};
+
+/** The online object-level tiering policy. */
+class DynamicObjectTiering : public AccessObserver
+{
+  public:
+    /**
+     * @param engine machine to manage.
+     * @param tracker live allocation records (must outlive this).
+     * @param params tunables.
+     */
+    DynamicObjectTiering(Engine &engine, const MmapTracker &tracker,
+                         const DynamicTieringParams &params =
+                             DynamicTieringParams{});
+
+    /**
+     * Attach to the engine: registers as an access observer and as a
+     * periodic service. Call once, before the workload runs.
+     */
+    void install();
+
+    /** AccessObserver: count external accesses per object. */
+    void onAccess(const AccessRecord &record) override;
+
+    /** Policy statistics. */
+    const DynamicTieringStats &stats() const { return stat; }
+
+  private:
+    void rebalance(Cycles now);
+
+    Engine &eng;
+    const MmapTracker &tracker;
+    DynamicTieringParams cfg;
+    DynamicTieringStats stat;
+    std::unordered_map<ObjectId, double> windowCounts;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_CORE_DYNAMIC_TIERING_H_

@@ -1,0 +1,55 @@
+#include "core/object_planner.h"
+
+#include "base/logging.h"
+
+namespace memtier {
+
+PlannerResult
+buildPlan(const std::vector<SiteProfile> &profiles,
+          const PlannerConfig &config)
+{
+    PlannerResult out;
+    std::uint64_t remaining = config.dramBudgetBytes;
+
+    for (const SiteProfile &p : profiles) {
+        PlannedSite decision;
+        decision.profile = p;
+
+        if (p.externalSamples < config.minSamples ||
+            p.peakLiveBytes == 0) {
+            // Cold or empty site: whole object to NVM (it would only
+            // displace hotter data from DRAM).
+            decision.policy = MemPolicy::bind(MemNode::NVM);
+        } else if (p.peakLiveBytes <= remaining) {
+            decision.policy = MemPolicy::bind(MemNode::DRAM);
+            remaining -= p.peakLiveBytes;
+            out.dramBytesPlanned += p.peakLiveBytes;
+        } else if (config.allowSpill && !out.spilled &&
+                   remaining >= kPageSize) {
+            // Spill variant: split this one object at the remaining
+            // DRAM capacity; everything after it goes to NVM.
+            decision.policy =
+                MemPolicy::split(remaining / kPageSize);
+            out.dramBytesPlanned += remaining;
+            remaining = 0;
+            out.spilled = true;
+        } else {
+            decision.policy = MemPolicy::bind(MemNode::NVM);
+        }
+
+        out.plan.bindSite(p.site, decision.policy);
+        out.decisions.push_back(std::move(decision));
+    }
+    return out;
+}
+
+std::uint64_t
+dramBudget(std::uint64_t dram_capacity_bytes, double reserve_frac)
+{
+    MEMTIER_ASSERT(reserve_frac >= 0.0 && reserve_frac < 1.0,
+                   "reserve fraction out of range");
+    return static_cast<std::uint64_t>(
+        static_cast<double>(dram_capacity_bytes) * (1.0 - reserve_frac));
+}
+
+}  // namespace memtier

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The object-level planner (the paper's primary contribution,
+ * Section 7): rank objects by external accesses per byte, fill DRAM
+ * greedily from the top, send the rest entirely to NVM; the spill
+ * variant lets the first non-fitting object straddle the boundary to
+ * use leftover DRAM capacity (the starred cc workloads of Figure 11).
+ */
+
+#ifndef MEMTIER_CORE_OBJECT_PLANNER_H_
+#define MEMTIER_CORE_OBJECT_PLANNER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/placement_plan.h"
+#include "profile/analysis.h"
+
+namespace memtier {
+
+/** Planner inputs. */
+struct PlannerConfig
+{
+    /** DRAM bytes the plan may consume. Callers usually derive this
+     *  from the tier capacity minus a kernel/page-cache reserve. */
+    std::uint64_t dramBudgetBytes = 0;
+
+    /** Allow one object to spill across the DRAM/NVM boundary. */
+    bool allowSpill = false;
+
+    /** Sites with fewer profiled samples than this are left to the
+     *  kernel default (too little signal to pin). */
+    std::uint64_t minSamples = 1;
+};
+
+/** Decision the planner took for one site (for reports and tests). */
+struct PlannedSite
+{
+    SiteProfile profile;
+    MemPolicy policy;
+};
+
+/** Full planner output. */
+struct PlannerResult
+{
+    PlacementPlan plan;
+    std::vector<PlannedSite> decisions;  ///< In ranking order.
+    std::uint64_t dramBytesPlanned = 0;
+    bool spilled = false;
+};
+
+/**
+ * Build a static placement plan from profiled site statistics.
+ *
+ * @param profiles per-site profile, sorted by descending score (as
+ *        siteProfiles() returns).
+ * @param config planner inputs.
+ */
+PlannerResult buildPlan(const std::vector<SiteProfile> &profiles,
+                        const PlannerConfig &config);
+
+/**
+ * Convenience: the DRAM budget for a tier of @p dram_capacity_bytes,
+ * leaving @p reserve_frac for the kernel, watermarks and page cache.
+ */
+std::uint64_t dramBudget(std::uint64_t dram_capacity_bytes,
+                         double reserve_frac = 0.12);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_CORE_OBJECT_PLANNER_H_

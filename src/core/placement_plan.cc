@@ -1,0 +1,35 @@
+#include "core/placement_plan.h"
+
+namespace memtier {
+
+void
+PlacementPlan::bindSite(const std::string &site, const MemPolicy &policy)
+{
+    plan[site] = policy;
+}
+
+std::optional<MemPolicy>
+PlacementPlan::policyFor(const std::string &site, std::uint64_t bytes)
+{
+    (void)bytes;
+    return lookup(site);
+}
+
+std::optional<MemPolicy>
+PlacementPlan::lookup(const std::string &site) const
+{
+    auto it = plan.find(site);
+    if (it != plan.end())
+        return it->second;
+    return defaultPolicy;
+}
+
+PlacementPlan
+PlacementPlan::bindAll(MemNode node)
+{
+    PlacementPlan p;
+    p.defaultPolicy = MemPolicy::bind(node);
+    return p;
+}
+
+}  // namespace memtier

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * PlacementPlan: the static object-to-tier mapping the paper proposes
+ * (Section 7). Keys are allocation sites ("call stacks"): every
+ * allocation from a planned site is bound before first touch and stays
+ * on its tier for the rest of the run -- no promotions or demotions.
+ */
+
+#ifndef MEMTIER_CORE_PLACEMENT_PLAN_H_
+#define MEMTIER_CORE_PLACEMENT_PLAN_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "os/mem_policy.h"
+#include "runtime/placement_advisor.h"
+
+namespace memtier {
+
+/** Site -> policy mapping applied at allocation time. */
+class PlacementPlan : public PlacementAdvisor
+{
+  public:
+    /** Bind every allocation from @p site with @p policy. */
+    void bindSite(const std::string &site, const MemPolicy &policy);
+
+    /** PlacementAdvisor: look up the site's policy. */
+    std::optional<MemPolicy>
+    policyFor(const std::string &site, std::uint64_t bytes) override;
+
+    /** Const lookup of the policy @ref policyFor would return. */
+    std::optional<MemPolicy> lookup(const std::string &site) const;
+
+    /** All planned sites. */
+    const std::map<std::string, MemPolicy> &entries() const
+    {
+        return plan;
+    }
+
+    /** Number of planned sites. */
+    std::size_t size() const { return plan.size(); }
+
+    /** Plan binding every allocation to @p node (all-DRAM / all-NVM). */
+    static PlacementPlan bindAll(MemNode node);
+
+  private:
+    std::map<std::string, MemPolicy> plan;
+    std::optional<MemPolicy> defaultPolicy;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_CORE_PLACEMENT_PLAN_H_

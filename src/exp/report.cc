@@ -1,0 +1,95 @@
+#include "exp/report.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : head(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    MEMTIER_ASSERT(row.size() == head.size(),
+                   "table row width mismatch");
+    body.push_back(std::move(row));
+}
+
+void
+TextTable::print(std::ostream &out) const
+{
+    std::vector<std::size_t> width(head.size());
+    for (std::size_t c = 0; c < head.size(); ++c)
+        width[c] = head[c].size();
+    for (const auto &row : body) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            width[c] = std::max(width[c], row[c].size());
+    }
+
+    auto emit = [&](const std::vector<std::string> &row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << (c ? "  " : "") << row[c]
+                << std::string(width[c] - row[c].size(), ' ');
+        }
+        out << '\n';
+    };
+    emit(head);
+    std::size_t total = 0;
+    for (const std::size_t w : width)
+        total += w + 2;
+    out << std::string(total > 2 ? total - 2 : 0, '-') << '\n';
+    for (const auto &row : body)
+        emit(row);
+}
+
+std::string
+pct(double frac, int precision)
+{
+    return strprintf("%.*f%%", precision, frac * 100.0);
+}
+
+std::string
+num(double value, int precision)
+{
+    return strprintf("%.*f", precision, value);
+}
+
+std::string
+fmtBytes(std::uint64_t bytes)
+{
+    const char *units[] = {"B", "KiB", "MiB", "GiB"};
+    double v = static_cast<double>(bytes);
+    int u = 0;
+    while (v >= 1024.0 && u < 3) {
+        v /= 1024.0;
+        ++u;
+    }
+    return strprintf("%.1f %s", v, units[u]);
+}
+
+std::string
+fmtCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    const std::size_t n = digits.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0 && (n - i) % 3 == 0)
+            out += ',';
+        out += digits[i];
+    }
+    return out;
+}
+
+void
+banner(std::ostream &out, const std::string &title)
+{
+    out << "\n=== " << title << " ===\n";
+}
+
+}  // namespace memtier

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Plain-text report helpers shared by the bench binaries: fixed-width
+ * tables that mirror the paper's tables, plus number formatting.
+ */
+
+#ifndef MEMTIER_EXP_REPORT_H_
+#define MEMTIER_EXP_REPORT_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace memtier {
+
+/** Column-aligned text table. */
+class TextTable
+{
+  public:
+    /** @param headers column names. */
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append one row (must match the header width). */
+    void addRow(std::vector<std::string> row);
+
+    /** Render with aligned columns and a separator under the header. */
+    void print(std::ostream &out) const;
+
+    /** Number of data rows. */
+    std::size_t rows() const { return body.size(); }
+
+  private:
+    std::vector<std::string> head;
+    std::vector<std::vector<std::string>> body;
+};
+
+/** "49.1%" style percent from a fraction. */
+std::string pct(double frac, int precision = 1);
+
+/** Fixed-precision double. */
+std::string num(double value, int precision = 2);
+
+/** Human-readable byte count ("12.5 MiB"). */
+std::string fmtBytes(std::uint64_t bytes);
+
+/** Thousands-separated integer. */
+std::string fmtCount(std::uint64_t value);
+
+/** Print a "=== title ===" banner. */
+void banner(std::ostream &out, const std::string &title);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_EXP_REPORT_H_

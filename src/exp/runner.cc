@@ -1,0 +1,222 @@
+#include "exp/runner.h"
+
+#include <functional>
+
+#include "apps/bc.h"
+#include "apps/bfs.h"
+#include "apps/cc.h"
+#include "apps/pagerank.h"
+#include "apps/sssp.h"
+#include "base/logging.h"
+#include "core/dynamic_tiering.h"
+#include "core/object_planner.h"
+#include "graph/sim_graph.h"
+#include "runtime/sim_heap.h"
+
+namespace memtier {
+
+namespace {
+
+/** Order-independent 64-bit digest of a value sequence. */
+template <typename T>
+std::uint64_t
+digest(const std::vector<T> &values)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const T &v : values) {
+        std::uint64_t bits = 0;
+        static_assert(sizeof(T) <= sizeof(bits));
+        __builtin_memcpy(&bits, &v, sizeof(T));
+        // Commutative combine so thread interleaving differences in
+        // result *ordering* (there are none, but belt and braces) do
+        // not matter; multiplication spreads the bits.
+        h += bits * 0x9e3779b97f4a7c15ULL;
+    }
+    return h;
+}
+
+/** Deterministic BFS sources: spread over the vertex range. */
+std::vector<NodeId>
+bfsSources(const CsrGraph &g, int trials, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<NodeId> out;
+    const auto n = static_cast<std::uint64_t>(g.numNodes());
+    while (out.size() < static_cast<std::size_t>(trials)) {
+        const auto s = static_cast<NodeId>(rng.nextBounded(n));
+        if (g.degree(s) > 0)
+            out.push_back(s);
+    }
+    return out;
+}
+
+}  // namespace
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+      case Mode::AutoNuma: return "autonuma";
+      case Mode::NoTiering: return "notiering";
+      case Mode::ObjectStatic: return "object_static";
+      case Mode::ObjectSpill: return "object_spill";
+      case Mode::ObjectDynamic: return "object_dynamic";
+      case Mode::AllDram: return "all_dram";
+      case Mode::AllNvm: return "all_nvm";
+    }
+    return "?";
+}
+
+RunResult
+runWorkload(const RunConfig &config, const PlacementPlan *plan)
+{
+    SystemConfig sys = config.sys;
+    switch (config.mode) {
+      case Mode::AutoNuma:
+      case Mode::ObjectStatic:
+      case Mode::ObjectSpill:
+        sys.autonumaEnabled = true;
+        break;
+      case Mode::ObjectDynamic:
+        // The dynamic object policy replaces the AutoNUMA scanner but
+        // keeps the tiering kernel's demotion path.
+        sys.autonumaEnabled = false;
+        sys.tieringKernel = true;
+        break;
+      case Mode::NoTiering:
+      case Mode::AllNvm:
+        sys.autonumaEnabled = false;
+        sys.tieringKernel = false;
+        break;
+      case Mode::AllDram:
+        // Ideal bound: a DRAM tier large enough for everything.
+        sys.autonumaEnabled = false;
+        sys.tieringKernel = false;
+        sys.dram.capacityBytes = sys.nvm.capacityBytes * 4;
+        break;
+    }
+
+    Engine eng(sys);
+    MmapTracker tracker;
+    eng.kernel().setSyscallObserver(&tracker);
+
+    PerfMemSampler sampler(config.sampler);
+    if (config.sampling)
+        eng.setObserver(&sampler);
+
+    SimHeap heap(eng);
+    PlacementPlan bind_all;
+    DynamicObjectTiering dynamic_policy(eng, tracker);
+    if (config.mode == Mode::ObjectDynamic)
+        dynamic_policy.install();
+    switch (config.mode) {
+      case Mode::ObjectStatic:
+      case Mode::ObjectSpill:
+        MEMTIER_ASSERT(plan != nullptr,
+                       "object modes need a placement plan");
+        heap.setAdvisor(const_cast<PlacementPlan *>(plan));
+        break;
+      case Mode::AllDram:
+        bind_all = PlacementPlan::bindAll(MemNode::DRAM);
+        heap.setAdvisor(&bind_all);
+        break;
+      case Mode::AllNvm:
+        bind_all = PlacementPlan::bindAll(MemNode::NVM);
+        heap.setAdvisor(&bind_all);
+        break;
+      default:
+        break;
+    }
+
+    const WorkloadSpec &w = config.workload;
+    const CsrGraph &host =
+        w.app == App::SSSP
+            ? weightedDatasetGraph(w.kind, w.scale, w.degree, w.seed)
+            : datasetGraph(w.kind, w.scale, w.degree, w.seed);
+    ThreadContext &t0 = eng.thread(0);
+
+    // Input-reading phase (Figure 9's low-CPU prefix).
+    SimCsrGraph g = SimCsrGraph::load(eng, heap, t0, host, w.name());
+    const double load_sec = cyclesToSeconds(eng.globalTime());
+
+    RunResult out;
+    out.workloadName = w.name();
+    out.mode = config.mode;
+
+    switch (w.app) {
+      case App::BC: {
+        BcOutput bc = runBc(eng, heap, g, w.trials, w.seed);
+        out.outputChecksum = digest(bc.scores);
+        break;
+      }
+      case App::BFS: {
+        std::vector<NodeId> reached;
+        for (const NodeId s : bfsSources(host, w.trials, w.seed)) {
+            BfsOutput bfs = runBfs(eng, heap, g, s);
+            reached.push_back(static_cast<NodeId>(bfs.reached));
+        }
+        out.outputChecksum = digest(reached);
+        break;
+      }
+      case App::CC: {
+        std::vector<NodeId> comps;
+        for (int i = 0; i < w.trials; ++i) {
+            CcOutput cc = runCc(eng, heap, g);
+            comps.push_back(static_cast<NodeId>(cc.numComponents));
+        }
+        out.outputChecksum = digest(comps);
+        break;
+      }
+      case App::PR: {
+        PageRankOutput pr = runPageRank(eng, heap, g, w.trials);
+        out.outputChecksum = digest(pr.rank);
+        break;
+      }
+      case App::SSSP: {
+        std::vector<std::int64_t> sums;
+        for (const NodeId s : bfsSources(host, w.trials, w.seed)) {
+            SsspOutput sp = runSssp(eng, heap, g, s);
+            std::int64_t sum = 0;
+            for (const std::int64_t d : sp.dist)
+                sum += d > 0 ? d : 0;
+            sums.push_back(sum);
+        }
+        out.outputChecksum = digest(sums);
+        break;
+      }
+    }
+
+    g.free(heap, t0);
+
+    out.totalSeconds = cyclesToSeconds(eng.globalTime());
+    out.loadSeconds = load_sec;
+    out.computeSeconds = out.totalSeconds - load_sec;
+    out.samples = sampler.takeSamples();
+    out.tracker = std::move(tracker);
+    out.timeline = eng.timeline();
+    out.vmstat = eng.kernel().vmstat();
+    out.finalNumastat = eng.kernel().numastat();
+    if (eng.autonuma()) {
+        out.numaStats = eng.autonuma()->stats();
+        out.hasAutoNuma = true;
+    }
+    for (int l = 0; l < kNumMemLevels; ++l) {
+        out.levelCounts[l] = eng.levelCount(static_cast<MemLevel>(l));
+        out.totalAccesses += out.levelCounts[l];
+    }
+    return out;
+}
+
+PlacementPlan
+planFromProfile(const RunResult &profile,
+                std::uint64_t dram_capacity_bytes, bool spill)
+{
+    const std::vector<SiteProfile> sites =
+        siteProfiles(profile.samples, profile.tracker);
+    PlannerConfig cfg;
+    cfg.dramBudgetBytes = dramBudget(dram_capacity_bytes);
+    cfg.allowSpill = spill;
+    return buildPlan(sites, cfg).plan;
+}
+
+}  // namespace memtier

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * The experiment runner: executes one workload on one simulated machine
+ * under one tiering mode and harvests everything the paper's analyses
+ * need (samples, allocation records, timelines, counters, timings).
+ */
+
+#ifndef MEMTIER_EXP_RUNNER_H_
+#define MEMTIER_EXP_RUNNER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "autonuma/autonuma.h"
+#include "core/placement_plan.h"
+#include "exp/workloads.h"
+#include "profile/analysis.h"
+#include "profile/mmap_tracker.h"
+#include "profile/perf_mem.h"
+#include "sim/engine.h"
+
+namespace memtier {
+
+/** Memory-management mode of a run. */
+enum class Mode : std::uint8_t {
+    AutoNuma,      ///< AutoNUMA tiering enabled (the paper's baseline).
+    NoTiering,     ///< Vanilla kernel: first touch, no migration.
+    ObjectStatic,  ///< The paper's object-level static mapping.
+    ObjectSpill,   ///< Static mapping with one spilled object (cc*).
+    ObjectDynamic, ///< Online object-level tiering (extension): ranks
+                   ///< live objects at runtime and migrates them whole,
+                   ///< replacing the AutoNUMA scanner.
+    AllDram,       ///< Oversized DRAM holds everything (ideal bound).
+    AllNvm,        ///< Everything bound to NVM (worst-case bound).
+};
+
+/** Name of @p mode for reports. */
+const char *modeName(Mode mode);
+
+/** One experiment to run. */
+struct RunConfig
+{
+    WorkloadSpec workload;
+    Mode mode = Mode::AutoNuma;
+    SystemConfig sys;        ///< Scaled-testbed defaults.
+    SamplerParams sampler;
+    bool sampling = true;    ///< Collect perf-mem style samples.
+};
+
+/** Everything harvested from one run. */
+struct RunResult
+{
+    std::string workloadName;
+    Mode mode = Mode::AutoNuma;
+
+    double totalSeconds = 0.0;    ///< Simulated execution time.
+    double loadSeconds = 0.0;     ///< Input-reading phase.
+    double computeSeconds = 0.0;  ///< totalSeconds - loadSeconds.
+
+    std::vector<MemorySample> samples;
+    MmapTracker tracker;
+    std::vector<TimelinePoint> timeline;
+    VmStat vmstat;
+    NumaStatSnapshot finalNumastat;
+    AutoNumaStats numaStats;
+    bool hasAutoNuma = false;
+
+    std::uint64_t levelCounts[kNumMemLevels] = {};
+    std::uint64_t totalAccesses = 0;
+
+    /** Order-independent digest of the application output, used to
+     *  check that placement policy never changes results. */
+    std::uint64_t outputChecksum = 0;
+};
+
+/**
+ * Run one experiment.
+ *
+ * @param config what to run.
+ * @param plan placement plan for the Object* modes (ignored otherwise;
+ *        required for ObjectStatic/ObjectSpill).
+ */
+RunResult runWorkload(const RunConfig &config,
+                      const PlacementPlan *plan = nullptr);
+
+/**
+ * Build the object-level plan from a profiling run (the paper's
+ * "profile once, then assign" flow, Section 7).
+ *
+ * @param profile a sampled run of the same workload (normally the
+ *        AutoNuma run itself).
+ * @param dram_capacity_bytes DRAM tier size of the target machine.
+ * @param spill true for the starred spill variant.
+ */
+PlacementPlan planFromProfile(const RunResult &profile,
+                              std::uint64_t dram_capacity_bytes,
+                              bool spill);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_EXP_RUNNER_H_

@@ -1,0 +1,118 @@
+#include "exp/workloads.h"
+
+#include <map>
+#include <memory>
+
+#include "base/logging.h"
+#include "graph/generators.h"
+
+namespace memtier {
+
+const char *
+appName(App app)
+{
+    switch (app) {
+      case App::BC: return "bc";
+      case App::BFS: return "bfs";
+      case App::CC: return "cc";
+      case App::PR: return "pr";
+      case App::SSSP: return "sssp";
+    }
+    return "?";
+}
+
+const char *
+graphKindName(GraphKind kind)
+{
+    return kind == GraphKind::Kron ? "kron" : "urand";
+}
+
+std::string
+WorkloadSpec::name() const
+{
+    return std::string(appName(app)) + "_" + graphKindName(kind);
+}
+
+std::vector<WorkloadSpec>
+paperWorkloads(int scale)
+{
+    std::vector<WorkloadSpec> out;
+    for (const App app : {App::BC, App::BFS, App::CC}) {
+        for (const GraphKind kind : {GraphKind::Kron, GraphKind::Urand}) {
+            WorkloadSpec w;
+            w.app = app;
+            w.kind = kind;
+            w.scale = scale;
+            // Trial counts sized so every workload runs for several
+            // simulated seconds without dominating the bench suite.
+            switch (app) {
+              case App::BC: w.trials = 3; break;
+              case App::BFS: w.trials = 4; break;
+              case App::CC: w.trials = 1; break;
+              case App::PR: w.trials = 5; break;
+              case App::SSSP: w.trials = 2; break;
+            }
+            out.push_back(w);
+        }
+    }
+    return out;
+}
+
+const CsrGraph &
+datasetGraph(GraphKind kind, int scale, int degree, std::uint64_t seed)
+{
+    struct Key
+    {
+        GraphKind kind;
+        int scale;
+        int degree;
+        std::uint64_t seed;
+        auto operator<=>(const Key &) const = default;
+    };
+    static std::map<Key, std::unique_ptr<CsrGraph>> cache;
+
+    const Key key{kind, scale, degree, seed};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+
+    inform("generating %s graph, scale %d, degree %d",
+           graphKindName(kind), scale, degree);
+    EdgeList edges = kind == GraphKind::Kron
+                         ? generateKron(scale, degree, seed)
+                         : generateUrand(scale, degree, seed);
+    auto graph = std::make_unique<CsrGraph>(CsrGraph::fromEdgeList(
+        static_cast<NodeId>(1LL << scale), edges));
+    const CsrGraph &ref = *graph;
+    cache.emplace(key, std::move(graph));
+    return ref;
+}
+
+const CsrGraph &
+weightedDatasetGraph(GraphKind kind, int scale, int degree,
+                     std::uint64_t seed)
+{
+    struct Key
+    {
+        GraphKind kind;
+        int scale;
+        int degree;
+        std::uint64_t seed;
+        auto operator<=>(const Key &) const = default;
+    };
+    static std::map<Key, std::unique_ptr<CsrGraph>> cache;
+
+    const Key key{kind, scale, degree, seed};
+    auto it = cache.find(key);
+    if (it != cache.end())
+        return *it->second;
+
+    auto graph = std::make_unique<CsrGraph>(
+        datasetGraph(kind, scale, degree, seed));
+    graph->generateWeights(seed ^ 0x5eed);
+    const CsrGraph &ref = *graph;
+    cache.emplace(key, std::move(graph));
+    return ref;
+}
+
+}  // namespace memtier

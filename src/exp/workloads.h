@@ -1,0 +1,75 @@
+/**
+ * @file
+ * The paper's workload matrix: {bc, bfs, cc} x {kron, urand}
+ * (Section 4.1), at a configurable scale, plus pr as an extension. A
+ * process-wide dataset cache builds each host graph once.
+ */
+
+#ifndef MEMTIER_EXP_WORKLOADS_H_
+#define MEMTIER_EXP_WORKLOADS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace memtier {
+
+/** GAPBS kernel to run. */
+enum class App : std::uint8_t { BC, BFS, CC, PR, SSSP };
+
+/** Input generator. */
+enum class GraphKind : std::uint8_t { Kron, Urand };
+
+/** Name of @p app ("bc", ...). */
+const char *appName(App app);
+
+/** Name of @p kind ("kron"/"urand"). */
+const char *graphKindName(GraphKind kind);
+
+/** One workload = application + dataset + run parameters. */
+struct WorkloadSpec
+{
+    App app = App::BC;
+    GraphKind kind = GraphKind::Kron;
+
+    /** log2 vertices; default sized so the footprint exceeds the
+     *  scaled 24 MiB DRAM (the paper's 228-292 GB vs. 192 GB). */
+    int scale = 18;
+
+    /** Average degree (GAPBS -k 16). */
+    int degree = 16;
+
+    /** BC: sampled sources. BFS: sources (trials). CC: repetitions.
+     *  PR: iterations. */
+    int trials = 4;
+
+    /** Deterministic workload seed. */
+    std::uint64_t seed = 9241;
+
+    /** "bc_kron" style name used throughout the paper's figures. */
+    std::string name() const;
+};
+
+/** The paper's six workloads at the default scale. */
+std::vector<WorkloadSpec> paperWorkloads(int scale = 18);
+
+/**
+ * Host graph for @p kind at @p scale/@p degree, built on first use and
+ * cached for the process lifetime (the "converter" step).
+ */
+const CsrGraph &datasetGraph(GraphKind kind, int scale, int degree,
+                             std::uint64_t seed = 9241);
+
+/**
+ * Weighted variant of datasetGraph (the GAPBS .wsg input for SSSP),
+ * built and cached independently of the unweighted graph.
+ */
+const CsrGraph &weightedDatasetGraph(GraphKind kind, int scale,
+                                     int degree,
+                                     std::uint64_t seed = 9241);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_EXP_WORKLOADS_H_

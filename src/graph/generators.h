@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The two GAPBS synthetic inputs the paper uses (Section 4.1):
+ * Kronecker (kron, Graph500 parameters) and uniform random (urand,
+ * Erdos-Renyi style), both with average degree 16.
+ *
+ * The paper generates `-g30/-u31` (hundreds of GB); the scaled testbed
+ * uses the same generators at smaller scale so the footprint exceeds
+ * the scaled DRAM capacity by the same ratio.
+ */
+
+#ifndef MEMTIER_GRAPH_GENERATORS_H_
+#define MEMTIER_GRAPH_GENERATORS_H_
+
+#include <cstdint>
+
+#include "graph/graph.h"
+
+namespace memtier {
+
+/**
+ * Kronecker (R-MAT) generator with Graph500 probabilities
+ * (A=0.57, B=0.19, C=0.19).
+ *
+ * @param scale log2 of the vertex count.
+ * @param degree average edges per vertex (Graph500 edgefactor).
+ * @param seed RNG seed.
+ */
+EdgeList generateKron(int scale, int degree, std::uint64_t seed);
+
+/**
+ * Uniform-random generator: degree*2^scale edges with independently
+ * uniform endpoints.
+ *
+ * @param scale log2 of the vertex count.
+ * @param degree average edges per vertex.
+ * @param seed RNG seed.
+ */
+EdgeList generateUrand(int scale, int degree, std::uint64_t seed);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_GRAPH_GENERATORS_H_

@@ -1,0 +1,87 @@
+#include "graph/sim_graph.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "base/logging.h"
+#include "runtime/sim_file.h"
+
+namespace memtier {
+
+namespace {
+
+/**
+ * Stream @p count elements of type T from @p file at @p file_offset into
+ * @p dst: one page-granular cache fetch plus line loads, interleaved
+ * with the element stores, page by page -- the access pattern of a
+ * buffered fread into a fresh allocation.
+ */
+template <typename T>
+void
+streamInto(Engine &eng, SimFile &file, ThreadContext &t,
+           std::uint64_t file_offset, const SimVector<T> &dst,
+           const T *values, std::uint64_t count)
+{
+    std::uint64_t copied = 0;
+    while (copied < count) {
+        const std::uint64_t bytes_done = copied * sizeof(T);
+        const std::uint64_t chunk_bytes =
+            std::min<std::uint64_t>(kPageSize,
+                                    (count - copied) * sizeof(T));
+        file.read(t, file_offset + bytes_done, chunk_bytes);
+        const std::uint64_t chunk_elems = chunk_bytes / sizeof(T);
+        for (std::uint64_t i = 0; i < chunk_elems; ++i)
+            dst.set(t, copied + i, values[copied + i]);
+        copied += chunk_elems;
+    }
+    (void)eng;
+}
+
+}  // namespace
+
+SimCsrGraph
+SimCsrGraph::load(Engine &engine, SimHeap &heap, ThreadContext &t,
+                  const CsrGraph &host, const std::string &name)
+{
+    SimCsrGraph g;
+    g.hostGraph = &host;
+
+    SimFile file(engine, name + ".sg", host.serializedBytes());
+
+    // Header: directed flag, edge count, node count.
+    file.read(t, 0, 3 * sizeof(std::int64_t));
+
+    const auto &offs = host.offsets();
+    const auto &adj = host.adjacency();
+
+    g.index = heap.alloc<std::int64_t>(t, "csr.index", offs.size());
+    std::uint64_t file_pos = 3 * sizeof(std::int64_t);
+    streamInto(engine, file, t, file_pos, g.index, offs.data(),
+               offs.size());
+    file_pos += offs.size() * sizeof(std::int64_t);
+
+    g.adjacency = heap.alloc<NodeId>(t, "csr.adjacency", adj.size());
+    streamInto(engine, file, t, file_pos, g.adjacency, adj.data(),
+               adj.size());
+    file_pos += adj.size() * sizeof(NodeId);
+
+    if (host.hasWeights()) {
+        const auto &wts = host.weights();
+        g.weights =
+            heap.alloc<std::int32_t>(t, "csr.weights", wts.size());
+        streamInto(engine, file, t, file_pos, g.weights, wts.data(),
+                   wts.size());
+    }
+    return g;
+}
+
+void
+SimCsrGraph::free(SimHeap &heap, ThreadContext &t)
+{
+    heap.free(t, index);
+    heap.free(t, adjacency);
+    if (weights.valid())
+        heap.free(t, weights);
+}
+
+}  // namespace memtier

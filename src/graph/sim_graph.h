@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SimCsrGraph: the CSR graph living in simulated tiered memory, plus the
+ * timed loader that streams it from a .sg file through the page cache
+ * (the "input reading phase" of Figure 9).
+ */
+
+#ifndef MEMTIER_GRAPH_SIM_GRAPH_H_
+#define MEMTIER_GRAPH_SIM_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+
+#include "graph/graph.h"
+#include "runtime/sim_heap.h"
+#include "runtime/sim_vector.h"
+
+namespace memtier {
+
+/** CSR graph in simulated memory; values mirrored from a host CsrGraph. */
+class SimCsrGraph
+{
+  public:
+    /**
+     * Load @p host into simulated memory on thread @p t: registers a
+     * .sg-sized file, then streams it sequentially -- page-cache fetch,
+     * file-line loads, and element stores into two freshly mmap'd
+     * objects ("csr.index" and "csr.adjacency").
+     */
+    static SimCsrGraph load(Engine &engine, SimHeap &heap,
+                            ThreadContext &t, const CsrGraph &host,
+                            const std::string &name);
+
+    /** Vertex count. */
+    std::int64_t numNodes() const { return hostGraph->numNodes(); }
+
+    /** Directed edge count. */
+    std::int64_t numEdges() const { return hostGraph->numEdges(); }
+
+    /** Timed load of the CSR offset of vertex @p u. */
+    std::int64_t
+    offset(ThreadContext &t, NodeId u) const
+    {
+        return index.get(t, static_cast<std::uint64_t>(u));
+    }
+
+    /** Timed load of adjacency entry @p e. */
+    NodeId
+    neighbor(ThreadContext &t, std::int64_t e) const
+    {
+        return adjacency.get(t, static_cast<std::uint64_t>(e));
+    }
+
+    /**
+     * Timed neighbor iteration: calls @p fn(v) for each neighbor v of
+     * @p u, issuing the two offset loads and one load per edge.
+     */
+    template <typename Fn>
+    void
+    forNeighbors(ThreadContext &t, NodeId u, Fn &&fn) const
+    {
+        const std::int64_t begin = offset(t, u);
+        const std::int64_t end =
+            index.get(t, static_cast<std::uint64_t>(u) + 1);
+        for (std::int64_t e = begin; e < end; ++e)
+            fn(neighbor(t, e));
+    }
+
+    /** Host mirror, for untimed validation. */
+    const CsrGraph &host() const { return *hostGraph; }
+
+    /** The simulated index object (for experiment introspection). */
+    const SimVector<std::int64_t> &indexVector() const { return index; }
+
+    /** The simulated adjacency object. */
+    const SimVector<NodeId> &adjacencyVector() const { return adjacency; }
+
+    /** True when edge weights were loaded (.wsg input). */
+    bool hasWeights() const { return weights.valid(); }
+
+    /** Timed load of the weight of adjacency entry @p e. */
+    std::int32_t
+    weightOf(ThreadContext &t, std::int64_t e) const
+    {
+        return weights.get(t, static_cast<std::uint64_t>(e));
+    }
+
+    /** Free both simulated objects. */
+    void free(SimHeap &heap, ThreadContext &t);
+
+  private:
+    const CsrGraph *hostGraph = nullptr;
+    SimVector<std::int64_t> index;
+    SimVector<NodeId> adjacency;
+    SimVector<std::int32_t> weights;  ///< Valid for weighted inputs.
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_GRAPH_SIM_GRAPH_H_

@@ -1,0 +1,37 @@
+#include "mem/frame_allocator.h"
+
+#include "base/logging.h"
+
+namespace memtier {
+
+FrameAllocator::FrameAllocator(std::uint64_t total_frames)
+    : total(total_frames)
+{
+}
+
+std::optional<FrameNum>
+FrameAllocator::allocate()
+{
+    if (!recycled.empty()) {
+        const FrameNum frame = recycled.back();
+        recycled.pop_back();
+        ++used;
+        return frame;
+    }
+    if (next < total) {
+        ++used;
+        return next++;
+    }
+    return std::nullopt;
+}
+
+void
+FrameAllocator::free(FrameNum frame)
+{
+    MEMTIER_ASSERT(frame < total, "freeing frame outside the pool");
+    MEMTIER_ASSERT(used > 0, "freeing with no frames allocated");
+    --used;
+    recycled.push_back(frame);
+}
+
+}  // namespace memtier

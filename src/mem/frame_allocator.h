@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Physical frame allocator for one memory tier.
+ */
+
+#ifndef MEMTIER_MEM_FRAME_ALLOCATOR_H_
+#define MEMTIER_MEM_FRAME_ALLOCATOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/**
+ * Hands out page frames from a fixed-size pool, recycling freed frames
+ * LIFO. Frame numbers are tier-local.
+ */
+class FrameAllocator
+{
+  public:
+    /** @param total_frames pool size in frames. */
+    explicit FrameAllocator(std::uint64_t total_frames);
+
+    /** Allocate one frame; nullopt when the tier is full. */
+    std::optional<FrameNum> allocate();
+
+    /** Return a previously allocated frame to the pool. */
+    void free(FrameNum frame);
+
+    /** Frames currently allocated. */
+    std::uint64_t usedFrames() const { return used; }
+
+    /** Frames still available. */
+    std::uint64_t freeFrames() const { return total - used; }
+
+    /** Pool size. */
+    std::uint64_t totalFrames() const { return total; }
+
+  private:
+    std::uint64_t total;
+    std::uint64_t next = 0;  ///< High-water mark of never-used frames.
+    std::uint64_t used = 0;
+    std::vector<FrameNum> recycled;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_MEM_FRAME_ALLOCATOR_H_

@@ -1,0 +1,36 @@
+#include "mem/memory_tier.h"
+
+#include "base/logging.h"
+
+namespace memtier {
+
+MemoryTier::MemoryTier(const TierParams &params)
+    : cfg(params), allocator_(params.totalPages()), device_(params)
+{
+}
+
+std::optional<FrameNum>
+MemoryTier::allocate(FrameOwner owner)
+{
+    auto frame = allocator_.allocate();
+    if (frame)
+        ++owner_pages[static_cast<int>(owner)];
+    return frame;
+}
+
+void
+MemoryTier::free(FrameNum frame, FrameOwner owner)
+{
+    auto &count = owner_pages[static_cast<int>(owner)];
+    MEMTIER_ASSERT(count > 0, "owner accounting underflow");
+    --count;
+    allocator_.free(frame);
+}
+
+std::uint64_t
+MemoryTier::ownerPages(FrameOwner owner) const
+{
+    return owner_pages[static_cast<int>(owner)];
+}
+
+}  // namespace memtier

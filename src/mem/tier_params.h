@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Parameter sets describing one memory tier (DRAM or Optane-like NVM).
+ *
+ * Latency and bandwidth defaults are calibrated against the measurements
+ * the paper cites (Izraelevitz et al., "Basic Performance Measurements of
+ * the Intel Optane DC Persistent Memory Module"): NVM random-load latency
+ * about 3x DRAM, sequential about 2x, read bandwidth about 40 GB/s vs.
+ * 100+ GB/s, write bandwidth about 14 GB/s vs. 80 GB/s, and a 256 B
+ * internal write granularity that causes write amplification for smaller
+ * stores.
+ */
+
+#ifndef MEMTIER_MEM_TIER_PARAMS_H_
+#define MEMTIER_MEM_TIER_PARAMS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** Static configuration of one memory tier. */
+struct TierParams
+{
+    /** Tier name for reports ("DRAM", "NVM"). */
+    std::string name;
+
+    /** Usable capacity in bytes (scaled from the paper's 192/768 GB). */
+    std::uint64_t capacityBytes = 0;
+
+    /** Device latency of a random (row-miss-like) load, in cycles. */
+    Cycles loadLatencyRandom = 0;
+
+    /**
+     * Device latency of a sequential load (within the previous access's
+     * 256 B buffer/row), in cycles.
+     */
+    Cycles loadLatencySeq = 0;
+
+    /**
+     * Latency visible to the pipeline for a store (mostly hidden behind
+     * the store buffer / WPQ), in cycles.
+     */
+    Cycles storeLatency = 0;
+
+    /** Number of independent channels servicing requests. */
+    int channels = 1;
+
+    /** Per-channel service time of one 64 B line read, in cycles. */
+    Cycles readServiceCycles = 0;
+
+    /** Per-channel service time of one 64 B line write, in cycles. */
+    Cycles writeServiceCycles = 0;
+
+    /**
+     * Upper bound on the queueing delay any single request observes,
+     * modelling controller back-pressure: a saturated device slows the
+     * cores down (they stall on earlier requests) rather than building
+     * an unbounded queue. 0 disables the cap.
+     */
+    Cycles queueWaitCapCycles = 0;
+
+    /**
+     * Internal access granularity in bytes. Random stores smaller than
+     * this waste bandwidth (write amplification); 256 for Optane, 64 for
+     * DRAM.
+     */
+    std::uint64_t internalGranularity = 64;
+
+    /** Total pages this tier can hold. */
+    std::uint64_t totalPages() const { return capacityBytes / kPageSize; }
+};
+
+/**
+ * DRAM tier defaults at the experiment scale.
+ * @param capacity_bytes usable capacity of the tier.
+ */
+TierParams makeDramParams(std::uint64_t capacity_bytes);
+
+/**
+ * Optane-like NVM tier defaults at the experiment scale.
+ * @param capacity_bytes usable capacity of the tier.
+ */
+TierParams makeNvmParams(std::uint64_t capacity_bytes);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_MEM_TIER_PARAMS_H_

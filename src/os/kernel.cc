@@ -1,0 +1,476 @@
+#include "os/kernel.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+Kernel::Kernel(PhysicalMemory &phys, const KernelParams &params)
+    : phys(phys), cfg(params)
+{
+}
+
+void
+Kernel::setShootdownClient(TlbShootdownClient *client)
+{
+    shootdownClient = client;
+}
+
+void
+Kernel::setTieringPolicy(TieringPolicy *policy)
+{
+    tieringPolicy = policy;
+}
+
+void
+Kernel::setSyscallObserver(SyscallObserver *obs)
+{
+    observer = obs;
+}
+
+void
+Kernel::shootdown(PageNum vpn)
+{
+    if (shootdownClient)
+        shootdownClient->tlbShootdown(vpn);
+}
+
+std::uint64_t
+Kernel::minWatermarkPages() const
+{
+    const auto total = phys.dram().totalPages();
+    return std::max<std::uint64_t>(
+        16, static_cast<std::uint64_t>(cfg.minWatermarkFrac *
+                                       static_cast<double>(total)));
+}
+
+std::uint64_t
+Kernel::lowWatermarkPages() const
+{
+    const auto total = phys.dram().totalPages();
+    return std::max<std::uint64_t>(
+        32, static_cast<std::uint64_t>(cfg.lowWatermarkFrac *
+                                       static_cast<double>(total)));
+}
+
+std::uint64_t
+Kernel::highWatermarkPages() const
+{
+    const auto total = phys.dram().totalPages();
+    return std::max<std::uint64_t>(
+        64, static_cast<std::uint64_t>(cfg.highWatermarkFrac *
+                                       static_cast<double>(total)));
+}
+
+// -- Clock lists ------------------------------------------------------
+
+void
+Kernel::ClockList::add(PageNum vpn)
+{
+    MEMTIER_ASSERT(pos.count(vpn) == 0, "page already on LRU");
+    pos[vpn] = pages.size();
+    pages.push_back(vpn);
+}
+
+void
+Kernel::ClockList::remove(PageNum vpn)
+{
+    auto it = pos.find(vpn);
+    MEMTIER_ASSERT(it != pos.end(), "page not on LRU");
+    const std::size_t idx = it->second;
+    const PageNum moved = pages.back();
+    pages[idx] = moved;
+    pages.pop_back();
+    pos.erase(it);
+    if (moved != vpn)
+        pos[moved] = idx;
+    if (hand >= pages.size())
+        hand = 0;
+}
+
+Kernel::ClockList &
+Kernel::listFor(const PageMeta &meta)
+{
+    return meta.owner == FrameOwner::PageCache ? cacheLru : appLru;
+}
+
+// -- Syscalls ---------------------------------------------------------
+
+Addr
+Kernel::mmap(Cycles now, std::uint64_t bytes, ObjectId object,
+             const std::string &site)
+{
+    const Addr addr = space.mmap(bytes, object, site);
+    if (observer)
+        observer->onMmap(now, addr, bytes, object, site);
+    return addr;
+}
+
+void
+Kernel::munmap(Cycles now, Addr start)
+{
+    const Vma *vma = space.findExact(start);
+    MEMTIER_ASSERT(vma != nullptr, "munmap of unknown region");
+    const std::uint64_t bytes = vma->end - vma->start;
+    const ObjectId object = vma->object;
+
+    for (PageNum vpn = pageOf(vma->start); vpn < pageOf(vma->end); ++vpn) {
+        PageMeta *meta = pt.find(vpn);
+        if (meta == nullptr)
+            continue;
+        freePage(vpn, *meta);
+        pt.erase(vpn);
+        shootdown(vpn);
+    }
+    space.munmap(start);
+    if (observer)
+        observer->onMunmap(now, start, bytes, object);
+}
+
+void
+Kernel::mbind(Addr start, const MemPolicy &policy)
+{
+    // Binding must precede population (the paper's mapper intercepts the
+    // mmap and binds before the application touches the region).
+    const Vma *vma = space.findExact(start);
+    MEMTIER_ASSERT(vma != nullptr, "mbind of unknown region");
+    space.mbind(start, policy);
+}
+
+// -- Faults -----------------------------------------------------------
+
+MemNode
+Kernel::choosePlacement(const Vma &vma, PageNum vpn)
+{
+    const MemPolicy &policy = vma.policy;
+    if (policy.mode != MemPolicy::Mode::Default) {
+        const std::uint64_t index = vpn - pageOf(vma.start);
+        return policy.nodeForPage(index);
+    }
+    // Default policy: DRAM first while above the min watermark
+    // (Finding 3: pages land on DRAM because there is space, not
+    // because they are hot).
+    if (phys.dram().freePages() > minWatermarkPages())
+        return MemNode::DRAM;
+    return MemNode::NVM;
+}
+
+TouchResult
+Kernel::handlePageFault(PageNum vpn, Cycles now)
+{
+    const Vma *vma = space.find(pageBase(vpn));
+    MEMTIER_ASSERT(vma != nullptr, "fault on unmapped address");
+
+    TouchResult result;
+    result.pageFault = true;
+    result.cost = cfg.pageFaultCycles;
+    ++stats.pgfault;
+
+    MemNode node = choosePlacement(*vma, vpn);
+    const FrameOwner owner =
+        vma->pageCache ? FrameOwner::PageCache : FrameOwner::App;
+
+    auto frame = phys.tier(node).allocate(owner);
+    if (!frame && node == MemNode::DRAM) {
+        // DRAM-bound allocation with DRAM exhausted: synchronous direct
+        // reclaim makes room (pgdemote_direct), as the bound policy
+        // cannot fall back.
+        if (vma->policy.pinned() && cfg.demoteOnReclaim) {
+            reclaimBatch(cfg.directReclaimBatchPages, /*direct=*/true,
+                         now);
+            result.cost += cfg.migratePageCycles;
+            frame = phys.tier(node).allocate(owner);
+        }
+        if (!frame) {
+            node = MemNode::NVM;
+            frame = phys.tier(node).allocate(owner);
+        }
+    }
+    if (!frame)
+        fatal("physical memory exhausted (both tiers full)");
+
+    PageMeta &meta = pt.insert(vpn);
+    meta.frame = *frame;
+    meta.node = node;
+    meta.owner = owner;
+    meta.present = true;
+    meta.pinned = vma->policy.pinned();
+    meta.lastAccess = now;
+    meta.clockStamp = 0;
+    if (node == MemNode::DRAM)
+        listFor(meta).add(vpn);
+
+    result.node = node;
+    return result;
+}
+
+TouchResult
+Kernel::touchPage(PageNum vpn, Cycles now, MemOp op)
+{
+    (void)op;  // Loads and stores fault identically for our purposes.
+    PageMeta *meta = pt.find(vpn);
+    if (meta == nullptr || !meta->present)
+        return handlePageFault(vpn, now);
+
+    TouchResult result;
+    if (meta->protNone) {
+        // NUMA hint page fault (Section 2.2): clear the marker, record
+        // the fault, and let the tiering policy decide on promotion.
+        meta->protNone = false;
+        result.hintFault = true;
+        result.cost = cfg.hintFaultCycles;
+        ++stats.numaHintFaults;
+        if (tieringPolicy)
+            result.cost += tieringPolicy->onHintFault(vpn, now, *meta);
+        // The policy may have migrated the page; re-read below.
+        meta = pt.find(vpn);
+        MEMTIER_ASSERT(meta != nullptr, "page vanished during hint fault");
+    }
+    meta->lastAccess = now;
+    result.node = meta->node;
+    return result;
+}
+
+MemNode
+Kernel::nodeOf(PageNum vpn) const
+{
+    const PageMeta *meta = pt.find(vpn);
+    MEMTIER_ASSERT(meta != nullptr && meta->present,
+                   "nodeOf on non-present page");
+    return meta->node;
+}
+
+const PageMeta *
+Kernel::pageMeta(PageNum vpn) const
+{
+    return pt.find(vpn);
+}
+
+// -- Page cache -------------------------------------------------------
+
+Addr
+Kernel::registerFile(std::uint64_t bytes, const std::string &name)
+{
+    const ObjectId file_id = nextFileId--;
+    return space.mmap(bytes, file_id, "pagecache:" + name,
+                      /*page_cache=*/true);
+}
+
+Cycles
+Kernel::ensureCached(PageNum vpn, Cycles now)
+{
+    PageMeta *meta = pt.find(vpn);
+    if (meta != nullptr && meta->present)
+        return 0;
+    // Fetch from disk into a fresh page-cache page. Population goes
+    // through the normal fault path so placement policy and accounting
+    // apply, but does not count as a user minor fault.
+    const std::uint64_t faults_before = stats.pgfault;
+    TouchResult r = handlePageFault(vpn, now);
+    MEMTIER_ASSERT(stats.pgfault == faults_before + 1, "fault accounting");
+    --stats.pgfault;
+    return r.cost + cfg.diskReadCyclesPerPage;
+}
+
+// -- Reclaim / migration ----------------------------------------------
+
+void
+Kernel::freePage(PageNum vpn, PageMeta &meta)
+{
+    if (meta.node == MemNode::DRAM)
+        listFor(meta).remove(vpn);
+    phys.tier(meta.node).free(meta.frame, meta.owner);
+}
+
+bool
+Kernel::demotePage(PageNum vpn, PageMeta &meta, bool direct)
+{
+    MEMTIER_ASSERT(meta.node == MemNode::DRAM, "demoting non-DRAM page");
+    auto frame = phys.nvm().allocate(meta.owner);
+    if (!frame)
+        return false;
+
+    listFor(meta).remove(vpn);
+    phys.dram().free(meta.frame, meta.owner);
+    meta.frame = *frame;
+    meta.node = MemNode::NVM;
+    meta.protNone = false;
+    shootdown(vpn);
+
+    ++stats.pgmigrateSuccess;
+    if (direct)
+        ++stats.pgdemoteDirect;
+    else
+        ++stats.pgdemoteKswapd;
+    if (meta.promoted) {
+        ++stats.pgpromoteDemoted;
+        meta.promoted = false;
+    }
+    return true;
+}
+
+bool
+Kernel::dropCachePage(PageNum vpn, PageMeta &meta)
+{
+    MEMTIER_ASSERT(meta.owner == FrameOwner::PageCache,
+                   "dropping a non-cache page");
+    freePage(vpn, meta);
+    pt.erase(vpn);
+    shootdown(vpn);
+    ++stats.pageCacheDrops;
+    return true;
+}
+
+PageNum
+Kernel::pickVictim(ClockList &list, Cycles now)
+{
+    // Second-chance clock: a page touched since the hand last visited it
+    // is skipped (and its visit stamp refreshed); an untouched page is
+    // the victim. Bound the sweep to two revolutions.
+    const std::size_t budget = std::max<std::size_t>(1, list.size()) * 2;
+    for (std::size_t i = 0; i < budget && !list.pages.empty(); ++i) {
+        if (list.hand >= list.pages.size())
+            list.hand = 0;
+        const PageNum vpn = list.pages[list.hand];
+        PageMeta *meta = pt.find(vpn);
+        MEMTIER_ASSERT(meta != nullptr, "LRU references unmapped page");
+        if (meta->pinned) {
+            ++list.hand;
+            continue;
+        }
+        if (meta->lastAccess > meta->clockStamp) {
+            meta->clockStamp = now;
+            ++list.hand;
+            continue;
+        }
+        return vpn;
+    }
+    return static_cast<PageNum>(-1);
+}
+
+std::uint32_t
+Kernel::reclaimBatch(std::uint32_t target, bool direct, Cycles now)
+{
+    std::uint32_t reclaimed = 0;
+    while (reclaimed < target) {
+        // Page cache first (it ages fastest: read-once file pages),
+        // then application pages.
+        ClockList *list = cacheLru.size() > 0 ? &cacheLru : &appLru;
+        if (list->pages.empty())
+            break;
+        const PageNum victim = pickVictim(*list, now);
+        if (victim == static_cast<PageNum>(-1))
+            break;
+        PageMeta *meta = pt.find(victim);
+        MEMTIER_ASSERT(meta != nullptr, "victim vanished");
+        bool ok;
+        if (cfg.demoteOnReclaim) {
+            ok = demotePage(victim, *meta, direct);
+        } else {
+            // Vanilla kernel with no swap: only clean page-cache pages
+            // can be reclaimed; application pages stay where they are.
+            if (meta->owner != FrameOwner::PageCache)
+                break;
+            ok = dropCachePage(victim, *meta);
+        }
+        if (!ok)
+            break;
+        ++reclaimed;
+    }
+    return reclaimed;
+}
+
+void
+Kernel::kswapdTick(Cycles now)
+{
+    if (phys.dram().freePages() >= lowWatermarkPages())
+        return;
+    const std::uint64_t deficit =
+        highWatermarkPages() - phys.dram().freePages();
+    const std::uint32_t target = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(deficit, cfg.kswapdBatchPages));
+    reclaimBatch(target, /*direct=*/false, now);
+}
+
+Cycles
+Kernel::promotePage(PageNum vpn, Cycles now)
+{
+    PageMeta *meta = pt.find(vpn);
+    MEMTIER_ASSERT(meta != nullptr && meta->present, "promoting bad page");
+    MEMTIER_ASSERT(meta->node == MemNode::NVM, "promoting non-NVM page");
+    if (meta->pinned)
+        return 0;
+
+    Cycles cost = 0;
+    auto frame = phys.dram().allocate(meta->owner);
+    if (!frame) {
+        // Promotion target allocation enters direct reclaim.
+        if (cfg.demoteOnReclaim &&
+            reclaimBatch(cfg.directReclaimBatchPages, /*direct=*/true,
+                         now) > 0) {
+            cost += cfg.migratePageCycles;
+            frame = phys.dram().allocate(meta->owner);
+        }
+        if (!frame)
+            return 0;
+    }
+
+    phys.nvm().free(meta->frame, meta->owner);
+    meta->frame = *frame;
+    meta->node = MemNode::DRAM;
+    meta->promoted = true;
+    listFor(*meta).add(vpn);
+    shootdown(vpn);
+
+    ++stats.pgpromoteSuccess;
+    ++stats.pgmigrateSuccess;
+    return cost + cfg.migratePageCycles;
+}
+
+bool
+Kernel::dramHasFreeCapacity() const
+{
+    return phys.dram().freePages() > highWatermarkPages();
+}
+
+std::uint32_t
+Kernel::migratePages(Addr start, Addr end, MemNode target,
+                     std::uint32_t max_pages, Cycles now)
+{
+    std::uint32_t moved = 0;
+    for (PageNum vpn = pageOf(start);
+         vpn < pageOf(end + kPageSize - 1) && moved < max_pages; ++vpn) {
+        PageMeta *meta = pt.find(vpn);
+        if (meta == nullptr || !meta->present || meta->pinned ||
+            meta->node == target) {
+            continue;
+        }
+        if (target == MemNode::DRAM) {
+            if (phys.dram().freePages() <= minWatermarkPages())
+                break;  // Do not drain DRAM below its reserve.
+            if (promotePage(vpn, now) > 0)
+                ++moved;
+        } else {
+            if (demotePage(vpn, *meta, /*direct=*/true))
+                ++moved;
+        }
+    }
+    return moved;
+}
+
+NumaStatSnapshot
+Kernel::numastat() const
+{
+    NumaStatSnapshot snap;
+    for (int n = 0; n < kNumNodes; ++n) {
+        const auto node = static_cast<MemNode>(n);
+        const MemoryTier &tier = phys.tier(node);
+        snap.appPages[n] = tier.ownerPages(FrameOwner::App);
+        snap.cachePages[n] = tier.ownerPages(FrameOwner::PageCache);
+        snap.freePages[n] = tier.freePages();
+    }
+    return snap;
+}
+
+}  // namespace memtier

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * The simulated OS kernel: demand paging with DRAM-first allocation,
+ * NUMA policies, page-cache management, and watermark-driven reclaim
+ * that demotes cold DRAM pages to NVM (the tiering kernel's reclaim
+ * path). The AutoNUMA scanning/promotion policy plugs in through the
+ * TieringPolicy hook so the "AutoNUMA off" baseline is just a null hook.
+ */
+
+#ifndef MEMTIER_OS_KERNEL_H_
+#define MEMTIER_OS_KERNEL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "base/types.h"
+#include "os/address_space.h"
+#include "os/kernel_hooks.h"
+#include "os/page_table.h"
+#include "os/physical_memory.h"
+#include "os/vmstat.h"
+
+namespace memtier {
+
+/** Kernel tunables (watermarks, fault costs, reclaim batch sizes). */
+struct KernelParams
+{
+    /** DRAM free fraction below which allocation falls back to NVM. */
+    double minWatermarkFrac = 0.005;
+
+    /** DRAM free fraction below which kswapd starts demoting. */
+    double lowWatermarkFrac = 0.05;
+
+    /** DRAM free fraction kswapd demotes down to. Sized generously so
+     *  reclaim keeps enough headroom for the applications' recurring
+     *  allocations to land in DRAM (the Figure 7 behaviour). */
+    double highWatermarkFrac = 0.10;
+
+    /** Pages demoted per kswapd invocation when below the low mark. */
+    std::uint32_t kswapdBatchPages = 512;
+
+    /** Pages demoted by one synchronous direct-reclaim episode. */
+    std::uint32_t directReclaimBatchPages = 32;
+
+    /** Cost of servicing a minor page fault, charged to the thread. */
+    Cycles pageFaultCycles = 1400;
+
+    /** Cost of taking a NUMA hint fault (trap + PTE fixup). */
+    Cycles hintFaultCycles = 1100;
+
+    /** Synchronous cost of migrating one page (copy 4 KiB + remap). */
+    Cycles migratePageCycles = 5200;
+
+    /** Disk fetch cost per page-cache miss (about 2 GB/s streaming). */
+    Cycles diskReadCyclesPerPage = 5200;
+
+    /**
+     * True when reclaim demotes pages to NVM (tiering kernel). When
+     * false (vanilla kernel / AutoNUMA disabled), reclaim only drops
+     * clean page-cache pages and never migrates application pages.
+     */
+    bool demoteOnReclaim = true;
+};
+
+/** Result of resolving one page touch (TLB-miss path). */
+struct TouchResult
+{
+    MemNode node = MemNode::DRAM;  ///< Residence after handling.
+    Cycles cost = 0;               ///< Fault/migration cycles charged.
+    bool pageFault = false;
+    bool hintFault = false;
+};
+
+/** Per-node usage snapshot (the paper's numastat/free view). */
+struct NumaStatSnapshot
+{
+    std::uint64_t appPages[kNumNodes] = {0, 0};
+    std::uint64_t cachePages[kNumNodes] = {0, 0};
+    std::uint64_t freePages[kNumNodes] = {0, 0};
+};
+
+/** The simulated kernel. */
+class Kernel
+{
+  public:
+    /**
+     * @param phys the machine's two-tier physical memory.
+     * @param params kernel tunables.
+     */
+    Kernel(PhysicalMemory &phys, const KernelParams &params);
+
+    /** Install the CPU-side TLB shootdown client (required). */
+    void setShootdownClient(TlbShootdownClient *client);
+
+    /** Install the AutoNUMA tiering policy (nullptr = AutoNUMA off). */
+    void setTieringPolicy(TieringPolicy *policy);
+
+    /** Install the mmap/munmap observer (nullptr = no tracking). */
+    void setSyscallObserver(SyscallObserver *observer);
+
+    // -- Syscall surface ---------------------------------------------
+
+    /** mmap: create a VMA; pages populate on first touch. */
+    Addr mmap(Cycles now, std::uint64_t bytes, ObjectId object,
+              const std::string &site);
+
+    /** munmap: free all pages of the region starting at @p start. */
+    void munmap(Cycles now, Addr start);
+
+    /** mbind: set the placement policy of the region at @p start. */
+    void mbind(Addr start, const MemPolicy &policy);
+
+    // -- Address translation / faults --------------------------------
+
+    /**
+     * Resolve a touch of @p vpn from the page-walk path: services the
+     * minor fault or hint fault if one is pending and refreshes the
+     * page's recency stamp (accessed-bit model).
+     */
+    TouchResult touchPage(PageNum vpn, Cycles now, MemOp op);
+
+    /** Residence of a present page (no fault handling, no recency). */
+    MemNode nodeOf(PageNum vpn) const;
+
+    /** Page metadata, or nullptr when unmapped (for introspection). */
+    const PageMeta *pageMeta(PageNum vpn) const;
+
+    // -- Page cache ---------------------------------------------------
+
+    /**
+     * Reserve the page-cache address range for a file of @p bytes.
+     * @return base address of the file's cache pages.
+     */
+    Addr registerFile(std::uint64_t bytes, const std::string &name);
+
+    /**
+     * Ensure file page at @p vpn (within a registered file range) is
+     * cached, fetching from disk if needed.
+     * @return cycles spent (0 when already cached).
+     */
+    Cycles ensureCached(PageNum vpn, Cycles now);
+
+    // -- Reclaim / migration -----------------------------------------
+
+    /** Periodic kswapd invocation; demotes when below the low mark. */
+    void kswapdTick(Cycles now);
+
+    /**
+     * Promote @p vpn from NVM to DRAM (called by the tiering policy).
+     * May trigger a small direct-reclaim episode to make room.
+     * @return synchronous cycles spent, or 0 when promotion failed.
+     */
+    Cycles promotePage(PageNum vpn, Cycles now);
+
+    /** True when DRAM has free capacity above the high watermark. */
+    bool dramHasFreeCapacity() const;
+
+    /**
+     * Migrate present, unpinned pages of [start, end) to @p target
+     * (move_pages(2) equivalent, used by object-granularity policies).
+     * Migrations count into the promotion/demotion vmstat counters.
+     *
+     * @param max_pages migration budget.
+     * @return pages actually migrated.
+     */
+    std::uint32_t migratePages(Addr start, Addr end, MemNode target,
+                               std::uint32_t max_pages, Cycles now);
+
+    // -- Introspection ------------------------------------------------
+
+    /** Cumulative counters. */
+    const VmStat &vmstat() const { return stats; }
+
+    /** Mutable counters (the tiering policy updates candidate counts). */
+    VmStat &vmstatMutable() { return stats; }
+
+    /** Per-node usage (numastat + free equivalent). */
+    NumaStatSnapshot numastat() const;
+
+    /** The process address space (scanner iterates its VMAs). */
+    const AddressSpace &addressSpace() const { return space; }
+
+    /** Physical memory (tier timing access from the CPU model). */
+    PhysicalMemory &physicalMemory() { return phys; }
+
+    /** Mutable page metadata (scanner marks PROT_NONE through this). */
+    PageMeta *pageMetaMutable(PageNum vpn) { return pt.find(vpn); }
+
+    /** Issue a TLB shootdown for @p vpn (used by the scanner). */
+    void shootdown(PageNum vpn);
+
+    /** Kernel tunables in effect. */
+    const KernelParams &params() const { return cfg; }
+
+  private:
+    /** Which reclaim LRU a DRAM page sits on. */
+    enum class LruList : std::uint8_t { AppLru, CacheLru };
+
+    /** One CLOCK list over DRAM-resident pages. */
+    struct ClockList
+    {
+        std::vector<PageNum> pages;
+        std::unordered_map<PageNum, std::size_t> pos;
+        std::size_t hand = 0;
+
+        void add(PageNum vpn);
+        void remove(PageNum vpn);
+        bool contains(PageNum vpn) const { return pos.count(vpn) != 0; }
+        std::size_t size() const { return pages.size(); }
+    };
+
+    TouchResult handlePageFault(PageNum vpn, Cycles now);
+    MemNode choosePlacement(const Vma &vma, PageNum vpn);
+    void freePage(PageNum vpn, PageMeta &meta);
+    bool demotePage(PageNum vpn, PageMeta &meta, bool direct);
+    bool dropCachePage(PageNum vpn, PageMeta &meta);
+    std::uint32_t reclaimBatch(std::uint32_t target, bool direct,
+                               Cycles now);
+    PageNum pickVictim(ClockList &list, Cycles now);
+    ClockList &listFor(const PageMeta &meta);
+
+    std::uint64_t minWatermarkPages() const;
+    std::uint64_t lowWatermarkPages() const;
+    std::uint64_t highWatermarkPages() const;
+
+    PhysicalMemory &phys;
+    KernelParams cfg;
+    AddressSpace space;
+    PageTable pt;
+    VmStat stats;
+
+    ClockList appLru;    ///< DRAM-resident application pages.
+    ClockList cacheLru;  ///< DRAM-resident page-cache pages.
+
+    TlbShootdownClient *shootdownClient = nullptr;
+    TieringPolicy *tieringPolicy = nullptr;
+    SyscallObserver *observer = nullptr;
+
+    ObjectId nextFileId = -2;  ///< Page-cache "objects" get negative ids.
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_OS_KERNEL_H_

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Upcall interfaces the kernel uses to talk to layers above it without
+ * depending on them: TLB shootdowns into the CPU model, tiering-policy
+ * decisions (implemented by the autonuma module), and syscall observation
+ * (implemented by the profiler's mmap tracker).
+ */
+
+#ifndef MEMTIER_OS_KERNEL_HOOKS_H_
+#define MEMTIER_OS_KERNEL_HOOKS_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.h"
+
+namespace memtier {
+
+struct PageMeta;
+
+/** Implemented by the CPU model: invalidate cached translations. */
+class TlbShootdownClient
+{
+  public:
+    virtual ~TlbShootdownClient() = default;
+
+    /** Invalidate @p vpn in every logical thread's TLB. */
+    virtual void tlbShootdown(PageNum vpn) = 0;
+};
+
+/**
+ * Implemented by the AutoNUMA tiering module: consulted when a marked
+ * page takes a hint fault.
+ */
+class TieringPolicy
+{
+  public:
+    virtual ~TieringPolicy() = default;
+
+    /**
+     * A hint page fault occurred on @p vpn.
+     *
+     * @param vpn faulting page.
+     * @param now fault time (the "hint page fault time").
+     * @param meta the page's metadata (scanTime holds the scan time).
+     * @return extra cycles charged to the faulting thread (e.g. the
+     *         synchronous cost of a promotion migration).
+     */
+    virtual Cycles onHintFault(PageNum vpn, Cycles now, PageMeta &meta) = 0;
+};
+
+/** Implemented by the mmap tracker (syscall_intercept equivalent). */
+class SyscallObserver
+{
+  public:
+    virtual ~SyscallObserver() = default;
+
+    /** An mmap created [addr, addr+bytes) for @p object at @p site. */
+    virtual void onMmap(Cycles now, Addr addr, std::uint64_t bytes,
+                        ObjectId object, const std::string &site) = 0;
+
+    /** The region starting at @p addr was unmapped. */
+    virtual void onMunmap(Cycles now, Addr addr, std::uint64_t bytes,
+                          ObjectId object) = 0;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_OS_KERNEL_HOOKS_H_

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * NUMA memory policy attached to a VMA, modelling Linux mbind(2) modes
+ * the paper's object-level mapper uses (Section 7).
+ */
+
+#ifndef MEMTIER_OS_MEM_POLICY_H_
+#define MEMTIER_OS_MEM_POLICY_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** Placement policy for pages of one VMA. */
+struct MemPolicy
+{
+    enum class Mode : std::uint8_t {
+        /**
+         * Kernel default: first-touch allocation on DRAM while space is
+         * available, falling back to NVM; pages are eligible for
+         * AutoNUMA scanning, promotion and demotion.
+         */
+        Default = 0,
+
+        /** MPOL_BIND to a single node; pages are pinned (no migration). */
+        Bind,
+
+        /**
+         * Split binding used by the spill variant (the starred cc
+         * workloads in Figure 11):
+         * the first @ref dramPages pages of the region bind to DRAM and
+         * the remainder binds to NVM; all pages pinned.
+         */
+        Split,
+    };
+
+    Mode mode = Mode::Default;
+
+    /** Target node for Mode::Bind. */
+    MemNode node = MemNode::DRAM;
+
+    /** For Mode::Split: number of leading pages bound to DRAM. */
+    std::uint64_t dramPages = 0;
+
+    /** Policy that binds the whole region to @p node. */
+    static MemPolicy
+    bind(MemNode node)
+    {
+        MemPolicy p;
+        p.mode = Mode::Bind;
+        p.node = node;
+        return p;
+    }
+
+    /** Policy that splits the region after @p dram_pages pages. */
+    static MemPolicy
+    split(std::uint64_t dram_pages)
+    {
+        MemPolicy p;
+        p.mode = Mode::Split;
+        p.dramPages = dram_pages;
+        return p;
+    }
+
+    /** True when pages under this policy must never migrate. */
+    bool
+    pinned() const
+    {
+        return mode != Mode::Default;
+    }
+
+    /** Node this policy assigns to the page at @p index within the VMA. */
+    MemNode
+    nodeForPage(std::uint64_t index) const
+    {
+        switch (mode) {
+          case Mode::Bind:
+            return node;
+          case Mode::Split:
+            return index < dramPages ? MemNode::DRAM : MemNode::NVM;
+          case Mode::Default:
+            break;
+        }
+        return MemNode::DRAM;  // Default prefers DRAM (first touch).
+    }
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_OS_MEM_POLICY_H_

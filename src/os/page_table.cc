@@ -1,0 +1,36 @@
+#include "os/page_table.h"
+
+#include "base/logging.h"
+
+namespace memtier {
+
+PageMeta *
+PageTable::find(PageNum vpn)
+{
+    auto it = table.find(vpn);
+    return it == table.end() ? nullptr : &it->second;
+}
+
+const PageMeta *
+PageTable::find(PageNum vpn) const
+{
+    auto it = table.find(vpn);
+    return it == table.end() ? nullptr : &it->second;
+}
+
+PageMeta &
+PageTable::insert(PageNum vpn)
+{
+    auto [it, inserted] = table.emplace(vpn, PageMeta{});
+    MEMTIER_ASSERT(inserted, "page already mapped");
+    return it->second;
+}
+
+void
+PageTable::erase(PageNum vpn)
+{
+    const auto removed = table.erase(vpn);
+    MEMTIER_ASSERT(removed == 1, "erasing unmapped page");
+}
+
+}  // namespace memtier

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-process page table: virtual page -> frame/tier plus the metadata
+ * AutoNUMA tiering needs (PROT_NONE scan marker, scan timestamp) and the
+ * metadata reclaim needs (recency stamp, owner, pin state).
+ */
+
+#ifndef MEMTIER_OS_PAGE_TABLE_H_
+#define MEMTIER_OS_PAGE_TABLE_H_
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "base/types.h"
+#include "mem/memory_tier.h"
+
+namespace memtier {
+
+/** Metadata of one mapped page. */
+struct PageMeta
+{
+    FrameNum frame = 0;          ///< Frame within the owning tier.
+    MemNode node = MemNode::DRAM;
+    FrameOwner owner = FrameOwner::App;
+    bool present = false;
+    bool protNone = false;       ///< Marked by the AutoNUMA scanner.
+    bool pinned = false;         ///< mbind-bound; never migrated/scanned.
+    bool promoted = false;       ///< Was promoted NVM->DRAM at least once.
+    Cycles scanTime = 0;         ///< When the scanner marked the page.
+    Cycles lastAccess = 0;       ///< Updated on page-walk (A-bit model).
+    Cycles clockStamp = 0;       ///< Last visit of the reclaim clock hand.
+};
+
+/** Hash-map-backed page table. */
+class PageTable
+{
+  public:
+    /** Metadata of @p vpn, or nullptr when unmapped. */
+    PageMeta *find(PageNum vpn);
+
+    /** Const lookup. */
+    const PageMeta *find(PageNum vpn) const;
+
+    /** Insert a fresh entry for @p vpn (must not exist). */
+    PageMeta &insert(PageNum vpn);
+
+    /** Remove @p vpn's entry (must exist). */
+    void erase(PageNum vpn);
+
+    /** Number of mapped pages. */
+    std::size_t size() const { return table.size(); }
+
+  private:
+    std::unordered_map<PageNum, PageMeta> table;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_OS_PAGE_TABLE_H_

@@ -1,0 +1,22 @@
+#include "os/physical_memory.h"
+
+namespace memtier {
+
+PhysicalMemory::PhysicalMemory(const TierParams &dram, const TierParams &nvm)
+    : tiers{MemoryTier(dram), MemoryTier(nvm)}
+{
+}
+
+MemoryTier &
+PhysicalMemory::tier(MemNode node)
+{
+    return tiers[static_cast<int>(node)];
+}
+
+const MemoryTier &
+PhysicalMemory::tier(MemNode node) const
+{
+    return tiers[static_cast<int>(node)];
+}
+
+}  // namespace memtier

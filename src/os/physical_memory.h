@@ -1,0 +1,44 @@
+/**
+ * @file
+ * The machine's physical memory: one DRAM tier (NUMA node 0, CPU
+ * attached) and one NVM tier (NUMA node 1, CPU-less), matching the
+ * KMEM-DAX setup the paper uses.
+ */
+
+#ifndef MEMTIER_OS_PHYSICAL_MEMORY_H_
+#define MEMTIER_OS_PHYSICAL_MEMORY_H_
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.h"
+#include "mem/memory_tier.h"
+
+namespace memtier {
+
+/** Two-tier physical memory. */
+class PhysicalMemory
+{
+  public:
+    /**
+     * @param dram parameters of the fast tier.
+     * @param nvm parameters of the slow tier.
+     */
+    PhysicalMemory(const TierParams &dram, const TierParams &nvm);
+
+    /** The tier behind @p node. */
+    MemoryTier &tier(MemNode node);
+
+    /** Const access. */
+    const MemoryTier &tier(MemNode node) const;
+
+    MemoryTier &dram() { return tier(MemNode::DRAM); }
+    MemoryTier &nvm() { return tier(MemNode::NVM); }
+
+  private:
+    std::array<MemoryTier, kNumNodes> tiers;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_OS_PHYSICAL_MEMORY_H_

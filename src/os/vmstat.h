@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The vmstat counters the paper tracks (Section 6.6), plus a few extra
+ * fault counters useful for analysis. Values are cumulative, as in
+ * /proc/vmstat; consumers compute deltas between two readings exactly as
+ * the paper does.
+ */
+
+#ifndef MEMTIER_OS_VMSTAT_H_
+#define MEMTIER_OS_VMSTAT_H_
+
+#include <cstdint>
+
+namespace memtier {
+
+/** Cumulative kernel memory-management counters. */
+struct VmStat
+{
+    /** Minor page faults (first touch of a mapped page). */
+    std::uint64_t pgfault = 0;
+
+    /** NUMA hint page faults taken on scanner-marked pages. */
+    std::uint64_t numaHintFaults = 0;
+
+    /** Pages successfully promoted NVM -> DRAM. */
+    std::uint64_t pgpromoteSuccess = 0;
+
+    /** Promoted pages that were later demoted back (thrashing signal). */
+    std::uint64_t pgpromoteDemoted = 0;
+
+    /** Pages demoted DRAM -> NVM by periodic kswapd reclaim. */
+    std::uint64_t pgdemoteKswapd = 0;
+
+    /** Pages demoted DRAM -> NVM by synchronous direct reclaim. */
+    std::uint64_t pgdemoteDirect = 0;
+
+    /** Total successful page migrations (promotions + demotions). */
+    std::uint64_t pgmigrateSuccess = 0;
+
+    /** Promotion candidates seen (below threshold, may not migrate). */
+    std::uint64_t promoteCandidates = 0;
+
+    /** Promotions skipped because the rate limit was exhausted. */
+    std::uint64_t promoteRateLimited = 0;
+
+    /** Clean page-cache pages dropped by reclaim (no tiering path). */
+    std::uint64_t pageCacheDrops = 0;
+
+    /** Delta of every field between two snapshots (this - earlier). */
+    VmStat
+    delta(const VmStat &earlier) const
+    {
+        VmStat d;
+        d.pgfault = pgfault - earlier.pgfault;
+        d.numaHintFaults = numaHintFaults - earlier.numaHintFaults;
+        d.pgpromoteSuccess = pgpromoteSuccess - earlier.pgpromoteSuccess;
+        d.pgpromoteDemoted = pgpromoteDemoted - earlier.pgpromoteDemoted;
+        d.pgdemoteKswapd = pgdemoteKswapd - earlier.pgdemoteKswapd;
+        d.pgdemoteDirect = pgdemoteDirect - earlier.pgdemoteDirect;
+        d.pgmigrateSuccess = pgmigrateSuccess - earlier.pgmigrateSuccess;
+        d.promoteCandidates = promoteCandidates - earlier.promoteCandidates;
+        d.promoteRateLimited =
+            promoteRateLimited - earlier.promoteRateLimited;
+        d.pageCacheDrops = pageCacheDrops - earlier.pageCacheDrops;
+        return d;
+    }
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_OS_VMSTAT_H_

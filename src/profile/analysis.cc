@@ -1,0 +1,280 @@
+#include "profile/analysis.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+LevelShares
+levelShares(const std::vector<MemorySample> &samples)
+{
+    LevelShares out;
+    out.total = samples.size();
+    if (samples.empty())
+        return out;
+    std::uint64_t counts[kNumMemLevels] = {};
+    for (const auto &s : samples)
+        ++counts[static_cast<int>(s.level)];
+    for (int l = 0; l < kNumMemLevels; ++l) {
+        out.frac[l] = static_cast<double>(counts[l]) /
+                      static_cast<double>(out.total);
+    }
+    out.externalFrac = out.frac[static_cast<int>(MemLevel::DRAM)] +
+                       out.frac[static_cast<int>(MemLevel::NVM)];
+    return out;
+}
+
+ExternalSplit
+externalSplit(const std::vector<MemorySample> &samples)
+{
+    ExternalSplit out;
+    std::uint64_t dram = 0;
+    std::uint64_t nvm = 0;
+    for (const auto &s : samples) {
+        if (s.level == MemLevel::DRAM)
+            ++dram;
+        else if (s.level == MemLevel::NVM)
+            ++nvm;
+    }
+    out.externalSamples = dram + nvm;
+    if (out.externalSamples == 0)
+        return out;
+    out.dramFrac = static_cast<double>(dram) /
+                   static_cast<double>(out.externalSamples);
+    out.nvmFrac = static_cast<double>(nvm) /
+                  static_cast<double>(out.externalSamples);
+    return out;
+}
+
+CostSplit
+externalCostSplit(const std::vector<MemorySample> &samples)
+{
+    CostSplit out;
+    double dram = 0.0;
+    double nvm = 0.0;
+    for (const auto &s : samples) {
+        if (s.level == MemLevel::DRAM)
+            dram += static_cast<double>(s.latency);
+        else if (s.level == MemLevel::NVM)
+            nvm += static_cast<double>(s.latency);
+    }
+    out.totalCostCycles = dram + nvm;
+    if (out.totalCostCycles == 0.0)
+        return out;
+    out.dramCostFrac = dram / out.totalCostCycles;
+    out.nvmCostFrac = nvm / out.totalCostCycles;
+    return out;
+}
+
+TlbCostMatrix
+tlbCostMatrix(const std::vector<MemorySample> &samples)
+{
+    TlbCostMatrix out;
+    double sum[2][2] = {};
+    for (const auto &s : samples) {
+        if (!s.external())
+            continue;
+        const int node = s.level == MemLevel::DRAM ? 0 : 1;
+        const int miss = s.tlbMiss ? 1 : 0;
+        sum[node][miss] += static_cast<double>(s.latency);
+        ++out.count[node][miss];
+    }
+    for (int n = 0; n < 2; ++n) {
+        for (int m = 0; m < 2; ++m) {
+            if (out.count[n][m] > 0) {
+                out.mean[n][m] =
+                    sum[n][m] / static_cast<double>(out.count[n][m]);
+            }
+        }
+    }
+    return out;
+}
+
+TouchBuckets
+pageTouchBuckets(const std::vector<MemorySample> &samples)
+{
+    TouchBuckets out;
+    std::unordered_map<PageNum, std::uint32_t> touches;
+    for (const auto &s : samples) {
+        if (!s.external())
+            continue;
+        ++touches[s.page()];
+        ++out.externalAccesses;
+    }
+    out.touchedPages = touches.size();
+    if (out.touchedPages == 0)
+        return out;
+
+    std::uint64_t pages[3] = {};
+    std::uint64_t accesses[3] = {};
+    for (const auto &[page, count] : touches) {
+        const int bucket = count >= 3 ? 2 : static_cast<int>(count) - 1;
+        ++pages[bucket];
+        accesses[bucket] += count;
+    }
+    for (int b = 0; b < 3; ++b) {
+        out.pagesFrac[b] = static_cast<double>(pages[b]) /
+                           static_cast<double>(out.touchedPages);
+        out.accessFrac[b] = static_cast<double>(accesses[b]) /
+                            static_cast<double>(out.externalAccesses);
+    }
+    return out;
+}
+
+PercentileSummary
+twoTouchReuseSeconds(const std::vector<MemorySample> &samples,
+                     ObjectId object, const MmapTracker &tracker)
+{
+    // First & second external touch time per page of the object, pages
+    // with exactly two touches and at least one NVM touch.
+    struct Touches
+    {
+        Cycles first = 0;
+        Cycles second = 0;
+        std::uint32_t count = 0;
+        bool nvm = false;
+    };
+    std::unordered_map<PageNum, Touches> touches;
+    for (const auto &s : samples) {
+        if (!s.external())
+            continue;
+        if (tracker.objectAt(s.vaddr, s.time) != object)
+            continue;
+        auto &t = touches[s.page()];
+        ++t.count;
+        if (t.count == 1)
+            t.first = s.time;
+        else if (t.count == 2)
+            t.second = s.time;
+        if (s.level == MemLevel::NVM)
+            t.nvm = true;
+    }
+
+    PercentileSummary out;
+    for (const auto &[page, t] : touches) {
+        if (t.count == 2 && t.nvm)
+            out.add(cyclesToSeconds(t.second - t.first));
+    }
+    return out;
+}
+
+double
+twoTouchPromotedFraction(const std::vector<MemorySample> &samples)
+{
+    struct Pair
+    {
+        MemLevel first = MemLevel::L1;
+        MemLevel second = MemLevel::L1;
+        std::uint32_t count = 0;
+    };
+    std::unordered_map<PageNum, Pair> touches;
+    for (const auto &s : samples) {
+        if (!s.external())
+            continue;
+        auto &t = touches[s.page()];
+        ++t.count;
+        if (t.count == 1)
+            t.first = s.level;
+        else if (t.count == 2)
+            t.second = s.level;
+    }
+    std::uint64_t two_touch = 0;
+    std::uint64_t promoted = 0;
+    for (const auto &[page, t] : touches) {
+        if (t.count != 2)
+            continue;
+        ++two_touch;
+        if (t.first == MemLevel::NVM && t.second == MemLevel::DRAM)
+            ++promoted;
+    }
+    return two_touch == 0 ? 0.0
+                          : static_cast<double>(promoted) /
+                                static_cast<double>(two_touch);
+}
+
+std::vector<ObjectAccessCount>
+objectAccessCounts(const std::vector<MemorySample> &samples,
+                   const MmapTracker &tracker)
+{
+    std::map<ObjectId, ObjectAccessCount> counts;
+    for (const auto &s : samples) {
+        const ObjectId obj = tracker.objectAt(s.vaddr, s.time);
+        if (obj == kNoObject)
+            continue;
+        auto &c = counts[obj];
+        if (c.object == kNoObject) {
+            c.object = obj;
+            const AllocationRecord *rec = tracker.find(obj);
+            MEMTIER_ASSERT(rec != nullptr, "sample mapped to ghost");
+            c.site = rec->site;
+            c.bytes = rec->bytes;
+        }
+        ++c.totalSamples;
+        if (s.level == MemLevel::DRAM)
+            ++c.dramSamples;
+        else if (s.level == MemLevel::NVM)
+            ++c.nvmSamples;
+    }
+    std::vector<ObjectAccessCount> out;
+    out.reserve(counts.size());
+    for (auto &[id, c] : counts)
+        out.push_back(std::move(c));
+    return out;
+}
+
+ObjectId
+hottestNvmObject(const std::vector<ObjectAccessCount> &counts)
+{
+    ObjectId best = kNoObject;
+    std::uint64_t most = 0;
+    for (const auto &c : counts) {
+        if (c.nvmSamples > most) {
+            most = c.nvmSamples;
+            best = c.object;
+        }
+    }
+    return best;
+}
+
+std::vector<SiteProfile>
+siteProfiles(const std::vector<MemorySample> &samples,
+             const MmapTracker &tracker)
+{
+    std::map<std::string, SiteProfile> by_site;
+    for (const auto &[site, peak] : tracker.peakLiveBytesBySite()) {
+        SiteProfile p;
+        p.site = site;
+        p.peakLiveBytes = peak;
+        by_site.emplace(site, std::move(p));
+    }
+    for (const auto &s : samples) {
+        const ObjectId obj = tracker.objectAt(s.vaddr, s.time);
+        if (obj == kNoObject)
+            continue;
+        const AllocationRecord *rec = tracker.find(obj);
+        auto it = by_site.find(rec->site);
+        MEMTIER_ASSERT(it != by_site.end(), "sample from unknown site");
+        ++it->second.totalSamples;
+        if (s.external()) {
+            ++it->second.externalSamples;
+            if (s.level == MemLevel::NVM)
+                ++it->second.nvmSamples;
+        }
+    }
+    std::vector<SiteProfile> out;
+    out.reserve(by_site.size());
+    for (auto &[site, p] : by_site)
+        out.push_back(std::move(p));
+    std::sort(out.begin(), out.end(),
+              [](const SiteProfile &a, const SiteProfile &b) {
+                  if (a.score() != b.score())
+                      return a.score() > b.score();
+                  return a.site < b.site;
+              });
+    return out;
+}
+
+}  // namespace memtier

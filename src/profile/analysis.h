@@ -1,0 +1,147 @@
+/**
+ * @file
+ * The paper's sample analyses (Sections 5 and 6): memory-level shares,
+ * DRAM/NVM splits, latency-cost splits, TLB cost matrices, per-page
+ * touch counts, reuse-time statistics, promotion detection, and the
+ * sample-to-object aggregations of Figure 6.
+ */
+
+#ifndef MEMTIER_PROFILE_ANALYSIS_H_
+#define MEMTIER_PROFILE_ANALYSIS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+#include "profile/mmap_tracker.h"
+#include "profile/sample.h"
+
+namespace memtier {
+
+/** Fraction of samples serviced at each memory level (Figure 3). */
+struct LevelShares
+{
+    double frac[kNumMemLevels] = {};
+    double externalFrac = 0.0;  ///< DRAM + NVM ("outside cache").
+    std::uint64_t total = 0;
+};
+
+/** Compute level shares over all samples. */
+LevelShares levelShares(const std::vector<MemorySample> &samples);
+
+/** DRAM/NVM split of the external samples (Table 1). */
+struct ExternalSplit
+{
+    double dramFrac = 0.0;
+    double nvmFrac = 0.0;
+    std::uint64_t externalSamples = 0;
+};
+
+/** Compute the external-sample split. */
+ExternalSplit externalSplit(const std::vector<MemorySample> &samples);
+
+/** Latency-weighted DRAM/NVM split of external samples (Table 2). */
+struct CostSplit
+{
+    double dramCostFrac = 0.0;
+    double nvmCostFrac = 0.0;
+    double totalCostCycles = 0.0;
+};
+
+/** Compute the external cost split. */
+CostSplit externalCostSplit(const std::vector<MemorySample> &samples);
+
+/** Mean external access cost by node and TLB outcome (Table 3). */
+struct TlbCostMatrix
+{
+    /** mean[node][miss]: node 0=DRAM 1=NVM; miss 0=TLB hit 1=TLB miss. */
+    double mean[2][2] = {};
+    std::uint64_t count[2][2] = {};
+};
+
+/** Compute the TLB cost matrix over external samples. */
+TlbCostMatrix tlbCostMatrix(const std::vector<MemorySample> &samples);
+
+/** Per-page touch-count buckets over external samples (Figure 4). */
+struct TouchBuckets
+{
+    /** Fraction of touched pages with exactly 1 / 2 / 3+ touches. */
+    double pagesFrac[3] = {};
+
+    /** Fraction of external accesses landing on such pages. */
+    double accessFrac[3] = {};
+
+    std::uint64_t touchedPages = 0;
+    std::uint64_t externalAccesses = 0;
+};
+
+/** Compute touch buckets. */
+TouchBuckets pageTouchBuckets(const std::vector<MemorySample> &samples);
+
+/**
+ * Reuse-time distribution (seconds) between the two accesses of pages
+ * touched exactly twice, restricted to pages of @p object whose touches
+ * include an NVM access (Figure 5's methodology).
+ */
+PercentileSummary
+twoTouchReuseSeconds(const std::vector<MemorySample> &samples,
+                     ObjectId object, const MmapTracker &tracker);
+
+/**
+ * Fraction of two-touch pages whose first touch was on NVM and second
+ * on DRAM, i.e. pages observably promoted between their touches
+ * (Section 5.2 reports at most 1.3%).
+ */
+double twoTouchPromotedFraction(const std::vector<MemorySample> &samples);
+
+/** Per-object external access aggregation (Figure 6). */
+struct ObjectAccessCount
+{
+    ObjectId object = kNoObject;
+    std::string site;
+    std::uint64_t bytes = 0;
+    std::uint64_t dramSamples = 0;
+    std::uint64_t nvmSamples = 0;
+    std::uint64_t totalSamples = 0;  ///< All levels, mapped to object.
+};
+
+/**
+ * Aggregate samples per object.
+ * @return one entry per tracked object with at least one mapped sample.
+ */
+std::vector<ObjectAccessCount>
+objectAccessCounts(const std::vector<MemorySample> &samples,
+                   const MmapTracker &tracker);
+
+/** Object with the most NVM samples, or kNoObject when none. */
+ObjectId hottestNvmObject(const std::vector<ObjectAccessCount> &counts);
+
+/** Per-allocation-site aggregation feeding the object-level planner. */
+struct SiteProfile
+{
+    std::string site;
+    std::uint64_t peakLiveBytes = 0;
+    std::uint64_t externalSamples = 0;
+    std::uint64_t nvmSamples = 0;
+    std::uint64_t totalSamples = 0;
+
+    /** Planner score: external accesses per byte (Section 7). */
+    double
+    score() const
+    {
+        return peakLiveBytes == 0
+                   ? 0.0
+                   : static_cast<double>(externalSamples) /
+                         static_cast<double>(peakLiveBytes);
+    }
+};
+
+/** Aggregate per site, sorted by descending score. */
+std::vector<SiteProfile>
+siteProfiles(const std::vector<MemorySample> &samples,
+             const MmapTracker &tracker);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_PROFILE_ANALYSIS_H_

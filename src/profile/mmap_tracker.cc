@@ -1,0 +1,98 @@
+#include "profile/mmap_tracker.h"
+
+#include <algorithm>
+#include <map>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+void
+MmapTracker::onMmap(Cycles now, Addr addr, std::uint64_t bytes,
+                    ObjectId object, const std::string &site)
+{
+    if (object < 0)
+        return;  // Page-cache ranges are not application objects.
+    AllocationRecord rec;
+    rec.object = object;
+    rec.site = site;
+    rec.start = addr;
+    rec.bytes = bytes;
+    rec.allocTime = now;
+    if (static_cast<std::size_t>(object) >= liveByObject.size())
+        liveByObject.resize(static_cast<std::size_t>(object) + 1, SIZE_MAX);
+    liveByObject[static_cast<std::size_t>(object)] = recs.size();
+    recs.push_back(rec);
+    events.push_back({now, static_cast<std::int64_t>(bytes), site});
+}
+
+void
+MmapTracker::onMunmap(Cycles now, Addr addr, std::uint64_t bytes,
+                      ObjectId object)
+{
+    (void)addr;
+    if (object < 0)
+        return;
+    MEMTIER_ASSERT(static_cast<std::size_t>(object) < liveByObject.size(),
+                   "munmap of untracked object");
+    const std::size_t idx = liveByObject[static_cast<std::size_t>(object)];
+    MEMTIER_ASSERT(idx != SIZE_MAX, "munmap of freed object");
+    recs[idx].freeTime = now;
+    liveByObject[static_cast<std::size_t>(object)] = SIZE_MAX;
+    events.push_back({now, -static_cast<std::int64_t>(bytes),
+                      recs[idx].site});
+}
+
+const AllocationRecord *
+MmapTracker::find(ObjectId object) const
+{
+    for (const auto &rec : recs) {
+        if (rec.object == object)
+            return &rec;
+    }
+    return nullptr;
+}
+
+ObjectId
+MmapTracker::objectAt(Addr addr, Cycles when) const
+{
+    // Addresses are unique (bump allocation): binary search by start.
+    // recs is sorted by start because mmap returns increasing addresses.
+    auto it = std::upper_bound(
+        recs.begin(), recs.end(), addr,
+        [](Addr a, const AllocationRecord &r) { return a < r.start; });
+    if (it == recs.begin())
+        return kNoObject;
+    --it;
+    return it->covers(addr, when) ? it->object : kNoObject;
+}
+
+TimeSeries
+MmapTracker::liveBytesSeries() const
+{
+    TimeSeries series;
+    std::int64_t live = 0;
+    for (const auto &e : events) {
+        live += e.delta;
+        series.add(cyclesToSeconds(e.time),
+                   static_cast<double>(live));
+    }
+    return series;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+MmapTracker::peakLiveBytesBySite() const
+{
+    std::map<std::string, std::int64_t> live;
+    std::map<std::string, std::uint64_t> peak;
+    for (const auto &e : events) {
+        auto &cur = live[e.site];
+        cur += e.delta;
+        auto &pk = peak[e.site];
+        pk = std::max(pk, static_cast<std::uint64_t>(
+                              std::max<std::int64_t>(cur, 0)));
+    }
+    return {peak.begin(), peak.end()};
+}
+
+}  // namespace memtier

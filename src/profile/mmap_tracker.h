@@ -1,0 +1,98 @@
+/**
+ * @file
+ * MmapTracker: the syscall_intercept equivalent (Section 3.2). Records
+ * every mmap/munmap with timestamp, size, address range and
+ * allocation-site "call stack", defining the memory objects the paper's
+ * object-level analyses operate on.
+ */
+
+#ifndef MEMTIER_PROFILE_MMAP_TRACKER_H_
+#define MEMTIER_PROFILE_MMAP_TRACKER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "base/stats.h"
+#include "base/types.h"
+#include "os/kernel_hooks.h"
+
+namespace memtier {
+
+/** One tracked allocation (a "memory object", Section 3.3). */
+struct AllocationRecord
+{
+    ObjectId object = kNoObject;
+    std::string site;           ///< Allocation call-site tag.
+    Addr start = 0;
+    std::uint64_t bytes = 0;
+    Cycles allocTime = 0;
+    Cycles freeTime = 0;        ///< 0 while still live.
+
+    /** True when the object was never freed. */
+    bool live() const { return freeTime == 0; }
+
+    /** True when @p addr at time @p when falls inside this object. */
+    bool
+    covers(Addr addr, Cycles when) const
+    {
+        if (addr < start || addr >= start + roundUpPages(bytes) * kPageSize)
+            return false;
+        if (when < allocTime)
+            return false;
+        return live() || when < freeTime;
+    }
+};
+
+/** Observes the simulated mmap/munmap syscalls. */
+class MmapTracker : public SyscallObserver
+{
+  public:
+    void onMmap(Cycles now, Addr addr, std::uint64_t bytes,
+                ObjectId object, const std::string &site) override;
+
+    void onMunmap(Cycles now, Addr addr, std::uint64_t bytes,
+                  ObjectId object) override;
+
+    /** All allocation records in allocation order. */
+    const std::vector<AllocationRecord> &records() const { return recs; }
+
+    /** Record of @p object, or nullptr. */
+    const AllocationRecord *find(ObjectId object) const;
+
+    /**
+     * Object covering @p addr live at time @p when, or kNoObject.
+     * Addresses are never reused (bump allocation), so at most one
+     * record matches by range.
+     */
+    ObjectId objectAt(Addr addr, Cycles when) const;
+
+    /**
+     * Allocation timeline (Figure 7): total live application bytes
+     * after every mmap/munmap event.
+     */
+    TimeSeries liveBytesSeries() const;
+
+    /**
+     * Peak bytes simultaneously live per allocation site (the planner's
+     * capacity requirement for one site).
+     */
+    std::vector<std::pair<std::string, std::uint64_t>>
+    peakLiveBytesBySite() const;
+
+  private:
+    struct Event
+    {
+        Cycles time;
+        std::int64_t delta;  ///< +bytes on mmap, -bytes on munmap.
+        std::string site;
+    };
+
+    std::vector<AllocationRecord> recs;
+    std::vector<std::size_t> liveByObject;  ///< object -> index in recs.
+    std::vector<Event> events;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_PROFILE_MMAP_TRACKER_H_

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * PerfMemSampler: the perf-mem equivalent. Observes every load the
+ * engine executes and records every N-th one per thread (sampling, not
+ * tracing -- Section 3.1 stresses that tracing all accesses is not
+ * practical, and neither is keeping them all in a simulator run).
+ */
+
+#ifndef MEMTIER_PROFILE_PERF_MEM_H_
+#define MEMTIER_PROFILE_PERF_MEM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "base/rng.h"
+#include "profile/sample.h"
+#include "sim/access_observer.h"
+
+namespace memtier {
+
+/** Sampler configuration. */
+struct SamplerParams
+{
+    /** Mean loads between samples per thread (prime avoids striding). */
+    std::uint32_t period = 61;
+
+    /** Also record stores (perf-mem sees stores only at L1). */
+    bool recordStores = false;
+
+    /** Jitter seed; sampling gaps vary +-period/8 deterministically. */
+    std::uint64_t seed = 0x5eed5a;
+};
+
+/** Sampling observer; owns the collected samples. */
+class PerfMemSampler : public AccessObserver
+{
+  public:
+    /** @param params sampling configuration. */
+    explicit PerfMemSampler(const SamplerParams &params = SamplerParams{});
+
+    /** AccessObserver: maybe record this access. */
+    void onAccess(const AccessRecord &record) override;
+
+    /** Collected samples in completion order per thread interleaving. */
+    const std::vector<MemorySample> &samples() const { return store; }
+
+    /** Move the samples out (ends this sampler's usefulness). */
+    std::vector<MemorySample> takeSamples() { return std::move(store); }
+
+    /** Total loads observed (sampled or not). */
+    std::uint64_t loadsSeen() const { return loads_seen; }
+
+  private:
+    SamplerParams cfg;
+    Rng rng;
+    std::vector<std::uint32_t> countdown;  ///< Per thread.
+    std::vector<MemorySample> store;
+    std::uint64_t loads_seen = 0;
+
+    std::uint32_t nextGap();
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_PROFILE_PERF_MEM_H_

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * The memory-sample record produced by the PEBS-style sampler --- the
+ * same fields a perf-mem load sample carries (Section 3.1): memory
+ * level, address, latency in cycles, plus the TLB outcome and timestamp
+ * used by the paper's analyses.
+ */
+
+#ifndef MEMTIER_PROFILE_SAMPLE_H_
+#define MEMTIER_PROFILE_SAMPLE_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** One sampled memory load. */
+struct MemorySample
+{
+    Cycles time = 0;     ///< Completion timestamp.
+    Addr vaddr = 0;      ///< Sampled virtual address.
+    Cycles latency = 0;  ///< Access cost in cycles.
+    ThreadId tid = 0;
+    MemLevel level = MemLevel::L1;  ///< Where the load was serviced.
+    bool tlbMiss = false;           ///< Preceded by a page walk.
+
+    /** True when the sample hit DRAM or NVM (outside the caches). */
+    bool external() const { return isExternalLevel(level); }
+
+    /** Timestamp in simulated seconds. */
+    double seconds() const { return cyclesToSeconds(time); }
+
+    /** Page containing the sampled address. */
+    PageNum page() const { return pageOf(vaddr); }
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_PROFILE_SAMPLE_H_

@@ -1,0 +1,104 @@
+#include "profile/trace_export.h"
+
+#include "base/csv.h"
+
+namespace memtier {
+
+std::size_t
+writeMemoryTrace(std::ostream &out,
+                 const std::vector<MemorySample> &samples)
+{
+    CsvWriter csv(out);
+    csv.header({"timestamp_sec", "tid", "vaddr", "level",
+                "latency_cycles", "tlb_miss"});
+    for (const MemorySample &s : samples) {
+        csv.cell(s.seconds())
+            .cell(static_cast<std::uint64_t>(s.tid))
+            .cell(s.vaddr)
+            .cell(std::string(memLevelName(s.level)))
+            .cell(s.latency)
+            .cell(static_cast<std::uint64_t>(s.tlbMiss ? 1 : 0))
+            .endRow();
+    }
+    return csv.rows();
+}
+
+std::size_t
+writeMmapTrace(std::ostream &out, const MmapTracker &tracker)
+{
+    CsvWriter csv(out);
+    csv.header({"timestamp_sec", "object", "site", "start_addr",
+                "bytes"});
+    for (const AllocationRecord &r : tracker.records()) {
+        csv.cell(cyclesToSeconds(r.allocTime))
+            .cell(static_cast<std::int64_t>(r.object))
+            .cell(r.site)
+            .cell(r.start)
+            .cell(r.bytes)
+            .endRow();
+    }
+    return csv.rows();
+}
+
+std::size_t
+writeMunmapTrace(std::ostream &out, const MmapTracker &tracker)
+{
+    CsvWriter csv(out);
+    csv.header({"timestamp_sec", "object", "start_addr", "bytes"});
+    for (const AllocationRecord &r : tracker.records()) {
+        if (r.live())
+            continue;
+        csv.cell(cyclesToSeconds(r.freeTime))
+            .cell(static_cast<std::int64_t>(r.object))
+            .cell(r.start)
+            .cell(r.bytes)
+            .endRow();
+    }
+    return csv.rows();
+}
+
+std::size_t
+writeMappedSamples(std::ostream &out,
+                   const std::vector<MemorySample> &samples,
+                   const MmapTracker &tracker, MemNode node)
+{
+    const MemLevel level =
+        node == MemNode::DRAM ? MemLevel::DRAM : MemLevel::NVM;
+    CsvWriter csv(out);
+    csv.header({"timestamp_sec", "vaddr", "object", "site",
+                "page_in_object", "latency_cycles"});
+    for (const MemorySample &s : samples) {
+        if (s.level != level)
+            continue;
+        const ObjectId obj = tracker.objectAt(s.vaddr, s.time);
+        if (obj == kNoObject)
+            continue;
+        const AllocationRecord *rec = tracker.find(obj);
+        csv.cell(s.seconds())
+            .cell(s.vaddr)
+            .cell(static_cast<std::int64_t>(obj))
+            .cell(rec->site)
+            .cell(pageOf(s.vaddr) - pageOf(rec->start))
+            .cell(s.latency)
+            .endRow();
+    }
+    return csv.rows();
+}
+
+std::size_t
+writeAllocations(std::ostream &out, const MmapTracker &tracker)
+{
+    CsvWriter csv(out);
+    csv.header({"object", "site", "bytes", "alloc_sec", "free_sec"});
+    for (const AllocationRecord &r : tracker.records()) {
+        csv.cell(static_cast<std::int64_t>(r.object))
+            .cell(r.site)
+            .cell(r.bytes)
+            .cell(cyclesToSeconds(r.allocTime))
+            .cell(r.live() ? -1.0 : cyclesToSeconds(r.freeTime))
+            .endRow();
+    }
+    return csv.rows();
+}
+
+}  // namespace memtier

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Artifact-compatible trace export. The paper's artifact pipeline
+ * post-processes perf.data and the syscall-intercept log into
+ * memory_trace.csv / mmap_trace.csv / munmap_trace.csv, then maps the
+ * samples to objects into perfmem_trace_mapped_DRAM.csv and
+ * perfmem_trace_mapped_PMEM.csv (Appendix, Section 6). These writers
+ * emit the same files from a simulator run so the artifact's plotting
+ * scripts have a drop-in data source.
+ */
+
+#ifndef MEMTIER_PROFILE_TRACE_EXPORT_H_
+#define MEMTIER_PROFILE_TRACE_EXPORT_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "profile/mmap_tracker.h"
+#include "profile/sample.h"
+
+namespace memtier {
+
+/**
+ * memory_trace.csv: one row per sample --
+ * timestamp_sec, tid, vaddr, level, latency_cycles, tlb_miss.
+ * @return rows written.
+ */
+std::size_t writeMemoryTrace(std::ostream &out,
+                             const std::vector<MemorySample> &samples);
+
+/**
+ * mmap_trace.csv: one row per allocation --
+ * timestamp_sec, object, site, start_addr, bytes.
+ * @return rows written.
+ */
+std::size_t writeMmapTrace(std::ostream &out, const MmapTracker &tracker);
+
+/**
+ * munmap_trace.csv: one row per free --
+ * timestamp_sec, object, start_addr, bytes.
+ * @return rows written.
+ */
+std::size_t writeMunmapTrace(std::ostream &out,
+                             const MmapTracker &tracker);
+
+/**
+ * perfmem_trace_mapped_{DRAM,PMEM}.csv: external samples of the given
+ * node, mapped to their object --
+ * timestamp_sec, vaddr, object, site, page_in_object, latency_cycles.
+ *
+ * @param node which tier's samples to emit (the artifact splits the
+ *        two into separate files, PMEM being its name for NVM).
+ * @return rows written.
+ */
+std::size_t writeMappedSamples(std::ostream &out,
+                               const std::vector<MemorySample> &samples,
+                               const MmapTracker &tracker, MemNode node);
+
+/**
+ * allocations.csv: the per-object summary the artifact's ranking step
+ * consumes -- object, site, bytes, alloc_sec, free_sec (-1 if live).
+ * @return rows written.
+ */
+std::size_t writeAllocations(std::ostream &out,
+                             const MmapTracker &tracker);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_PROFILE_TRACE_EXPORT_H_

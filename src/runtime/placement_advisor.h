@@ -1,0 +1,35 @@
+/**
+ * @file
+ * Hook by which a placement policy intercepts allocations: the runtime
+ * consults the advisor after each mmap and applies the returned mbind,
+ * exactly like the paper's syscall_intercept-based mapper (Section 7).
+ */
+
+#ifndef MEMTIER_RUNTIME_PLACEMENT_ADVISOR_H_
+#define MEMTIER_RUNTIME_PLACEMENT_ADVISOR_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "os/mem_policy.h"
+
+namespace memtier {
+
+/** Consulted on every allocation; may bind the new region. */
+class PlacementAdvisor
+{
+  public:
+    virtual ~PlacementAdvisor() = default;
+
+    /**
+     * Placement decision for an allocation of @p bytes from call site
+     * @p site, or nullopt to leave the kernel's default policy.
+     */
+    virtual std::optional<MemPolicy>
+    policyFor(const std::string &site, std::uint64_t bytes) = 0;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_RUNTIME_PLACEMENT_ADVISOR_H_

@@ -1,0 +1,31 @@
+#include "runtime/sim_file.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+SimFile::SimFile(Engine &engine, const std::string &name,
+                 std::uint64_t bytes)
+    : eng(engine), bytes(bytes)
+{
+    MEMTIER_ASSERT(bytes > 0, "empty SimFile");
+    baseAddr = eng.registerFile(bytes, name);
+}
+
+void
+SimFile::read(ThreadContext &t, std::uint64_t offset, std::uint64_t len)
+{
+    MEMTIER_ASSERT(offset + len <= bytes, "read past end of file");
+    const Addr start = baseAddr + offset;
+    const Addr end = start + len;
+
+    // Fault in whole pages, then stream the lines.
+    for (PageNum vpn = pageOf(start); vpn <= pageOf(end - 1); ++vpn)
+        eng.fileReadPage(t, vpn);
+    for (Addr line = lineOf(start); line <= lineOf(end - 1); ++line)
+        eng.load(t, line << kLineShift);
+}
+
+}  // namespace memtier

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * SimFile: a disk-resident input file read through the simulated page
+ * cache, modelling the GAPBS .sg loading phase whose page-cache growth
+ * and low CPU utilization the paper analyzes (Figure 9, Finding 5).
+ */
+
+#ifndef MEMTIER_RUNTIME_SIM_FILE_H_
+#define MEMTIER_RUNTIME_SIM_FILE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "base/types.h"
+#include "sim/engine.h"
+#include "sim/thread_context.h"
+
+namespace memtier {
+
+/** Sequentially readable simulated file. */
+class SimFile
+{
+  public:
+    /**
+     * @param engine machine whose page cache backs the file.
+     * @param name file name (for the page-cache VMA tag).
+     * @param bytes file size.
+     */
+    SimFile(Engine &engine, const std::string &name, std::uint64_t bytes);
+
+    /**
+     * Timed sequential read of [offset, offset+len): fetches missing
+     * pages from disk into the page cache and issues one load per cache
+     * line read, charged to thread @p t.
+     */
+    void read(ThreadContext &t, std::uint64_t offset, std::uint64_t len);
+
+    /** File size in bytes. */
+    std::uint64_t size() const { return bytes; }
+
+    /** Base address of the file's page-cache range. */
+    Addr base() const { return baseAddr; }
+
+  private:
+    Engine &eng;
+    std::uint64_t bytes;
+    Addr baseAddr;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_RUNTIME_SIM_FILE_H_

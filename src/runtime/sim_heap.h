@@ -1,0 +1,91 @@
+/**
+ * @file
+ * SimHeap: the application-side allocator. Every allocation is one mmap
+ * (the applications allocate multi-page objects, Section 3.2), creating
+ * exactly the "memory objects" the paper's methodology tracks.
+ */
+
+#ifndef MEMTIER_RUNTIME_SIM_HEAP_H_
+#define MEMTIER_RUNTIME_SIM_HEAP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "base/types.h"
+#include "runtime/placement_advisor.h"
+#include "runtime/sim_vector.h"
+#include "sim/engine.h"
+
+namespace memtier {
+
+/** Allocates and frees simulated-memory arrays backed by host storage. */
+class SimHeap
+{
+  public:
+    /** @param engine the machine allocations are mapped into. */
+    explicit SimHeap(Engine &engine) : eng(engine) {}
+
+    SimHeap(const SimHeap &) = delete;
+    SimHeap &operator=(const SimHeap &) = delete;
+
+    /**
+     * Install a placement advisor consulted on every allocation
+     * (nullptr = kernel default placement for everything).
+     */
+    void setAdvisor(PlacementAdvisor *a) { advisor = a; }
+
+    /**
+     * Allocate @p count elements of T as one mmap'd object.
+     *
+     * @param t thread performing the (timed) mmap syscall.
+     * @param site allocation-site tag, the "call stack" the tracker
+     *        records (e.g. "csr.neighbors").
+     * @param count number of elements.
+     */
+    template <typename T>
+    SimVector<T>
+    alloc(ThreadContext &t, const std::string &site, std::uint64_t count)
+    {
+        const std::uint64_t bytes = count * sizeof(T);
+        const ObjectId id = nextId++;
+        const Addr base = eng.sysMmap(t, bytes, id, site);
+        if (advisor) {
+            if (const auto policy = advisor->policyFor(site, bytes))
+                eng.sysMbind(t, base, *policy);
+        }
+        auto storage = std::make_unique<std::byte[]>(bytes);
+        T *host = reinterpret_cast<T *>(storage.get());
+        backing.emplace(base, std::move(storage));
+        return SimVector<T>(&eng, base, host, count);
+    }
+
+    /** munmap the object behind @p vec and release its host storage. */
+    template <typename T>
+    void
+    free(ThreadContext &t, SimVector<T> &vec)
+    {
+        MEMTIER_ASSERT(vec.valid(), "freeing an invalid SimVector");
+        eng.sysMunmap(t, vec.base());
+        const auto erased = backing.erase(vec.base());
+        MEMTIER_ASSERT(erased == 1, "double free of SimVector");
+        vec = SimVector<T>();
+    }
+
+    /** Objects allocated so far (also the next ObjectId). */
+    ObjectId allocatedObjects() const { return nextId; }
+
+    /** Number of live allocations. */
+    std::size_t liveAllocations() const { return backing.size(); }
+
+  private:
+    Engine &eng;
+    std::unordered_map<Addr, std::unique_ptr<std::byte[]>> backing;
+    ObjectId nextId = 0;
+    PlacementAdvisor *advisor = nullptr;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_RUNTIME_SIM_HEAP_H_

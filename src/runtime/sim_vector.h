@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SimVector<T>: a typed array living in the simulated address space.
+ *
+ * Element reads/writes issue timed memory operations through the engine
+ * while the actual values live in host memory owned by the SimHeap. This
+ * is how the graph applications "run on" the simulated tiered memory.
+ */
+
+#ifndef MEMTIER_RUNTIME_SIM_VECTOR_H_
+#define MEMTIER_RUNTIME_SIM_VECTOR_H_
+
+#include <cstdint>
+#include <type_traits>
+
+#include "base/logging.h"
+#include "base/types.h"
+#include "sim/engine.h"
+#include "sim/thread_context.h"
+
+namespace memtier {
+
+/**
+ * Non-owning handle to a simulated-memory array. Ownership of both the
+ * virtual region and the host backing store stays with the SimHeap that
+ * allocated it.
+ *
+ * @tparam T trivially copyable element of power-of-two size <= 8, so an
+ *           aligned element never straddles a cache line.
+ */
+template <typename T>
+class SimVector
+{
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "SimVector elements must be trivially copyable");
+    static_assert(sizeof(T) <= 8 && (sizeof(T) & (sizeof(T) - 1)) == 0,
+                  "element size must be 1, 2, 4 or 8 bytes");
+
+  public:
+    /** Empty (invalid) handle. */
+    SimVector() = default;
+
+    /** Wired handle; built by SimHeap. */
+    SimVector(Engine *engine, Addr base, T *host, std::uint64_t count)
+        : eng(engine), baseAddr(base), hostPtr(host), n(count)
+    {
+    }
+
+    /** True when this handle refers to an allocation. */
+    bool valid() const { return eng != nullptr; }
+
+    /** Element count. */
+    std::uint64_t size() const { return n; }
+
+    /** Base simulated virtual address. */
+    Addr base() const { return baseAddr; }
+
+    /** Simulated address of element @p i. */
+    Addr
+    addrOf(std::uint64_t i) const
+    {
+        return baseAddr + i * sizeof(T);
+    }
+
+    /** Timed load of element @p i on thread @p t. */
+    T
+    get(ThreadContext &t, std::uint64_t i) const
+    {
+        MEMTIER_ASSERT(i < n, "SimVector load out of range");
+        eng->load(t, addrOf(i));
+        return hostPtr[i];
+    }
+
+    /** Timed store of @p value into element @p i on thread @p t. */
+    void
+    set(ThreadContext &t, std::uint64_t i, T value) const
+    {
+        MEMTIER_ASSERT(i < n, "SimVector store out of range");
+        eng->store(t, addrOf(i));
+        hostPtr[i] = value;
+    }
+
+    /**
+     * Timed read-modify-write convenience (our interleaving is
+     * serialized, so this is atomic by construction).
+     */
+    template <typename Fn>
+    void
+    update(ThreadContext &t, std::uint64_t i, Fn &&fn) const
+    {
+        MEMTIER_ASSERT(i < n, "SimVector update out of range");
+        eng->load(t, addrOf(i));
+        hostPtr[i] = fn(hostPtr[i]);
+        eng->store(t, addrOf(i));
+    }
+
+    /**
+     * Untimed host access, for verification and for initializing values
+     * whose timed population happens through other calls.
+     */
+    T *host() { return hostPtr; }
+
+    /** Untimed const host access. */
+    const T *host() const { return hostPtr; }
+
+    /** Untimed host element read (validation only). */
+    T raw(std::uint64_t i) const { return hostPtr[i]; }
+
+  private:
+    Engine *eng = nullptr;
+    Addr baseAddr = 0;
+    T *hostPtr = nullptr;
+    std::uint64_t n = 0;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_RUNTIME_SIM_VECTOR_H_

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Engine -> profiler notification interface. The PEBS-style sampler
+ * implements this to see every memory operation and decide which to
+ * record, mirroring perf-mem's position between the core and the tools.
+ */
+
+#ifndef MEMTIER_SIM_ACCESS_OBSERVER_H_
+#define MEMTIER_SIM_ACCESS_OBSERVER_H_
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** One completed memory operation as the observer sees it. */
+struct AccessRecord
+{
+    ThreadId tid = 0;
+    Addr vaddr = 0;
+    MemOp op = MemOp::Load;
+    MemLevel level = MemLevel::L1;  ///< Where the data was found.
+    Cycles latency = 0;             ///< Total cost charged to the thread.
+    bool tlbMiss = false;           ///< Required a page walk.
+    Cycles time = 0;                ///< Completion time (thread clock).
+};
+
+/** Receives every access the engine executes. */
+class AccessObserver
+{
+  public:
+    virtual ~AccessObserver() = default;
+
+    /** Called after each memory operation completes. */
+    virtual void onAccess(const AccessRecord &record) = 0;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_SIM_ACCESS_OBSERVER_H_

@@ -1,0 +1,323 @@
+#include "sim/engine.h"
+
+#include "base/logging.h"
+
+namespace memtier {
+
+Engine::Engine(const SystemConfig &config)
+    : cfg(config),
+      phys(config.dram, config.nvm),
+      l3("L3", config.cache.l3Size, config.cache.l3Ways)
+{
+    KernelParams kp = cfg.kernel;
+    // The vanilla baseline has no demotion path; tiering kernels keep
+    // it even when the AutoNUMA scanner is replaced by another policy.
+    kp.demoteOnReclaim = cfg.tieringKernel;
+    kern = std::make_unique<Kernel>(phys, kp);
+    kern->setShootdownClient(this);
+
+    if (cfg.autonumaEnabled)
+        numa = std::make_unique<AutoNuma>(*kern, cfg.autonuma);
+
+    threads.reserve(cfg.numThreads);
+    for (std::uint32_t i = 0; i < cfg.numThreads; ++i)
+        threads.push_back(std::make_unique<ThreadContext>(i, cfg.cache));
+
+    nextKswapd = cfg.kswapdPeriod;
+    nextScan = cfg.autonuma.scanPeriod;
+    nextTimeline = cfg.timelinePeriod;
+}
+
+Engine::~Engine() = default;
+
+void
+Engine::tlbShootdown(PageNum vpn)
+{
+    for (auto &t : threads)
+        t->tlb.invalidate(vpn);
+}
+
+void
+Engine::syncClocks()
+{
+    const Cycles m = globalTime();
+    for (auto &t : threads)
+        t->setClock(m);
+}
+
+void
+Engine::barrier()
+{
+    // Synchronize to the slowest participant plus a small barrier cost.
+    constexpr Cycles kBarrierCycles = 260;
+    const Cycles m = globalTime() + kBarrierCycles;
+    for (auto &t : threads)
+        t->setClock(m);
+}
+
+Cycles
+Engine::globalTime() const
+{
+    Cycles m = 0;
+    for (const auto &t : threads)
+        m = std::max(m, t->clock());
+    return m;
+}
+
+void
+Engine::maybeRunServices(Cycles now)
+{
+    if (now <= serviceClock)
+        return;
+    serviceClock = now;
+    while (nextKswapd <= serviceClock) {
+        kern->kswapdTick(nextKswapd);
+        nextKswapd += cfg.kswapdPeriod;
+    }
+    if (numa) {
+        while (nextScan <= serviceClock) {
+            numa->scanTick(nextScan);
+            nextScan += numa->scanPeriod();
+        }
+    }
+    for (Service &svc : services) {
+        while (svc.next <= serviceClock) {
+            svc.fn(svc.next);
+            svc.next += svc.period;
+        }
+    }
+    while (nextTimeline <= serviceClock) {
+        TimelinePoint p;
+        p.sec = cyclesToSeconds(nextTimeline);
+        p.numa = kern->numastat();
+        p.vm = kern->vmstat();
+        p.cpuUtil = static_cast<double>(activeThreads) /
+                    static_cast<double>(threads.size());
+        points.push_back(p);
+        nextTimeline += cfg.timelinePeriod;
+    }
+}
+
+void
+Engine::writebackLine(ThreadContext &t, Addr line)
+{
+    // Asynchronous dirty writeback: occupies tier bandwidth but does not
+    // stall the thread. Skip lines whose page has been unmapped.
+    const PageMeta *meta = kern->pageMeta(pageOf(line << kLineShift));
+    if (meta == nullptr || !meta->present)
+        return;
+    phys.tier(meta->node).access(t.clock(), MemOp::Store,
+                                 /*sequential=*/false);
+}
+
+void
+Engine::pushVictim(ThreadContext &t, SetAssocCache &lower,
+                   const CacheEviction &victim)
+{
+    if (!victim.valid)
+        return;
+    if (lower.access(victim.line, victim.dirty))
+        return;  // Already present; dirty bit merged by access().
+    const CacheEviction next = lower.insert(victim.line, victim.dirty);
+    if (&lower == &l3) {
+        if (next.valid && next.dirty)
+            writebackLine(t, next.line);
+        return;
+    }
+    // lower was L2; its victim falls to the shared L3.
+    pushVictim(t, l3, next);
+}
+
+void
+Engine::fillOnMiss(ThreadContext &t, Addr line, bool dirty, MemLevel from)
+{
+    // Install the line at every level above the servicing one; victims
+    // trickle downward and dirty L3 victims write back to memory.
+    if (from == MemLevel::DRAM || from == MemLevel::NVM) {
+        if (!l3.contains(line)) {
+            const CacheEviction ev = l3.insert(line, false);
+            if (ev.valid && ev.dirty)
+                writebackLine(t, ev.line);
+        }
+    }
+    if (from != MemLevel::L2 && !t.l2.contains(line)) {
+        const CacheEviction ev = t.l2.insert(line, false);
+        pushVictim(t, l3, ev);
+    }
+    const CacheEviction ev = t.l1.insert(line, dirty);
+    pushVictim(t, t.l2, ev);
+}
+
+Cycles
+Engine::memoryAccess(ThreadContext &t, Addr addr, MemNode node, MemOp op,
+                     Cycles issue_time)
+{
+    // Stream detection against the previous memory-serviced address.
+    const bool sequential =
+        addr >= t.lastMemAddr &&
+        addr - t.lastMemAddr <= phys.tier(node).params().internalGranularity;
+    t.lastMemAddr = addr;
+
+    // Stores that miss all caches fetch the line for ownership (RFO) at
+    // load latency; the dirty data leaves later via writeback.
+    Cycles lat =
+        phys.tier(node).access(issue_time, MemOp::Load, sequential);
+
+    if (cfg.nextLinePrefetch && sequential) {
+        // Next-line prefetch on a detected stream: fetch line+1 in the
+        // shadow of this miss (no thread stall, but real bandwidth).
+        const Addr next_addr = (lineOf(addr) + 1) << kLineShift;
+        if (pageOf(next_addr) == pageOf(addr)) {
+            const Addr next_line = lineOf(next_addr);
+            if (!t.l1.contains(next_line) && !t.l2.contains(next_line) &&
+                !l3.contains(next_line)) {
+                const Cycles pf_lat = phys.tier(node).access(
+                    issue_time, MemOp::Load, /*sequential=*/true);
+                fillOnMiss(t, next_line, false, MemLevel::DRAM);
+                t.lfb.add(next_line, issue_time + pf_lat);
+            }
+        }
+    }
+    (void)op;
+    return lat;
+}
+
+Cycles
+Engine::access(ThreadContext &t, Addr addr, MemOp op)
+{
+    t.advance(cfg.issueCycles);
+    maybeRunServices(t.clock());
+
+    const PageNum vpn = pageOf(addr);
+    const Addr line = lineOf(addr);
+    const CacheParams &cp = cfg.cache;
+
+    Cycles cost = 0;
+    bool tlb_miss = false;
+    MemNode node = MemNode::DRAM;
+    bool node_known = false;
+
+    switch (t.tlb.lookup(vpn)) {
+      case TlbOutcome::L1Hit:
+        break;
+      case TlbOutcome::StlbHit:
+        cost += t.tlb.stlbHitCycles();
+        break;
+      case TlbOutcome::Miss: {
+        tlb_miss = true;
+        // Page walk: a few cached steps plus some page-table references
+        // that go to DRAM (page tables live on the DRAM node).
+        cost += cp.pageWalkBaseCycles;
+        for (unsigned i = 0; i < cp.pageWalkMemRefs; ++i) {
+            cost += phys.dram().access(t.clock() + cost, MemOp::Load,
+                                       /*sequential=*/false);
+        }
+        const TouchResult tr = kern->touchPage(vpn, t.clock() + cost, op);
+        cost += tr.cost;
+        node = tr.node;
+        node_known = true;
+        if (tr.pageFault)
+            ++t.pageFaults;
+        if (tr.hintFault)
+            ++t.hintFaults;
+        break;
+      }
+    }
+
+    MemLevel level;
+    if (t.l1.access(line, op == MemOp::Store)) {
+        // An L1 hit within the fill window of an outstanding miss is
+        // attributed to the line-fill buffer, as PEBS does.
+        if (auto rem = t.lfb.inFlight(line, t.clock() + cost)) {
+            level = MemLevel::LFB;
+            cost += std::min<Cycles>(*rem, cp.l3Latency);
+            t.lfb.countHit();
+        } else if (t.lfb.recentlyFilled(line, t.clock() + cost,
+                                        cp.lfbResidencyCycles)) {
+            level = MemLevel::LFB;
+            cost += cp.l1Latency;
+            t.lfb.countHit();
+        } else {
+            level = MemLevel::L1;
+            cost += cp.l1Latency;
+        }
+    } else if (t.l2.access(line, false)) {
+        level = MemLevel::L2;
+        cost += cp.l2Latency;
+        fillOnMiss(t, line, op == MemOp::Store, MemLevel::L2);
+    } else if (l3.access(line, false)) {
+        level = MemLevel::L3;
+        cost += cp.l3Latency;
+        fillOnMiss(t, line, op == MemOp::Store, MemLevel::L3);
+    } else {
+        if (!node_known)
+            node = kern->nodeOf(vpn);
+        cost += cp.l3Latency;
+        cost += memoryAccess(t, addr, node, op, t.clock() + cost);
+        level = node == MemNode::DRAM ? MemLevel::DRAM : MemLevel::NVM;
+        fillOnMiss(t, line, op == MemOp::Store,
+                   node == MemNode::DRAM ? MemLevel::DRAM : MemLevel::NVM);
+        t.lfb.add(line, t.clock() + cost);
+    }
+
+    t.advance(cost);
+    ++level_counts[static_cast<int>(level)];
+    if (op == MemOp::Load)
+        ++t.loads;
+    else
+        ++t.stores;
+
+    if (!observers.empty()) {
+        AccessRecord rec;
+        rec.tid = t.id();
+        rec.vaddr = addr;
+        rec.op = op;
+        rec.level = level;
+        rec.latency = cost + cfg.issueCycles;
+        rec.tlbMiss = tlb_miss;
+        rec.time = t.clock();
+        for (AccessObserver *obs : observers)
+            obs->onAccess(rec);
+    }
+    return cost;
+}
+
+Addr
+Engine::sysMmap(ThreadContext &t, std::uint64_t bytes, ObjectId object,
+                const std::string &site)
+{
+    t.advance(cfg.syscallCycles);
+    maybeRunServices(t.clock());
+    return kern->mmap(t.clock(), bytes, object, site);
+}
+
+void
+Engine::sysMunmap(ThreadContext &t, Addr start)
+{
+    t.advance(cfg.syscallCycles);
+    maybeRunServices(t.clock());
+    kern->munmap(t.clock(), start);
+}
+
+void
+Engine::sysMbind(ThreadContext &t, Addr start, const MemPolicy &policy)
+{
+    t.advance(cfg.syscallCycles);
+    kern->mbind(start, policy);
+}
+
+Addr
+Engine::registerFile(std::uint64_t bytes, const std::string &name)
+{
+    return kern->registerFile(bytes, name);
+}
+
+void
+Engine::fileReadPage(ThreadContext &t, PageNum vpn)
+{
+    const Cycles cost = kern->ensureCached(vpn, t.clock());
+    t.advance(cost);
+    maybeRunServices(t.clock());
+}
+
+}  // namespace memtier

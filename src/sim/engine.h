@@ -1,0 +1,253 @@
+/**
+ * @file
+ * The simulation engine: composes the physical memory, kernel, AutoNUMA
+ * policy, shared L3 and the logical threads, executes timed memory
+ * accesses, interleaves threads deterministically by earliest clock, and
+ * drives the periodic kernel services (kswapd, scanner, timeline
+ * sampling).
+ */
+
+#ifndef MEMTIER_SIM_ENGINE_H_
+#define MEMTIER_SIM_ENGINE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "autonuma/autonuma.h"
+#include "base/stats.h"
+#include "base/types.h"
+#include "cache/set_assoc_cache.h"
+#include "os/kernel.h"
+#include "os/physical_memory.h"
+#include "sim/access_observer.h"
+#include "sim/system_config.h"
+#include "sim/thread_context.h"
+
+namespace memtier {
+
+/** One sample of the machine-wide timeline (Figures 9 and 10). */
+struct TimelinePoint
+{
+    double sec = 0.0;        ///< Simulated seconds.
+    NumaStatSnapshot numa;   ///< Per-node usage.
+    VmStat vm;               ///< Cumulative vmstat counters.
+    double cpuUtil = 0.0;    ///< Active threads / total threads.
+};
+
+/** The simulated machine. */
+class Engine : public TlbShootdownClient
+{
+  public:
+    /** Build a machine from @p config. */
+    explicit Engine(const SystemConfig &config);
+    ~Engine() override;
+
+    Engine(const Engine &) = delete;
+    Engine &operator=(const Engine &) = delete;
+
+    /** @name Component access */
+    ///@{
+    Kernel &kernel() { return *kern; }
+    PhysicalMemory &physicalMemory() { return phys; }
+    AutoNuma *autonuma() { return numa.get(); }
+    ThreadContext &thread(std::uint32_t i) { return *threads.at(i); }
+    std::uint32_t threadCount() const
+    {
+        return static_cast<std::uint32_t>(threads.size());
+    }
+    const SystemConfig &config() const { return cfg; }
+    const SetAssocCache &sharedL3() const { return l3; }
+    ///@}
+
+    /** Install the sole access observer (nullptr clears them all). */
+    void
+    setObserver(AccessObserver *obs)
+    {
+        observers.clear();
+        if (obs)
+            observers.push_back(obs);
+    }
+
+    /** Register an additional access observer. */
+    void addObserver(AccessObserver *obs) { observers.push_back(obs); }
+
+    /**
+     * Register a periodic service invoked from the engine's service
+     * clock every @p period cycles (like kswapd and the scanner).
+     */
+    void
+    addPeriodicService(Cycles period, std::function<void(Cycles)> fn)
+    {
+        services.push_back({period, period, std::move(fn)});
+    }
+
+    // -- Timed memory operations --------------------------------------
+
+    /**
+     * Execute one memory operation on thread @p t, advancing its clock
+     * by the modelled latency.
+     * @return the latency charged.
+     */
+    Cycles access(ThreadContext &t, Addr addr, MemOp op);
+
+    /** Timed load convenience. */
+    Cycles load(ThreadContext &t, Addr addr)
+    {
+        return access(t, addr, MemOp::Load);
+    }
+
+    /** Timed store convenience. */
+    Cycles store(ThreadContext &t, Addr addr)
+    {
+        return access(t, addr, MemOp::Store);
+    }
+
+    // -- Timed syscalls ------------------------------------------------
+
+    /** mmap from thread @p t. */
+    Addr sysMmap(ThreadContext &t, std::uint64_t bytes, ObjectId object,
+                 const std::string &site);
+
+    /** munmap from thread @p t. */
+    void sysMunmap(ThreadContext &t, Addr start);
+
+    /** mbind from thread @p t. */
+    void sysMbind(ThreadContext &t, Addr start, const MemPolicy &policy);
+
+    /** Register a disk file with the page cache (untimed setup). */
+    Addr registerFile(std::uint64_t bytes, const std::string &name);
+
+    /**
+     * Ensure a file page is in the page cache, charging the disk fetch
+     * to thread @p t when it misses.
+     */
+    void fileReadPage(ThreadContext &t, PageNum vpn);
+
+    // -- Parallel execution --------------------------------------------
+
+    /**
+     * Run @p body(ctx, i) for i in [0, n) across all logical threads
+     * with a static block partition, interleaving threads by earliest
+     * clock (deterministic), and barrier at the end.
+     *
+     * @param n iteration count.
+     * @param body callable (ThreadContext &, std::uint64_t index).
+     * @param grain consecutive iterations executed per scheduling step.
+     */
+    template <typename Body>
+    void
+    parallelFor(std::uint64_t n, Body &&body, std::uint64_t grain = 16)
+    {
+        if (n == 0)
+            return;
+        syncClocks();
+
+        struct Range
+        {
+            std::uint64_t next;
+            std::uint64_t end;
+        };
+        std::vector<Range> ranges(threads.size());
+        const std::uint64_t per = n / threads.size();
+        const std::uint64_t rem = n % threads.size();
+        std::uint64_t cursor = 0;
+        std::size_t busy = 0;
+        for (std::size_t t = 0; t < threads.size(); ++t) {
+            const std::uint64_t len = per + (t < rem ? 1 : 0);
+            ranges[t] = {cursor, cursor + len};
+            cursor += len;
+            if (len > 0)
+                ++busy;
+        }
+        activeThreads = static_cast<std::uint32_t>(busy);
+
+        std::size_t remaining = busy;
+        while (remaining > 0) {
+            // Earliest-clock-first interleaving; ties go to the lowest
+            // thread id, keeping runs bit-for-bit reproducible.
+            std::size_t best = SIZE_MAX;
+            for (std::size_t t = 0; t < threads.size(); ++t) {
+                if (ranges[t].next >= ranges[t].end)
+                    continue;
+                if (best == SIZE_MAX ||
+                    threads[t]->clock() < threads[best]->clock()) {
+                    best = t;
+                }
+            }
+            Range &r = ranges[best];
+            ThreadContext &ctx = *threads[best];
+            const std::uint64_t stop = std::min(r.end, r.next + grain);
+            for (; r.next < stop; ++r.next)
+                body(ctx, r.next);
+            if (r.next >= r.end)
+                --remaining;
+        }
+        barrier();
+        activeThreads = 1;
+    }
+
+    /** Synchronize every thread clock to the global maximum. */
+    void barrier();
+
+    /** Largest thread clock = current simulated time. */
+    Cycles globalTime() const;
+
+    // -- Introspection --------------------------------------------------
+
+    /** Accesses serviced per memory level. */
+    std::uint64_t levelCount(MemLevel level) const
+    {
+        return level_counts[static_cast<int>(level)];
+    }
+
+    /** Machine-wide timeline samples. */
+    const std::vector<TimelinePoint> &timeline() const { return points; }
+
+    /** TlbShootdownClient: invalidate @p vpn everywhere. */
+    void tlbShootdown(PageNum vpn) override;
+
+  private:
+    void syncClocks();
+    void maybeRunServices(Cycles now);
+    void fillOnMiss(ThreadContext &t, Addr line, bool dirty,
+                    MemLevel from);
+    void pushVictim(ThreadContext &t, SetAssocCache &lower,
+                    const CacheEviction &victim);
+    void writebackLine(ThreadContext &t, Addr line);
+    Cycles memoryAccess(ThreadContext &t, Addr addr, MemNode node,
+                        MemOp op, Cycles issue_time);
+
+    SystemConfig cfg;
+    PhysicalMemory phys;
+    std::unique_ptr<Kernel> kern;
+    std::unique_ptr<AutoNuma> numa;
+    SetAssocCache l3;
+    std::vector<std::unique_ptr<ThreadContext>> threads;
+    std::vector<AccessObserver *> observers;
+
+    struct Service
+    {
+        Cycles next;
+        Cycles period;
+        std::function<void(Cycles)> fn;
+    };
+    std::vector<Service> services;
+
+    // Periodic services.
+    Cycles serviceClock = 0;
+    Cycles nextKswapd;
+    Cycles nextScan;
+    Cycles nextTimeline;
+    std::uint32_t activeThreads = 1;
+    std::vector<TimelinePoint> points;
+
+    std::uint64_t level_counts[kNumMemLevels] = {};
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_SIM_ENGINE_H_

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Aggregate configuration of the simulated machine.
+ *
+ * The default is the "scaled testbed": the paper's single-socket Xeon
+ * Gold 6240 (18 cores, 2.6 GHz) with 192 GB DRAM + 768 GB Optane,
+ * capacity-scaled by 12288x to 16 MiB DRAM + 64 MiB NVM so experiments
+ * complete in seconds while preserving the footprint:DRAM pressure ratio
+ * the paper's evaluation depends on (Section 4.2, Section 6). AutoNUMA
+ * time constants are compressed correspondingly (runs last simulated
+ * seconds instead of minutes).
+ */
+
+#ifndef MEMTIER_SIM_SYSTEM_CONFIG_H_
+#define MEMTIER_SIM_SYSTEM_CONFIG_H_
+
+#include <cstdint>
+
+#include "autonuma/autonuma.h"
+#include "cache/cache_params.h"
+#include "mem/tier_params.h"
+#include "os/kernel.h"
+
+namespace memtier {
+
+/** Everything needed to instantiate a simulated machine. */
+struct SystemConfig
+{
+    TierParams dram = makeDramParams(24 * kMiB);
+    TierParams nvm = makeNvmParams(96 * kMiB);
+    CacheParams cache;
+    KernelParams kernel;
+    AutoNumaParams autonuma;
+
+    /** False runs the vanilla-kernel baseline (no scanning/migration). */
+    bool autonumaEnabled = true;
+
+    /**
+     * True gives the kernel the tiering reclaim path (demotion to NVM).
+     * Normally tied to autonumaEnabled, but policies that replace the
+     * scanner (e.g. dynamic object-level tiering) keep the demotion
+     * path while disabling AutoNUMA itself.
+     */
+    bool tieringKernel = true;
+
+    /** Logical threads (the paper runs 18, one per core). */
+    std::uint32_t numThreads = 18;
+
+    /** Pipeline cycles charged per memory operation besides the
+     *  memory-system latency (models surrounding ALU work). */
+    Cycles issueCycles = 4;
+
+    /** Cost of entering/leaving the kernel for a syscall. */
+    Cycles syscallCycles = 2600;
+
+    /** kswapd wakeup period. */
+    Cycles kswapdPeriod = secondsToCycles(0.0025);
+
+    /** Timeline (numastat/vmstat/CPU-util) sampling period. */
+    Cycles timelinePeriod = secondsToCycles(0.01);
+
+    /** Enable the next-line prefetcher on sequential misses. */
+    bool nextLinePrefetch = true;
+
+    /** Deterministic seed for all engine-level randomness. */
+    std::uint64_t seed = 42;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_SIM_SYSTEM_CONFIG_H_

@@ -1,0 +1,13 @@
+#include "sim/thread_context.h"
+
+namespace memtier {
+
+ThreadContext::ThreadContext(ThreadId id, const CacheParams &params)
+    : tlb(params.tlb),
+      l1("L1", params.l1Size, params.l1Ways),
+      l2("L2", params.l2Size, params.l2Ways),
+      tid(id)
+{
+}
+
+}  // namespace memtier

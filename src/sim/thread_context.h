@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Per-logical-thread CPU state: clock, private L1/L2, TLB, line-fill
+ * buffer and stream-detection state.
+ */
+
+#ifndef MEMTIER_SIM_THREAD_CONTEXT_H_
+#define MEMTIER_SIM_THREAD_CONTEXT_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+#include "cache/cache_params.h"
+#include "cache/line_fill_buffer.h"
+#include "cache/set_assoc_cache.h"
+#include "cache/tlb.h"
+
+namespace memtier {
+
+class Engine;
+
+/** One simulated hardware thread (core). */
+class ThreadContext
+{
+  public:
+    /**
+     * @param id logical thread id.
+     * @param params cache geometry for the private levels.
+     */
+    ThreadContext(ThreadId id, const CacheParams &params);
+
+    ThreadId id() const { return tid; }
+
+    /** Current thread-local time. */
+    Cycles clock() const { return now; }
+
+    /** Advance the thread's clock by @p cycles. */
+    void advance(Cycles cycles) { now += cycles; }
+
+    /** Force the clock (barrier synchronization). */
+    void setClock(Cycles t) { now = t; }
+
+    /** @name Private memory-system state (used by the engine). */
+    ///@{
+    Tlb tlb;
+    SetAssocCache l1;
+    SetAssocCache l2;
+    LineFillBuffer lfb;
+    ///@}
+
+    /** Last memory-serviced address, for stream detection. */
+    Addr lastMemAddr = ~Addr{0};
+
+    /** @name Per-thread counters. */
+    ///@{
+    std::uint64_t loads = 0;
+    std::uint64_t stores = 0;
+    std::uint64_t pageFaults = 0;
+    std::uint64_t hintFaults = 0;
+    ///@}
+
+  private:
+    ThreadId tid;
+    Cycles now = 0;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_SIM_THREAD_CONTEXT_H_

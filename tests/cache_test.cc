@@ -1,0 +1,239 @@
+/**
+ * @file
+ * Unit tests for the cache substrate: set-associative caches, two-level
+ * TLB and the line-fill buffer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/line_fill_buffer.h"
+#include "cache/set_assoc_cache.h"
+#include "cache/tlb.h"
+
+namespace memtier {
+namespace {
+
+// -------------------------------------------------------- SetAssocCache
+
+TEST(SetAssocCache, MissThenHit)
+{
+    SetAssocCache c("L1", 4 * kKiB, 4);
+    EXPECT_FALSE(c.access(100, false));
+    c.insert(100, false);
+    EXPECT_TRUE(c.access(100, false));
+    EXPECT_EQ(c.hits(), 1u);
+    EXPECT_EQ(c.misses(), 1u);
+}
+
+TEST(SetAssocCache, LruEviction)
+{
+    // 2-way, line addresses chosen to map to set 0.
+    SetAssocCache c("L1", 2 * 2 * kLineSize, 2);  // 2 sets, 2 ways.
+    const Addr set0_a = 0;
+    const Addr set0_b = 2;
+    const Addr set0_c = 4;
+    c.insert(set0_a, false);
+    c.insert(set0_b, false);
+    // Touch a so b becomes LRU.
+    EXPECT_TRUE(c.access(set0_a, false));
+    const CacheEviction ev = c.insert(set0_c, false);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_EQ(ev.line, set0_b);
+    EXPECT_TRUE(c.contains(set0_a));
+    EXPECT_FALSE(c.contains(set0_b));
+}
+
+TEST(SetAssocCache, DirtyEvictionSignalsWriteback)
+{
+    SetAssocCache c("L1", 1 * 2 * kLineSize, 2);  // 1 set, 2 ways.
+    c.insert(0, true);
+    c.insert(1, false);
+    const CacheEviction ev = c.insert(2, false);
+    EXPECT_TRUE(ev.valid);
+    EXPECT_TRUE(ev.dirty);
+    EXPECT_EQ(ev.line, 0u);
+    EXPECT_EQ(c.writebacks(), 1u);
+}
+
+TEST(SetAssocCache, WriteHitSetsDirty)
+{
+    SetAssocCache c("L1", 2 * kLineSize, 2);
+    c.insert(0, false);
+    EXPECT_TRUE(c.access(0, true));  // Store hit -> dirty.
+    c.insert(1, false);
+    const CacheEviction ev = c.insert(2, false);
+    EXPECT_TRUE(ev.dirty);
+}
+
+TEST(SetAssocCache, InvalidateRemovesLine)
+{
+    SetAssocCache c("L2", 4 * kKiB, 4);
+    c.insert(7, false);
+    EXPECT_TRUE(c.contains(7));
+    c.invalidate(7);
+    EXPECT_FALSE(c.contains(7));
+}
+
+TEST(SetAssocCache, ClearEmptiesEverything)
+{
+    SetAssocCache c("L2", 4 * kKiB, 4);
+    for (Addr l = 0; l < 32; ++l)
+        c.insert(l, false);
+    c.clear();
+    for (Addr l = 0; l < 32; ++l)
+        EXPECT_FALSE(c.contains(l));
+}
+
+TEST(SetAssocCache, DistinctSetsDoNotConflict)
+{
+    SetAssocCache c("L1", 4 * 1 * kLineSize, 1);  // 4 sets, direct.
+    c.insert(0, false);
+    c.insert(1, false);
+    c.insert(2, false);
+    c.insert(3, false);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(3));
+    // Same set as 0 (4 sets): line 4 evicts line 0 only.
+    c.insert(4, false);
+    EXPECT_FALSE(c.contains(0));
+    EXPECT_TRUE(c.contains(1));
+}
+
+TEST(SetAssocCache, SizeBytesReflectsGeometry)
+{
+    SetAssocCache c("L3", 128 * kKiB, 16);
+    EXPECT_EQ(c.sizeBytes(), 128 * kKiB);
+    EXPECT_EQ(c.name(), "L3");
+}
+
+// Parameterized: a working set that fits always hits after warmup; one
+// that exceeds capacity by 2x always evicts in a direct-mapped sweep.
+class CacheCapacity : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(CacheCapacity, FittingWorkingSetHitsAfterWarmup)
+{
+    const std::uint64_t size = GetParam();
+    SetAssocCache c("c", size, 8);
+    const std::uint64_t lines = size / kLineSize;
+    for (Addr l = 0; l < lines; ++l) {
+        if (!c.access(l, false))
+            c.insert(l, false);
+    }
+    for (Addr l = 0; l < lines; ++l)
+        EXPECT_TRUE(c.access(l, false)) << "line " << l;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CacheCapacity,
+                         ::testing::Values(4 * kKiB, 16 * kKiB,
+                                           64 * kKiB, 256 * kKiB));
+
+// ------------------------------------------------------------------ TLB
+
+TEST(Tlb, MissThenL1Hit)
+{
+    Tlb tlb;
+    EXPECT_EQ(tlb.lookup(5), TlbOutcome::Miss);
+    EXPECT_EQ(tlb.lookup(5), TlbOutcome::L1Hit);
+    EXPECT_EQ(tlb.misses(), 1u);
+    EXPECT_EQ(tlb.l1Hits(), 1u);
+}
+
+TEST(Tlb, StlbCatchesL1Evictions)
+{
+    TlbParams p;
+    p.l1Entries = 4;
+    p.l1Ways = 4;  // Single set: 5 pages overflow L1.
+    p.stlbEntries = 64;
+    p.stlbWays = 4;
+    Tlb tlb(p);
+    for (PageNum v = 0; v < 5; ++v)
+        tlb.lookup(v);
+    // Page 0 fell out of L1 but must still be in the STLB.
+    EXPECT_EQ(tlb.lookup(0), TlbOutcome::StlbHit);
+    EXPECT_EQ(tlb.stlbHits(), 1u);
+}
+
+TEST(Tlb, InvalidateForcesMiss)
+{
+    Tlb tlb;
+    tlb.lookup(9);
+    tlb.invalidate(9);
+    EXPECT_EQ(tlb.lookup(9), TlbOutcome::Miss);
+}
+
+TEST(Tlb, FlushAllForcesMisses)
+{
+    Tlb tlb;
+    for (PageNum v = 0; v < 8; ++v)
+        tlb.lookup(v);
+    tlb.flushAll();
+    for (PageNum v = 0; v < 8; ++v)
+        EXPECT_EQ(tlb.lookup(v), TlbOutcome::Miss);
+}
+
+TEST(Tlb, CapacityMissesOnHugeWorkingSet)
+{
+    Tlb tlb;  // 1536-entry STLB.
+    for (PageNum v = 0; v < 4096; ++v)
+        tlb.lookup(v);
+    // Re-walk: early pages must have been evicted from both levels.
+    EXPECT_EQ(tlb.lookup(0), TlbOutcome::Miss);
+}
+
+TEST(Tlb, StlbHitCostExposed)
+{
+    TlbParams p;
+    p.stlbHitCycles = 11;
+    Tlb tlb(p);
+    EXPECT_EQ(tlb.stlbHitCycles(), 11u);
+}
+
+// -------------------------------------------------------- LineFillBuffer
+
+TEST(Lfb, TracksInFlightFills)
+{
+    LineFillBuffer lfb;
+    lfb.add(42, 100);
+    const auto rem = lfb.inFlight(42, 60);
+    ASSERT_TRUE(rem.has_value());
+    EXPECT_EQ(*rem, 40u);
+}
+
+TEST(Lfb, CompletedFillNotInFlight)
+{
+    LineFillBuffer lfb;
+    lfb.add(42, 100);
+    EXPECT_FALSE(lfb.inFlight(42, 100).has_value());
+    EXPECT_FALSE(lfb.inFlight(42, 150).has_value());
+}
+
+TEST(Lfb, RecentlyFilledWindow)
+{
+    LineFillBuffer lfb;
+    lfb.add(42, 100);
+    EXPECT_FALSE(lfb.recentlyFilled(42, 99, 50));   // Still in flight.
+    EXPECT_TRUE(lfb.recentlyFilled(42, 100, 50));
+    EXPECT_TRUE(lfb.recentlyFilled(42, 149, 50));
+    EXPECT_FALSE(lfb.recentlyFilled(42, 150, 50));  // Window expired.
+}
+
+TEST(Lfb, OldestEntryReplaced)
+{
+    LineFillBuffer lfb;
+    for (Addr l = 0; l < LineFillBuffer::kEntries + 1; ++l)
+        lfb.add(l, 1000);
+    EXPECT_FALSE(lfb.inFlight(0, 0).has_value());  // Replaced.
+    EXPECT_TRUE(lfb.inFlight(1, 0).has_value());
+}
+
+TEST(Lfb, UnknownLineNotInFlight)
+{
+    LineFillBuffer lfb;
+    EXPECT_FALSE(lfb.inFlight(7, 0).has_value());
+    EXPECT_FALSE(lfb.recentlyFilled(7, 0, 100));
+}
+
+}  // namespace
+}  // namespace memtier

@@ -1,0 +1,148 @@
+/**
+ * @file
+ * Unit tests for the experiment harness helpers: report formatting,
+ * workload registry and the dataset cache.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "exp/report.h"
+#include "exp/runner.h"
+#include "exp/workloads.h"
+
+namespace memtier {
+namespace {
+
+// --------------------------------------------------------------- report
+
+TEST(Report, TableAlignsColumns)
+{
+    TextTable table({"a", "long_header"});
+    table.addRow({"xx", "1"});
+    table.addRow({"y", "22"});
+    std::ostringstream out;
+    table.print(out);
+    const std::string text = out.str();
+    // Header, separator, two rows.
+    EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+    EXPECT_NE(text.find("a   long_header"), std::string::npos);
+    EXPECT_EQ(table.rows(), 2u);
+}
+
+TEST(Report, Percent)
+{
+    EXPECT_EQ(pct(0.4911), "49.1%");
+    EXPECT_EQ(pct(0.0), "0.0%");
+    EXPECT_EQ(pct(1.0, 0), "100%");
+    EXPECT_EQ(pct(-0.06), "-6.0%");
+}
+
+TEST(Report, Num)
+{
+    EXPECT_EQ(num(3.14159, 2), "3.14");
+    EXPECT_EQ(num(2.0, 0), "2");
+}
+
+TEST(Report, FmtBytes)
+{
+    EXPECT_EQ(fmtBytes(512), "512.0 B");
+    EXPECT_EQ(fmtBytes(8192), "8.0 KiB");
+    EXPECT_EQ(fmtBytes(24 * kMiB), "24.0 MiB");
+    EXPECT_EQ(fmtBytes(3 * kGiB), "3.0 GiB");
+}
+
+TEST(Report, FmtCount)
+{
+    EXPECT_EQ(fmtCount(0), "0");
+    EXPECT_EQ(fmtCount(999), "999");
+    EXPECT_EQ(fmtCount(1000), "1,000");
+    EXPECT_EQ(fmtCount(1234567), "1,234,567");
+}
+
+TEST(Report, Banner)
+{
+    std::ostringstream out;
+    banner(out, "hello");
+    EXPECT_EQ(out.str(), "\n=== hello ===\n");
+}
+
+// ------------------------------------------------------------ workloads
+
+TEST(Workloads, Names)
+{
+    EXPECT_STREQ(appName(App::BC), "bc");
+    EXPECT_STREQ(appName(App::SSSP), "sssp");
+    EXPECT_STREQ(graphKindName(GraphKind::Urand), "urand");
+    WorkloadSpec w;
+    w.app = App::CC;
+    w.kind = GraphKind::Urand;
+    EXPECT_EQ(w.name(), "cc_urand");
+}
+
+TEST(Workloads, PaperMatrixIsSixCombos)
+{
+    const auto list = paperWorkloads(12);
+    ASSERT_EQ(list.size(), 6u);
+    for (const auto &w : list) {
+        EXPECT_EQ(w.scale, 12);
+        EXPECT_GT(w.trials, 0);
+    }
+}
+
+TEST(Workloads, DatasetCacheReturnsSameInstance)
+{
+    const CsrGraph &a = datasetGraph(GraphKind::Urand, 8, 4, 1);
+    const CsrGraph &b = datasetGraph(GraphKind::Urand, 8, 4, 1);
+    EXPECT_EQ(&a, &b);
+    const CsrGraph &c = datasetGraph(GraphKind::Urand, 8, 4, 2);
+    EXPECT_NE(&a, &c);
+}
+
+TEST(Workloads, WeightedCacheIndependentOfUnweighted)
+{
+    const CsrGraph &plain = datasetGraph(GraphKind::Kron, 8, 4, 1);
+    const CsrGraph &weighted =
+        weightedDatasetGraph(GraphKind::Kron, 8, 4, 1);
+    EXPECT_FALSE(plain.hasWeights());
+    EXPECT_TRUE(weighted.hasWeights());
+    EXPECT_EQ(plain.numEdges(), weighted.numEdges());
+}
+
+TEST(Runner, SamplingDoesNotPerturbTiming)
+{
+    // The PEBS-style sampler observes accesses but must never change
+    // the simulation's timing or results (a property perf itself only
+    // approximates).
+    RunConfig rc;
+    rc.workload.app = App::BFS;
+    rc.workload.kind = GraphKind::Urand;
+    rc.workload.scale = 12;
+    rc.workload.trials = 2;
+    rc.sys.dram = makeDramParams(512 * kPageSize);
+    rc.sys.nvm = makeNvmParams(2048 * kPageSize);
+    rc.sampling = true;
+    const RunResult with = runWorkload(rc);
+    rc.sampling = false;
+    const RunResult without = runWorkload(rc);
+    EXPECT_EQ(with.totalSeconds, without.totalSeconds);
+    EXPECT_EQ(with.outputChecksum, without.outputChecksum);
+    EXPECT_GT(with.samples.size(), 0u);
+    EXPECT_EQ(without.samples.size(), 0u);
+}
+
+TEST(Workloads, ModeNamesDistinct)
+{
+    std::set<std::string> names;
+    for (const Mode m :
+         {Mode::AutoNuma, Mode::NoTiering, Mode::ObjectStatic,
+          Mode::ObjectSpill, Mode::ObjectDynamic, Mode::AllDram,
+          Mode::AllNvm}) {
+        names.insert(modeName(m));
+    }
+    EXPECT_EQ(names.size(), 7u);
+}
+
+}  // namespace
+}  // namespace memtier

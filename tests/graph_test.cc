@@ -1,0 +1,210 @@
+/**
+ * @file
+ * Unit tests for the graph library: CSR construction, generators and
+ * the simulated-memory graph loader.
+ */
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "graph/generators.h"
+#include "graph/graph.h"
+#include "graph/sim_graph.h"
+
+namespace memtier {
+namespace {
+
+// ------------------------------------------------------------- CsrGraph
+
+TEST(CsrGraph, BuildsSymmetricAdjacency)
+{
+    const EdgeList edges{{0, 1}, {1, 2}};
+    const CsrGraph g = CsrGraph::fromEdgeList(3, edges);
+    EXPECT_EQ(g.numNodes(), 3);
+    EXPECT_EQ(g.numEdges(), 4);  // Both directions.
+    EXPECT_EQ(g.degree(0), 1);
+    EXPECT_EQ(g.degree(1), 2);
+    EXPECT_EQ(g.degree(2), 1);
+    EXPECT_EQ(g.neighbors(1)[0], 0);
+    EXPECT_EQ(g.neighbors(1)[1], 2);
+}
+
+TEST(CsrGraph, RemovesSelfLoops)
+{
+    const EdgeList edges{{0, 0}, {0, 1}};
+    const CsrGraph g = CsrGraph::fromEdgeList(2, edges);
+    EXPECT_EQ(g.numEdges(), 2);
+    EXPECT_EQ(g.degree(0), 1);
+}
+
+TEST(CsrGraph, DeduplicatesParallelEdges)
+{
+    const EdgeList edges{{0, 1}, {0, 1}, {1, 0}};
+    const CsrGraph g = CsrGraph::fromEdgeList(2, edges);
+    EXPECT_EQ(g.numEdges(), 2);
+}
+
+TEST(CsrGraph, NeighborsSortedAscending)
+{
+    const EdgeList edges{{0, 3}, {0, 1}, {0, 2}};
+    const CsrGraph g = CsrGraph::fromEdgeList(4, edges);
+    const auto n = g.neighbors(0);
+    EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+}
+
+TEST(CsrGraph, IsolatedVerticesHaveZeroDegree)
+{
+    const EdgeList edges{{0, 1}};
+    const CsrGraph g = CsrGraph::fromEdgeList(5, edges);
+    EXPECT_EQ(g.degree(3), 0);
+    EXPECT_TRUE(g.neighbors(3).empty());
+}
+
+TEST(CsrGraph, OffsetsAreMonotone)
+{
+    const CsrGraph g =
+        CsrGraph::fromEdgeList(8, generateUrand(3, 4, 5));
+    const auto &off = g.offsets();
+    EXPECT_EQ(off.size(), 9u);
+    EXPECT_TRUE(std::is_sorted(off.begin(), off.end()));
+    EXPECT_EQ(off.back(), g.numEdges());
+}
+
+TEST(CsrGraph, SerializedBytesLayout)
+{
+    const EdgeList edges{{0, 1}};
+    const CsrGraph g = CsrGraph::fromEdgeList(2, edges);
+    // Header (3x int64) + offsets (3x int64) + adjacency (2x int32).
+    EXPECT_EQ(g.serializedBytes(), 24u + 24u + 8u);
+}
+
+// ----------------------------------------------------------- Generators
+
+TEST(Generators, KronDeterministic)
+{
+    const EdgeList a = generateKron(8, 4, 7);
+    const EdgeList b = generateKron(8, 4, 7);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].u, b[i].u);
+        EXPECT_EQ(a[i].v, b[i].v);
+    }
+}
+
+TEST(Generators, KronEdgeCountAndRange)
+{
+    const EdgeList edges = generateKron(10, 16, 1);
+    EXPECT_EQ(edges.size(), (1u << 10) * 16u);
+    for (const Edge &e : edges) {
+        EXPECT_GE(e.u, 0);
+        EXPECT_LT(e.u, 1 << 10);
+        EXPECT_GE(e.v, 0);
+        EXPECT_LT(e.v, 1 << 10);
+    }
+}
+
+TEST(Generators, UrandEdgeCountAndRange)
+{
+    const EdgeList edges = generateUrand(10, 16, 1);
+    EXPECT_EQ(edges.size(), (1u << 10) * 16u);
+    for (const Edge &e : edges) {
+        EXPECT_GE(e.u, 0);
+        EXPECT_LT(e.u, 1 << 10);
+    }
+}
+
+TEST(Generators, KronIsSkewedUrandIsNot)
+{
+    // The paper's two datasets differ exactly here: kron is power-law,
+    // urand is uniform. Compare max degree.
+    const CsrGraph kron = CsrGraph::fromEdgeList(
+        1 << 12, generateKron(12, 16, 3));
+    const CsrGraph urand = CsrGraph::fromEdgeList(
+        1 << 12, generateUrand(12, 16, 3));
+    std::int64_t kron_max = 0;
+    std::int64_t urand_max = 0;
+    for (NodeId v = 0; v < (1 << 12); ++v) {
+        kron_max = std::max(kron_max, kron.degree(v));
+        urand_max = std::max(urand_max, urand.degree(v));
+    }
+    EXPECT_GT(kron_max, 4 * urand_max);
+}
+
+TEST(Generators, SeedsProduceDifferentGraphs)
+{
+    const EdgeList a = generateUrand(8, 4, 1);
+    const EdgeList b = generateUrand(8, 4, 2);
+    int same = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        same += a[i].u == b[i].u && a[i].v == b[i].v;
+    EXPECT_LT(same, static_cast<int>(a.size() / 10));
+}
+
+// ----------------------------------------------------------- SimCsrGraph
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg;
+    cfg.dram = makeDramParams(1024 * kPageSize);
+    cfg.nvm = makeNvmParams(4096 * kPageSize);
+    cfg.numThreads = 2;
+    return cfg;
+}
+
+TEST(SimCsrGraph, LoadMirrorsHostGraph)
+{
+    Engine eng(tinyConfig());
+    SimHeap heap(eng);
+    ThreadContext &t = eng.thread(0);
+    const CsrGraph host =
+        CsrGraph::fromEdgeList(1 << 8, generateUrand(8, 8, 11));
+    SimCsrGraph g = SimCsrGraph::load(eng, heap, t, host, "t");
+
+    EXPECT_EQ(g.numNodes(), host.numNodes());
+    EXPECT_EQ(g.numEdges(), host.numEdges());
+    for (NodeId u = 0; u < host.numNodes(); ++u) {
+        EXPECT_EQ(g.offset(t, u), host.offsets()[u]);
+        std::vector<NodeId> got;
+        g.forNeighbors(t, u, [&](NodeId v) { got.push_back(v); });
+        const auto want = host.neighbors(u);
+        ASSERT_EQ(got.size(), want.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], want[i]);
+    }
+    g.free(heap, t);
+}
+
+TEST(SimCsrGraph, LoadGoesThroughPageCache)
+{
+    Engine eng(tinyConfig());
+    SimHeap heap(eng);
+    ThreadContext &t = eng.thread(0);
+    const CsrGraph host =
+        CsrGraph::fromEdgeList(1 << 8, generateUrand(8, 8, 11));
+    SimCsrGraph g = SimCsrGraph::load(eng, heap, t, host, "t");
+    // Page cache now holds the whole serialized file.
+    const auto stat = eng.kernel().numastat();
+    const std::uint64_t cache_pages =
+        stat.cachePages[0] + stat.cachePages[1];
+    EXPECT_EQ(cache_pages, roundUpPages(host.serializedBytes()));
+    g.free(heap, t);
+}
+
+TEST(SimCsrGraph, LoadCreatesTwoObjects)
+{
+    Engine eng(tinyConfig());
+    SimHeap heap(eng);
+    ThreadContext &t = eng.thread(0);
+    const CsrGraph host =
+        CsrGraph::fromEdgeList(1 << 6, generateUrand(6, 4, 11));
+    SimCsrGraph g = SimCsrGraph::load(eng, heap, t, host, "t");
+    EXPECT_EQ(heap.liveAllocations(), 2u);  // index + adjacency.
+    g.free(heap, t);
+    EXPECT_EQ(heap.liveAllocations(), 0u);
+}
+
+}  // namespace
+}  // namespace memtier

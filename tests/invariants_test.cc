@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Property/invariant torture tests: drive the kernel and engine with
+ * randomized operation sequences and check global invariants after
+ * every step -- frame conservation, page-table/placement consistency,
+ * counter monotonicity, and engine/level accounting.
+ */
+
+#include <map>
+
+#include <gtest/gtest.h>
+
+#include "base/rng.h"
+#include "runtime/sim_heap.h"
+#include "sim/engine.h"
+
+namespace memtier {
+namespace {
+
+SystemConfig
+tortureConfig(std::uint64_t seed)
+{
+    SystemConfig cfg;
+    cfg.dram = makeDramParams(128 * kPageSize);
+    cfg.nvm = makeNvmParams(512 * kPageSize);
+    cfg.numThreads = 3;
+    cfg.kswapdPeriod = secondsToCycles(0.0002);
+    cfg.autonuma.scanPeriod = secondsToCycles(0.0005);
+    cfg.autonuma.scanPagesPerRound = 64;
+    cfg.seed = seed;
+    return cfg;
+}
+
+/** Check cross-component conservation invariants. */
+void
+checkInvariants(Engine &eng)
+{
+    // 1. Frame conservation per tier: used + free == total.
+    const NumaStatSnapshot snap = eng.kernel().numastat();
+    for (int node = 0; node < kNumNodes; ++node) {
+        const MemoryTier &tier = eng.physicalMemory().tier(
+            static_cast<MemNode>(node));
+        ASSERT_EQ(snap.appPages[node] + snap.cachePages[node] +
+                      snap.freePages[node],
+                  tier.totalPages());
+        ASSERT_EQ(tier.usedPages() + tier.freePages(),
+                  tier.totalPages());
+    }
+
+    // 2. Every mapped region's present pages live on a real tier and
+    //    respect pinned policies.
+    for (const auto &[start, vma] : eng.kernel().addressSpace().vmas()) {
+        for (PageNum vpn = pageOf(vma.start); vpn < pageOf(vma.end);
+             ++vpn) {
+            const PageMeta *meta = eng.kernel().pageMeta(vpn);
+            if (meta == nullptr || !meta->present)
+                continue;
+            if (vma.policy.mode == MemPolicy::Mode::Bind) {
+                ASSERT_EQ(meta->node, vma.policy.node);
+            }
+            if (vma.policy.mode == MemPolicy::Mode::Split) {
+                ASSERT_EQ(meta->node,
+                          vma.policy.nodeForPage(vpn -
+                                                 pageOf(vma.start)));
+            }
+        }
+    }
+
+    // 3. Migration counters are consistent: successes add up.
+    const VmStat &vm = eng.kernel().vmstat();
+    ASSERT_EQ(vm.pgmigrateSuccess, vm.pgpromoteSuccess +
+                                       vm.pgdemoteKswapd +
+                                       vm.pgdemoteDirect);
+    ASSERT_LE(vm.pgpromoteDemoted, vm.pgpromoteSuccess);
+}
+
+class KernelTorture : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(KernelTorture, RandomOpsPreserveInvariants)
+{
+    Engine eng(tortureConfig(GetParam()));
+    SimHeap heap(eng);
+    Rng rng(GetParam());
+
+    struct Live
+    {
+        SimVector<std::int64_t> vec;
+    };
+    std::vector<Live> live;
+    std::uint64_t prev_faults = 0;
+
+    for (int step = 0; step < 600; ++step) {
+        ThreadContext &t =
+            eng.thread(static_cast<std::uint32_t>(rng.nextBounded(3)));
+        const std::uint64_t action = rng.nextBounded(100);
+
+        if (action < 12 && live.size() < 24) {
+            // mmap a 1..32 page object, sometimes bound.
+            const std::uint64_t pages = 1 + rng.nextBounded(32);
+            auto v = heap.alloc<std::int64_t>(
+                t, "torture" + std::to_string(rng.nextBounded(6)),
+                pages * 512);
+            if (rng.nextBool(0.25)) {
+                eng.kernel().mbind(
+                    v.base(),
+                    rng.nextBool(0.5)
+                        ? MemPolicy::bind(rng.nextBool(0.5)
+                                              ? MemNode::DRAM
+                                              : MemNode::NVM)
+                        : MemPolicy::split(rng.nextBounded(pages)));
+            }
+            live.push_back({v});
+        } else if (action < 18 && !live.empty()) {
+            // munmap a random object.
+            const std::size_t idx = rng.nextBounded(live.size());
+            heap.free(t, live[idx].vec);
+            live.erase(live.begin() +
+                       static_cast<std::ptrdiff_t>(idx));
+        } else if (action < 22 && !live.empty()) {
+            // Whole-object migration (move_pages).
+            const std::size_t idx = rng.nextBounded(live.size());
+            const auto &v = live[idx].vec;
+            eng.kernel().migratePages(
+                v.base(), v.base() + v.size() * 8,
+                rng.nextBool(0.5) ? MemNode::DRAM : MemNode::NVM,
+                static_cast<std::uint32_t>(1 + rng.nextBounded(16)),
+                t.clock());
+        } else if (!live.empty()) {
+            // A burst of random loads/stores.
+            const std::size_t idx = rng.nextBounded(live.size());
+            const auto &v = live[idx].vec;
+            for (int burst = 0; burst < 24; ++burst) {
+                const std::uint64_t i = rng.nextBounded(v.size());
+                if (rng.nextBool(0.4))
+                    v.set(t, i, static_cast<std::int64_t>(step));
+                else
+                    v.get(t, i);
+            }
+        }
+
+        if (step % 37 == 0) {
+            checkInvariants(eng);
+            // 4. Fault counter is monotone.
+            const std::uint64_t faults =
+                eng.kernel().vmstat().pgfault;
+            ASSERT_GE(faults, prev_faults);
+            prev_faults = faults;
+            // 5. Level counts add up to total operations issued.
+            std::uint64_t level_sum = 0;
+            for (int l = 0; l < kNumMemLevels; ++l) {
+                level_sum +=
+                    eng.levelCount(static_cast<MemLevel>(l));
+            }
+            std::uint64_t thread_ops = 0;
+            for (std::uint32_t i = 0; i < eng.threadCount(); ++i) {
+                thread_ops += eng.thread(i).loads;
+                thread_ops += eng.thread(i).stores;
+            }
+            ASSERT_EQ(level_sum, thread_ops);
+        }
+    }
+    // Final sweep.
+    checkInvariants(eng);
+
+    // Cleanup: everything freed leaves both tiers' app usage at zero.
+    for (auto &l : live)
+        heap.free(eng.thread(0), l.vec);
+    const NumaStatSnapshot end = eng.kernel().numastat();
+    EXPECT_EQ(end.appPages[0], 0u);
+    EXPECT_EQ(end.appPages[1], 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelTorture,
+                         ::testing::Values(1, 7, 42, 1337, 90210));
+
+}  // namespace
+}  // namespace memtier

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Unit tests for the runtime layer: SimVector, SimHeap (object
+ * tracking, advisor), SimFile.
+ */
+
+#include <gtest/gtest.h>
+
+#include "runtime/sim_file.h"
+#include "runtime/sim_heap.h"
+#include "runtime/sim_vector.h"
+
+namespace memtier {
+namespace {
+
+SystemConfig
+tinyConfig()
+{
+    SystemConfig cfg;
+    cfg.dram = makeDramParams(512 * kPageSize);
+    cfg.nvm = makeNvmParams(2048 * kPageSize);
+    cfg.numThreads = 2;
+    return cfg;
+}
+
+TEST(SimVector, GetSetRoundTrip)
+{
+    Engine eng(tinyConfig());
+    SimHeap heap(eng);
+    ThreadContext &t = eng.thread(0);
+    auto v = heap.alloc<std::int64_t>(t, "v", 100);
+    for (std::uint64_t i = 0; i < 100; ++i)
+        v.set(t, i, static_cast<std::int64_t>(i * 3));
+    for (std::uint64_t i = 0; i < 100; ++i)
+        EXPECT_EQ(v.get(t, i), static_cast<std::int64_t>(i * 3));
+    heap.free(t, v);
+}
+
+TEST(SimVector, AccessesAreTimed)
+{
+    Engine eng(tinyConfig());
+    SimHeap heap(eng);
+    ThreadContext &t = eng.thread(0);
+    auto v = heap.alloc<std::int32_t>(t, "v", 16);
+    const Cycles before = t.clock();
+    v.set(t, 0, 42);
+    EXPECT_GT(t.clock(), before);
+    heap.free(t, v);
+}
+
+TEST(SimVector, UpdateReadsModifiesWrites)
+{
+    Engine eng(tinyConfig());
+    SimHeap heap(eng);
+    ThreadContext &t = eng.thread(0);
+    auto v = heap.alloc<double>(t, "v", 4);
+    v.set(t, 2, 1.5);
+    v.update(t, 2, [](double x) { return x * 2.0; });
+    EXPECT_DOUBLE_EQ(v.get(t, 2), 3.0);
+    heap.free(t, v);
+}
+
+TEST(SimVector, AddrOfElements)
+{
+    Engine eng(tinyConfig());
+    SimHeap heap(eng);
+    ThreadContext &t = eng.thread(0);
+    auto v = heap.alloc<std::int32_t>(t, "v", 8);
+    EXPECT_EQ(v.addrOf(0), v.base());
+    EXPECT_EQ(v.addrOf(3), v.base() + 12);
+    EXPECT_EQ(v.base() % kPageSize, 0u);  // Page aligned.
+    heap.free(t, v);
+}
+
+TEST(SimVector, InvalidHandle)
+{
+    SimVector<int> v;
+    EXPECT_FALSE(v.valid());
+}
+
+TEST(SimHeap, ObjectsGetDistinctIdsAndRegions)
+{
+    Engine eng(tinyConfig());
+    SimHeap heap(eng);
+    ThreadContext &t = eng.thread(0);
+    auto a = heap.alloc<std::int32_t>(t, "a", 1024);
+    auto b = heap.alloc<std::int32_t>(t, "b", 1024);
+    EXPECT_NE(a.base(), b.base());
+    EXPECT_EQ(heap.allocatedObjects(), 2);
+    EXPECT_EQ(heap.liveAllocations(), 2u);
+    const Vma *vma = eng.kernel().addressSpace().find(a.base());
+    ASSERT_NE(vma, nullptr);
+    EXPECT_EQ(vma->site, "a");
+    heap.free(t, a);
+    heap.free(t, b);
+    EXPECT_EQ(heap.liveAllocations(), 0u);
+}
+
+TEST(SimHeap, FreeInvalidatesHandle)
+{
+    Engine eng(tinyConfig());
+    SimHeap heap(eng);
+    ThreadContext &t = eng.thread(0);
+    auto a = heap.alloc<std::int32_t>(t, "a", 4);
+    heap.free(t, a);
+    EXPECT_FALSE(a.valid());
+}
+
+/** Advisor that binds everything to one node and counts queries. */
+class CountingAdvisor : public PlacementAdvisor
+{
+  public:
+    std::optional<MemPolicy>
+    policyFor(const std::string &, std::uint64_t) override
+    {
+        ++queries;
+        return MemPolicy::bind(MemNode::NVM);
+    }
+    int queries = 0;
+};
+
+TEST(SimHeap, AdvisorConsultedAndApplied)
+{
+    Engine eng(tinyConfig());
+    SimHeap heap(eng);
+    CountingAdvisor advisor;
+    heap.setAdvisor(&advisor);
+    ThreadContext &t = eng.thread(0);
+    auto a = heap.alloc<std::int64_t>(t, "a", 1024);
+    EXPECT_EQ(advisor.queries, 1);
+    a.set(t, 0, 7);  // First touch.
+    EXPECT_EQ(eng.kernel().nodeOf(pageOf(a.base())), MemNode::NVM);
+    heap.free(t, a);
+}
+
+TEST(SimFile, SequentialReadChargesOnce)
+{
+    Engine eng(tinyConfig());
+    ThreadContext &t = eng.thread(0);
+    SimFile f(eng, "data.sg", 4 * kPageSize);
+    const Cycles before = t.clock();
+    f.read(t, 0, 4 * kPageSize);
+    const Cycles first = t.clock() - before;
+    const Cycles mid = t.clock();
+    f.read(t, 0, 4 * kPageSize);
+    const Cycles second = t.clock() - mid;
+    EXPECT_GT(first, second);  // Disk fetch only the first time.
+    EXPECT_EQ(eng.kernel().numastat().cachePages[0], 4u);
+}
+
+TEST(SimFile, PartialReadTouchesOnlyItsPages)
+{
+    Engine eng(tinyConfig());
+    ThreadContext &t = eng.thread(0);
+    SimFile f(eng, "data.sg", 8 * kPageSize);
+    f.read(t, kPageSize, 2 * kPageSize);
+    EXPECT_EQ(eng.kernel().numastat().cachePages[0], 2u);
+}
+
+TEST(SimFile, SizeExposed)
+{
+    Engine eng(tinyConfig());
+    SimFile f(eng, "data.sg", 12345);
+    EXPECT_EQ(f.size(), 12345u);
+}
+
+}  // namespace
+}  // namespace memtier

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Tests for the artifact-compatible CSV trace export.
+ */
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "profile/trace_export.h"
+
+namespace memtier {
+namespace {
+
+MemorySample
+sample(Addr vaddr, MemLevel level, Cycles time, Cycles latency = 100)
+{
+    MemorySample s;
+    s.vaddr = vaddr;
+    s.level = level;
+    s.time = time;
+    s.latency = latency;
+    return s;
+}
+
+TEST(TraceExport, MemoryTraceRowsAndHeader)
+{
+    std::vector<MemorySample> samples{
+        sample(0x1000, MemLevel::DRAM, kCyclesPerSecond),
+        sample(0x2000, MemLevel::L1, 2 * kCyclesPerSecond)};
+    std::ostringstream out;
+    EXPECT_EQ(writeMemoryTrace(out, samples), 2u);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("timestamp_sec,tid,vaddr,level"),
+              std::string::npos);
+    EXPECT_NE(text.find("DRAM"), std::string::npos);
+    EXPECT_NE(text.find("L1"), std::string::npos);
+}
+
+TEST(TraceExport, MmapAndMunmapTraces)
+{
+    MmapTracker tracker;
+    tracker.onMmap(kCyclesPerSecond, 0x10000, 2 * kPageSize, 0, "a");
+    tracker.onMmap(kCyclesPerSecond, 0x20000, kPageSize, 1, "b");
+    tracker.onMunmap(2 * kCyclesPerSecond, 0x10000, 2 * kPageSize, 0);
+
+    std::ostringstream mm;
+    EXPECT_EQ(writeMmapTrace(mm, tracker), 2u);
+    std::ostringstream um;
+    EXPECT_EQ(writeMunmapTrace(um, tracker), 1u);  // Only freed ones.
+    EXPECT_NE(um.str().find("\n2,0,65536,8192"), std::string::npos);
+}
+
+TEST(TraceExport, MappedSamplesSplitByNode)
+{
+    MmapTracker tracker;
+    tracker.onMmap(0, 0x10000, 4 * kPageSize, 0, "obj");
+    std::vector<MemorySample> samples{
+        sample(0x10000, MemLevel::NVM, 100),
+        sample(0x11000, MemLevel::DRAM, 200),
+        sample(0x10040, MemLevel::NVM, 300),
+        sample(0x99000, MemLevel::NVM, 400),  // Unmapped: skipped.
+        sample(0x10080, MemLevel::L2, 500)};  // Cache hit: skipped.
+
+    std::ostringstream pmem;
+    EXPECT_EQ(writeMappedSamples(pmem, samples, tracker, MemNode::NVM),
+              2u);
+    std::ostringstream dram;
+    EXPECT_EQ(writeMappedSamples(dram, samples, tracker, MemNode::DRAM),
+              1u);
+    // page_in_object of the DRAM sample (vaddr 0x11000) is 1.
+    EXPECT_NE(dram.str().find(",1,"), std::string::npos);
+}
+
+TEST(TraceExport, AllocationsSummary)
+{
+    MmapTracker tracker;
+    tracker.onMmap(0, 0x10000, kPageSize, 0, "live");
+    tracker.onMmap(0, 0x20000, kPageSize, 1, "freed");
+    tracker.onMunmap(kCyclesPerSecond, 0x20000, kPageSize, 1);
+    std::ostringstream out;
+    EXPECT_EQ(writeAllocations(out, tracker), 2u);
+    // Live object marked with free_sec -1.
+    EXPECT_NE(out.str().find("0,live,4096,0,-1"), std::string::npos);
+}
+
+TEST(TraceExport, EmptyInputsProduceHeadersOnly)
+{
+    MmapTracker tracker;
+    std::ostringstream a;
+    EXPECT_EQ(writeMemoryTrace(a, {}), 0u);
+    std::ostringstream b;
+    EXPECT_EQ(writeMmapTrace(b, tracker), 0u);
+    EXPECT_FALSE(a.str().empty());
+    EXPECT_FALSE(b.str().empty());
+}
+
+}  // namespace
+}  // namespace memtier
