@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_autonuma.dir/ablation_autonuma.cc.o"
+  "CMakeFiles/ablation_autonuma.dir/ablation_autonuma.cc.o.d"
+  "ablation_autonuma"
+  "ablation_autonuma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_autonuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_sample_levels.dir/fig03_sample_levels.cc.o"
+  "CMakeFiles/fig03_sample_levels.dir/fig03_sample_levels.cc.o.d"
+  "fig03_sample_levels"
+  "fig03_sample_levels.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_sample_levels.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

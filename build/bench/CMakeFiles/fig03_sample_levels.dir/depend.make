@@ -1,0 +1,2 @@
+# Empty dependencies file for fig03_sample_levels.
+# This may be replaced when dependencies are built.

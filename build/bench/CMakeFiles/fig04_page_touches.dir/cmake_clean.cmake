@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig04_page_touches.dir/fig04_page_touches.cc.o"
+  "CMakeFiles/fig04_page_touches.dir/fig04_page_touches.cc.o.d"
+  "fig04_page_touches"
+  "fig04_page_touches.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig04_page_touches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig04_page_touches.
+# This may be replaced when dependencies are built.

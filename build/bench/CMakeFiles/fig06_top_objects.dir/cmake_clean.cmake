@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_top_objects.dir/fig06_top_objects.cc.o"
+  "CMakeFiles/fig06_top_objects.dir/fig06_top_objects.cc.o.d"
+  "fig06_top_objects"
+  "fig06_top_objects.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_top_objects.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_alloc_timeline.dir/fig07_alloc_timeline.cc.o"
+  "CMakeFiles/fig07_alloc_timeline.dir/fig07_alloc_timeline.cc.o.d"
+  "fig07_alloc_timeline"
+  "fig07_alloc_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_alloc_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_access_pattern.dir/fig08_access_pattern.cc.o"
+  "CMakeFiles/fig08_access_pattern.dir/fig08_access_pattern.cc.o.d"
+  "fig08_access_pattern"
+  "fig08_access_pattern.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_access_pattern.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_memory_timeline.dir/fig09_memory_timeline.cc.o"
+  "CMakeFiles/fig09_memory_timeline.dir/fig09_memory_timeline.cc.o.d"
+  "fig09_memory_timeline"
+  "fig09_memory_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_memory_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tier_latency.dir/micro_tier_latency.cc.o"
+  "CMakeFiles/micro_tier_latency.dir/micro_tier_latency.cc.o.d"
+  "micro_tier_latency"
+  "micro_tier_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tier_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

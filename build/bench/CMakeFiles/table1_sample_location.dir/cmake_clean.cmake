@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sample_location.dir/table1_sample_location.cc.o"
+  "CMakeFiles/table1_sample_location.dir/table1_sample_location.cc.o.d"
+  "table1_sample_location"
+  "table1_sample_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sample_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

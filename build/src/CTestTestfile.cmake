@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("base")
+subdirs("mem")
+subdirs("cache")
+subdirs("os")
+subdirs("autonuma")
+subdirs("sim")
+subdirs("runtime")
+subdirs("graph")
+subdirs("apps")
+subdirs("profile")
+subdirs("core")
+subdirs("exp")

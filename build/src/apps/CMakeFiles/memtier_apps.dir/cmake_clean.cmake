@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_apps.dir/bc.cc.o"
+  "CMakeFiles/memtier_apps.dir/bc.cc.o.d"
+  "CMakeFiles/memtier_apps.dir/bfs.cc.o"
+  "CMakeFiles/memtier_apps.dir/bfs.cc.o.d"
+  "CMakeFiles/memtier_apps.dir/cc.cc.o"
+  "CMakeFiles/memtier_apps.dir/cc.cc.o.d"
+  "CMakeFiles/memtier_apps.dir/pagerank.cc.o"
+  "CMakeFiles/memtier_apps.dir/pagerank.cc.o.d"
+  "CMakeFiles/memtier_apps.dir/sssp.cc.o"
+  "CMakeFiles/memtier_apps.dir/sssp.cc.o.d"
+  "libmemtier_apps.a"
+  "libmemtier_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

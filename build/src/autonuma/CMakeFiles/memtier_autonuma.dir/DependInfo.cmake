@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autonuma/autonuma.cc" "src/autonuma/CMakeFiles/memtier_autonuma.dir/autonuma.cc.o" "gcc" "src/autonuma/CMakeFiles/memtier_autonuma.dir/autonuma.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/os/CMakeFiles/memtier_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/memtier_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/memtier_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

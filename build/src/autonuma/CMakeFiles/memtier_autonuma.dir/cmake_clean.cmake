@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_autonuma.dir/autonuma.cc.o"
+  "CMakeFiles/memtier_autonuma.dir/autonuma.cc.o.d"
+  "libmemtier_autonuma.a"
+  "libmemtier_autonuma.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_autonuma.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

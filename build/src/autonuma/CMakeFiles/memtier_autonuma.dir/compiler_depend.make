@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for memtier_autonuma.
+# This may be replaced when dependencies are built.

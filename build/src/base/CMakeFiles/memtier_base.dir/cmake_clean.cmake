@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_base.dir/csv.cc.o"
+  "CMakeFiles/memtier_base.dir/csv.cc.o.d"
+  "CMakeFiles/memtier_base.dir/logging.cc.o"
+  "CMakeFiles/memtier_base.dir/logging.cc.o.d"
+  "CMakeFiles/memtier_base.dir/rng.cc.o"
+  "CMakeFiles/memtier_base.dir/rng.cc.o.d"
+  "CMakeFiles/memtier_base.dir/stats.cc.o"
+  "CMakeFiles/memtier_base.dir/stats.cc.o.d"
+  "CMakeFiles/memtier_base.dir/types.cc.o"
+  "CMakeFiles/memtier_base.dir/types.cc.o.d"
+  "libmemtier_base.a"
+  "libmemtier_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/line_fill_buffer.cc" "src/cache/CMakeFiles/memtier_cache.dir/line_fill_buffer.cc.o" "gcc" "src/cache/CMakeFiles/memtier_cache.dir/line_fill_buffer.cc.o.d"
+  "/root/repo/src/cache/set_assoc_cache.cc" "src/cache/CMakeFiles/memtier_cache.dir/set_assoc_cache.cc.o" "gcc" "src/cache/CMakeFiles/memtier_cache.dir/set_assoc_cache.cc.o.d"
+  "/root/repo/src/cache/tlb.cc" "src/cache/CMakeFiles/memtier_cache.dir/tlb.cc.o" "gcc" "src/cache/CMakeFiles/memtier_cache.dir/tlb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/memtier_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_cache.dir/line_fill_buffer.cc.o"
+  "CMakeFiles/memtier_cache.dir/line_fill_buffer.cc.o.d"
+  "CMakeFiles/memtier_cache.dir/set_assoc_cache.cc.o"
+  "CMakeFiles/memtier_cache.dir/set_assoc_cache.cc.o.d"
+  "CMakeFiles/memtier_cache.dir/tlb.cc.o"
+  "CMakeFiles/memtier_cache.dir/tlb.cc.o.d"
+  "libmemtier_cache.a"
+  "libmemtier_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_core.dir/dynamic_tiering.cc.o"
+  "CMakeFiles/memtier_core.dir/dynamic_tiering.cc.o.d"
+  "CMakeFiles/memtier_core.dir/object_planner.cc.o"
+  "CMakeFiles/memtier_core.dir/object_planner.cc.o.d"
+  "CMakeFiles/memtier_core.dir/placement_plan.cc.o"
+  "CMakeFiles/memtier_core.dir/placement_plan.cc.o.d"
+  "libmemtier_core.a"
+  "libmemtier_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

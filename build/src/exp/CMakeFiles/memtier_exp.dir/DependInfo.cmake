@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/report.cc" "src/exp/CMakeFiles/memtier_exp.dir/report.cc.o" "gcc" "src/exp/CMakeFiles/memtier_exp.dir/report.cc.o.d"
+  "/root/repo/src/exp/runner.cc" "src/exp/CMakeFiles/memtier_exp.dir/runner.cc.o" "gcc" "src/exp/CMakeFiles/memtier_exp.dir/runner.cc.o.d"
+  "/root/repo/src/exp/workloads.cc" "src/exp/CMakeFiles/memtier_exp.dir/workloads.cc.o" "gcc" "src/exp/CMakeFiles/memtier_exp.dir/workloads.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/memtier_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/memtier_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/memtier_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/profile/CMakeFiles/memtier_profile.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/memtier_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memtier_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/autonuma/CMakeFiles/memtier_autonuma.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/memtier_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/memtier_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/memtier_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/base/CMakeFiles/memtier_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

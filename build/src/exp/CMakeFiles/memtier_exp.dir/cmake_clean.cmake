@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_exp.dir/report.cc.o"
+  "CMakeFiles/memtier_exp.dir/report.cc.o.d"
+  "CMakeFiles/memtier_exp.dir/runner.cc.o"
+  "CMakeFiles/memtier_exp.dir/runner.cc.o.d"
+  "CMakeFiles/memtier_exp.dir/workloads.cc.o"
+  "CMakeFiles/memtier_exp.dir/workloads.cc.o.d"
+  "libmemtier_exp.a"
+  "libmemtier_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_graph.dir/generators.cc.o"
+  "CMakeFiles/memtier_graph.dir/generators.cc.o.d"
+  "CMakeFiles/memtier_graph.dir/graph.cc.o"
+  "CMakeFiles/memtier_graph.dir/graph.cc.o.d"
+  "CMakeFiles/memtier_graph.dir/sim_graph.cc.o"
+  "CMakeFiles/memtier_graph.dir/sim_graph.cc.o.d"
+  "libmemtier_graph.a"
+  "libmemtier_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

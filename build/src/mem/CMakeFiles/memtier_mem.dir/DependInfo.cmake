@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/frame_allocator.cc" "src/mem/CMakeFiles/memtier_mem.dir/frame_allocator.cc.o" "gcc" "src/mem/CMakeFiles/memtier_mem.dir/frame_allocator.cc.o.d"
+  "/root/repo/src/mem/memory_tier.cc" "src/mem/CMakeFiles/memtier_mem.dir/memory_tier.cc.o" "gcc" "src/mem/CMakeFiles/memtier_mem.dir/memory_tier.cc.o.d"
+  "/root/repo/src/mem/tier_device.cc" "src/mem/CMakeFiles/memtier_mem.dir/tier_device.cc.o" "gcc" "src/mem/CMakeFiles/memtier_mem.dir/tier_device.cc.o.d"
+  "/root/repo/src/mem/tier_params.cc" "src/mem/CMakeFiles/memtier_mem.dir/tier_params.cc.o" "gcc" "src/mem/CMakeFiles/memtier_mem.dir/tier_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/memtier_base.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_mem.dir/frame_allocator.cc.o"
+  "CMakeFiles/memtier_mem.dir/frame_allocator.cc.o.d"
+  "CMakeFiles/memtier_mem.dir/memory_tier.cc.o"
+  "CMakeFiles/memtier_mem.dir/memory_tier.cc.o.d"
+  "CMakeFiles/memtier_mem.dir/tier_device.cc.o"
+  "CMakeFiles/memtier_mem.dir/tier_device.cc.o.d"
+  "CMakeFiles/memtier_mem.dir/tier_params.cc.o"
+  "CMakeFiles/memtier_mem.dir/tier_params.cc.o.d"
+  "libmemtier_mem.a"
+  "libmemtier_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemtier_mem.a"
+)

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/os/address_space.cc" "src/os/CMakeFiles/memtier_os.dir/address_space.cc.o" "gcc" "src/os/CMakeFiles/memtier_os.dir/address_space.cc.o.d"
+  "/root/repo/src/os/kernel.cc" "src/os/CMakeFiles/memtier_os.dir/kernel.cc.o" "gcc" "src/os/CMakeFiles/memtier_os.dir/kernel.cc.o.d"
+  "/root/repo/src/os/page_table.cc" "src/os/CMakeFiles/memtier_os.dir/page_table.cc.o" "gcc" "src/os/CMakeFiles/memtier_os.dir/page_table.cc.o.d"
+  "/root/repo/src/os/physical_memory.cc" "src/os/CMakeFiles/memtier_os.dir/physical_memory.cc.o" "gcc" "src/os/CMakeFiles/memtier_os.dir/physical_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/base/CMakeFiles/memtier_base.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/memtier_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_os.dir/address_space.cc.o"
+  "CMakeFiles/memtier_os.dir/address_space.cc.o.d"
+  "CMakeFiles/memtier_os.dir/kernel.cc.o"
+  "CMakeFiles/memtier_os.dir/kernel.cc.o.d"
+  "CMakeFiles/memtier_os.dir/page_table.cc.o"
+  "CMakeFiles/memtier_os.dir/page_table.cc.o.d"
+  "CMakeFiles/memtier_os.dir/physical_memory.cc.o"
+  "CMakeFiles/memtier_os.dir/physical_memory.cc.o.d"
+  "libmemtier_os.a"
+  "libmemtier_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

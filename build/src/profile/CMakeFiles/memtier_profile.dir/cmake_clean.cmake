@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_profile.dir/analysis.cc.o"
+  "CMakeFiles/memtier_profile.dir/analysis.cc.o.d"
+  "CMakeFiles/memtier_profile.dir/mmap_tracker.cc.o"
+  "CMakeFiles/memtier_profile.dir/mmap_tracker.cc.o.d"
+  "CMakeFiles/memtier_profile.dir/perf_mem.cc.o"
+  "CMakeFiles/memtier_profile.dir/perf_mem.cc.o.d"
+  "CMakeFiles/memtier_profile.dir/trace_export.cc.o"
+  "CMakeFiles/memtier_profile.dir/trace_export.cc.o.d"
+  "libmemtier_profile.a"
+  "libmemtier_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_runtime.dir/sim_file.cc.o"
+  "CMakeFiles/memtier_runtime.dir/sim_file.cc.o.d"
+  "libmemtier_runtime.a"
+  "libmemtier_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memtier_sim.dir/engine.cc.o"
+  "CMakeFiles/memtier_sim.dir/engine.cc.o.d"
+  "CMakeFiles/memtier_sim.dir/thread_context.cc.o"
+  "CMakeFiles/memtier_sim.dir/thread_context.cc.o.d"
+  "libmemtier_sim.a"
+  "libmemtier_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memtier_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

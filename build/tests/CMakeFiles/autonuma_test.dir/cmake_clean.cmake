@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autonuma_test.dir/autonuma_test.cc.o"
+  "CMakeFiles/autonuma_test.dir/autonuma_test.cc.o.d"
+  "autonuma_test"
+  "autonuma_test.pdb"
+  "autonuma_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autonuma_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

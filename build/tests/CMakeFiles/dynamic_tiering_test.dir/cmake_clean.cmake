@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_tiering_test.dir/dynamic_tiering_test.cc.o"
+  "CMakeFiles/dynamic_tiering_test.dir/dynamic_tiering_test.cc.o.d"
+  "dynamic_tiering_test"
+  "dynamic_tiering_test.pdb"
+  "dynamic_tiering_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_tiering_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
