@@ -1,0 +1,27 @@
+#!/bin/bash
+# Continuous-integration gate, meant to be run from the repository root:
+#
+#   1. tier-1 verify: warnings-as-errors build + the full test suite;
+#   2. an ASan/UBSan build of the test suite, to catch memory and UB
+#      bugs the functional tests would miss.
+#
+# Both builds live in their own build directories so they never disturb
+# an existing developer build/.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+JOBS=$(nproc 2>/dev/null || echo 4)
+
+echo "=== [1/2] tier-1: RelWithDebInfo -Werror build + ctest ==="
+cmake -B build-ci -S . -DMEMTIER_WERROR=ON
+cmake --build build-ci -j "$JOBS"
+ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== [2/2] sanitizers: ASan/UBSan build + ctest ==="
+cmake -B build-asan -S . -DMEMTIER_WERROR=ON \
+    -DCMAKE_BUILD_TYPE=Debug \
+    -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
+cmake --build build-asan -j "$JOBS"
+ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "ci.sh: all gates passed"

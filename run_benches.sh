@@ -1,9 +1,40 @@
 #!/bin/bash
 # Runs every bench binary in order, printing each one's report.
+# Fails fast when the build is missing or older than the sources, so a
+# stale build cannot masquerade as fresh results.
+set -u
 cd "$(dirname "$0")"
-for b in build/bench/*; do
+
+if [ ! -d build/bench ]; then
+    echo "run_benches.sh: no build/bench directory." >&2
+    echo "  Build first:  cmake -B build -S . && cmake --build build -j" >&2
+    exit 1
+fi
+
+binaries=$(find build/bench -maxdepth 1 -type f -perm -u+x | sort)
+if [ -z "$binaries" ]; then
+    echo "run_benches.sh: build/bench contains no executables." >&2
+    echo "  Build first:  cmake --build build -j" >&2
+    exit 1
+fi
+
+# Stale check: any source/bench/CMake file newer than the oldest binary
+# means the build no longer reflects the tree.
+stale_against=$(ls -t $binaries | tail -1)
+newer=$(find src bench CMakeLists.txt -name '*.cc' -o -name '*.h' \
+            -o -name 'CMakeLists.txt' 2>/dev/null \
+        | xargs -r ls -t 2>/dev/null \
+        | head -1)
+if [ -n "$newer" ] && [ "$newer" -nt "$stale_against" ]; then
+    echo "run_benches.sh: build is stale ($newer is newer than" >&2
+    echo "  $stale_against). Rebuild:  cmake --build build -j" >&2
+    exit 1
+fi
+
+mkdir -p results
+
+for b in $binaries; do
     name=$(basename "$b")
-    [ -f "$b" ] && [ -x "$b" ] || continue
     echo "=== $name ==="
     if [ "$name" = "micro_tier_latency" ]; then
         "$b" --benchmark_min_time=0.1 2>/dev/null

@@ -154,4 +154,19 @@ AutoNuma::onHintFault(PageNum vpn, Cycles now, PageMeta &meta)
     return cost;
 }
 
+std::vector<PolicyCounter>
+AutoNuma::snapshotStats() const
+{
+    return {
+        {"pages_scanned", stat.pagesScanned},
+        {"hint_faults", stat.hintFaults},
+        {"hint_faults_nvm", stat.hintFaultsNvm},
+        {"promoted_free_path", stat.promotedFreePath},
+        {"promoted_threshold_path", stat.promotedThresholdPath},
+        {"rejected_by_threshold", stat.rejectedByThreshold},
+        {"rejected_by_rate_limit", stat.rejectedByRateLimit},
+        {"promotion_failures", stat.promotionFailures},
+    };
+}
+
 }  // namespace memtier

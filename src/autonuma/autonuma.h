@@ -92,14 +92,20 @@ class AutoNuma : public TieringPolicy
      */
     AutoNuma(Kernel &kernel, const AutoNumaParams &params);
 
+    /** TieringPolicy: registry name. */
+    const char *name() const override { return "autonuma"; }
+
     /**
      * Periodic scan invocation (driven by the engine's service clock):
      * marks the next window of pages PROT_NONE.
      */
-    void scanTick(Cycles now);
+    void scanTick(Cycles now) override;
 
     /** TieringPolicy: hint fault on @p vpn; may promote. */
     Cycles onHintFault(PageNum vpn, Cycles now, PageMeta &meta) override;
+
+    /** TieringPolicy: policy counters for reports/CSV export. */
+    std::vector<PolicyCounter> snapshotStats() const override;
 
     /** Current hot threshold in cycles. */
     Cycles threshold() const { return hotThreshold; }
@@ -108,7 +114,7 @@ class AutoNuma : public TieringPolicy
     const AutoNumaStats &stats() const { return stat; }
 
     /** Configured scan period (the engine schedules scanTick with it). */
-    Cycles scanPeriod() const { return cfg.scanPeriod; }
+    Cycles scanPeriod() const override { return cfg.scanPeriod; }
 
   private:
     void maybeAdjustThreshold(Cycles now);

@@ -96,6 +96,21 @@ runWorkload(const RunConfig &config, const PlacementPlan *plan)
         break;
     }
 
+    // An explicit policy name overrides the mode's policy choice: the
+    // registry decides what runs, the tiering kernel's demotion path
+    // stays available, and the policy itself decides whether to use it.
+    if (!config.policy.empty()) {
+        sys.autonumaEnabled = false;
+        sys.tieringKernel = true;
+        sys.policyName = config.policy;
+        for (const std::string &assignment : config.tunables) {
+            if (!sys.policyTunables.parseAssignment(assignment)) {
+                fatal("malformed tunable '%s' (expected key=value)",
+                      assignment.c_str());
+            }
+        }
+    }
+
     Engine eng(sys);
     MmapTracker tracker;
     eng.kernel().setSyscallObserver(&tracker);
@@ -199,6 +214,10 @@ runWorkload(const RunConfig &config, const PlacementPlan *plan)
     if (eng.autonuma()) {
         out.numaStats = eng.autonuma()->stats();
         out.hasAutoNuma = true;
+    }
+    if (eng.tieringPolicy()) {
+        out.policyName = eng.tieringPolicy()->name();
+        out.policyCounters = eng.tieringPolicy()->snapshotStats();
     }
     for (int l = 0; l < kNumMemLevels; ++l) {
         out.levelCounts[l] = eng.levelCount(static_cast<MemLevel>(l));

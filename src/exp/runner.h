@@ -46,6 +46,16 @@ struct RunConfig
     SystemConfig sys;        ///< Scaled-testbed defaults.
     SamplerParams sampler;
     bool sampling = true;    ///< Collect perf-mem style samples.
+
+    /**
+     * Tiering policy selected by registry name. When non-empty it
+     * overrides the mode's policy choice (the run keeps the tiering
+     * kernel's demotion path); tunables configures the policy.
+     */
+    std::string policy;
+
+    /** "key=value" tunable assignments for @ref policy. */
+    std::vector<std::string> tunables;
 };
 
 /** Everything harvested from one run. */
@@ -65,6 +75,12 @@ struct RunResult
     NumaStatSnapshot finalNumastat;
     AutoNumaStats numaStats;
     bool hasAutoNuma = false;
+
+    /** Name of the tiering policy that ran ("" when tiering was off). */
+    std::string policyName;
+
+    /** The policy's snapshotStats() counters at end of run. */
+    std::vector<PolicyCounter> policyCounters;
 
     std::uint64_t levelCounts[kNumMemLevels] = {};
     std::uint64_t totalAccesses = 0;

@@ -1,0 +1,107 @@
+#include "exp/sweep.h"
+
+#include "base/csv.h"
+
+namespace memtier {
+
+std::vector<std::vector<std::pair<std::string, std::string>>>
+sweepCombinations(const std::vector<SweepAxis> &axes)
+{
+    std::vector<std::vector<std::pair<std::string, std::string>>> combos;
+    combos.emplace_back();  // The empty assignment.
+    for (const SweepAxis &axis : axes) {
+        std::vector<std::vector<std::pair<std::string, std::string>>>
+            next;
+        next.reserve(combos.size() * axis.values.size());
+        for (const auto &combo : combos) {
+            for (const std::string &value : axis.values) {
+                auto extended = combo;
+                extended.emplace_back(axis.key, value);
+                next.push_back(std::move(extended));
+            }
+        }
+        combos = std::move(next);
+    }
+    return combos;
+}
+
+std::vector<SweepPoint>
+runSweep(const SweepSpec &spec, std::ostream *progress)
+{
+    const auto combos = sweepCombinations(spec.axes);
+    std::vector<SweepPoint> points;
+    points.reserve(combos.size() * spec.workloads.size());
+
+    for (const auto &combo : combos) {
+        for (const WorkloadSpec &w : spec.workloads) {
+            RunConfig rc;
+            rc.workload = w;
+            rc.sys = spec.sys;
+            rc.sampling = spec.sampling;
+            rc.policy = spec.policy;
+            for (const auto &[key, value] : combo)
+                rc.tunables.push_back(key + "=" + value);
+
+            if (progress != nullptr) {
+                *progress << "sweep: " << spec.policy << " " << w.name();
+                for (const auto &[key, value] : combo)
+                    *progress << " " << key << "=" << value;
+                *progress << "...\n";
+            }
+            const RunResult r = runWorkload(rc);
+
+            SweepPoint p;
+            p.workload = w.name();
+            p.policy = spec.policy;
+            p.tunables = combo;
+            p.totalSeconds = r.totalSeconds;
+            p.computeSeconds = r.computeSeconds;
+            p.hintFaults = r.vmstat.numaHintFaults;
+            p.promotions = r.vmstat.pgpromoteSuccess;
+            p.demotions =
+                r.vmstat.pgdemoteKswapd + r.vmstat.pgdemoteDirect;
+            p.exchanges = r.vmstat.pgexchangeSuccess;
+            p.migrations = r.vmstat.pgmigrateSuccess;
+            p.thrash =
+                r.vmstat.pgpromoteDemoted + r.vmstat.pgexchangeThrash;
+            points.push_back(std::move(p));
+        }
+    }
+    return points;
+}
+
+void
+writeSweepCsv(const SweepSpec &spec,
+              const std::vector<SweepPoint> &points, std::ostream &out)
+{
+    CsvWriter csv(out);
+    std::vector<std::string> columns = {"workload", "policy"};
+    for (const SweepAxis &axis : spec.axes)
+        columns.push_back(axis.key);
+    for (const char *metric :
+         {"total_seconds", "compute_seconds", "hint_faults",
+          "promotions", "demotions", "exchanges", "migrations",
+          "thrash"}) {
+        columns.push_back(metric);
+    }
+    csv.header(columns);
+
+    for (const SweepPoint &p : points) {
+        csv.cell(p.workload).cell(p.policy);
+        for (const auto &[key, value] : p.tunables) {
+            (void)key;
+            csv.cell(value);
+        }
+        csv.cell(p.totalSeconds)
+            .cell(p.computeSeconds)
+            .cell(p.hintFaults)
+            .cell(p.promotions)
+            .cell(p.demotions)
+            .cell(p.exchanges)
+            .cell(p.migrations)
+            .cell(p.thrash);
+        csv.endRow();
+    }
+}
+
+}  // namespace memtier

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Parameter-sweep harness over the policy registry: cross-products
+ * tunable axes (scan period, hot threshold, rate limit, exchange batch
+ * size, ...) with a workload list, runs every combination, and emits
+ * one CSV per sweep -- the experiment design of "From Good to Great:
+ * Improving Memory Tiering Performance Through Parameter Tuning"
+ * applied to the scaled testbed.
+ */
+
+#ifndef MEMTIER_EXP_SWEEP_H_
+#define MEMTIER_EXP_SWEEP_H_
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/workloads.h"
+
+namespace memtier {
+
+/** One tunable axis of a sweep: every value is tried. */
+struct SweepAxis
+{
+    std::string key;                  ///< Tunable key ("scan_period_ms").
+    std::vector<std::string> values;  ///< Values to cross-product.
+};
+
+/** One sweep = policy x tunable axes x workloads. */
+struct SweepSpec
+{
+    std::string policy = "autonuma";  ///< Registry name.
+    std::vector<SweepAxis> axes;      ///< Cross-producted tunables.
+    std::vector<WorkloadSpec> workloads;
+    SystemConfig sys;                 ///< Base machine for every run.
+    bool sampling = false;            ///< Samples are off by default.
+};
+
+/** One completed sweep point. */
+struct SweepPoint
+{
+    std::string workload;
+    std::string policy;
+
+    /** Tunable assignment of this point, in axis order. */
+    std::vector<std::pair<std::string, std::string>> tunables;
+
+    double totalSeconds = 0.0;
+    double computeSeconds = 0.0;
+    std::uint64_t hintFaults = 0;
+    std::uint64_t promotions = 0;
+    std::uint64_t demotions = 0;
+    std::uint64_t exchanges = 0;
+    std::uint64_t migrations = 0;
+    std::uint64_t thrash = 0;  ///< Promote-then-demote + exchange thrash.
+};
+
+/**
+ * All tunable combinations of @p axes (cross product, first axis
+ * slowest). One empty combination when @p axes is empty.
+ */
+std::vector<std::vector<std::pair<std::string, std::string>>>
+sweepCombinations(const std::vector<SweepAxis> &axes);
+
+/**
+ * Run the sweep: every tunable combination x every workload.
+ *
+ * @param spec what to sweep.
+ * @param progress stream for per-run progress lines (nullptr = quiet).
+ * @return one point per run, in execution order.
+ */
+std::vector<SweepPoint> runSweep(const SweepSpec &spec,
+                                 std::ostream *progress = nullptr);
+
+/**
+ * Emit the sweep points as CSV: workload, policy, one column per axis,
+ * then the metric columns.
+ */
+void writeSweepCsv(const SweepSpec &spec,
+                   const std::vector<SweepPoint> &points,
+                   std::ostream &out);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_EXP_SWEEP_H_

@@ -168,6 +168,10 @@ Kernel::handlePageFault(PageNum vpn, Cycles now)
     ++stats.pgfault;
 
     MemNode node = choosePlacement(*vma, vpn);
+    // Default-policy regions let the tiering policy steer first-touch
+    // placement; explicit mbind placements are never overridden.
+    if (tieringPolicy && vma->policy.mode == MemPolicy::Mode::Default)
+        node = tieringPolicy->onFirstTouchAlloc(vpn, now, node);
     const FrameOwner owner =
         vma->pageCache ? FrameOwner::PageCache : FrameOwner::App;
 
@@ -186,6 +190,11 @@ Kernel::handlePageFault(PageNum vpn, Cycles now)
             node = MemNode::NVM;
             frame = phys.tier(node).allocate(owner);
         }
+    }
+    if (!frame && node == MemNode::NVM) {
+        // NVM-directed placement (policy interleave) with NVM full.
+        node = MemNode::DRAM;
+        frame = phys.tier(node).allocate(owner);
     }
     if (!frame)
         fatal("physical memory exhausted (both tiers full)");
@@ -307,6 +316,10 @@ Kernel::demotePage(PageNum vpn, PageMeta &meta, bool direct)
         ++stats.pgpromoteDemoted;
         meta.promoted = false;
     }
+    if (meta.exchanged) {
+        ++stats.pgexchangeThrash;
+        meta.exchanged = false;
+    }
     return true;
 }
 
@@ -346,24 +359,54 @@ Kernel::pickVictim(ClockList &list, Cycles now)
         }
         return vpn;
     }
-    return static_cast<PageNum>(-1);
+    return kNoPage;
 }
 
 std::uint32_t
 Kernel::reclaimBatch(std::uint32_t target, bool direct, Cycles now)
 {
     std::uint32_t reclaimed = 0;
+    // Bound on policy vetoes so a veto-everything policy cannot spin
+    // reclaim forever: at most one clock revolution's worth of skips.
+    std::uint64_t vetoes = 0;
+    const std::uint64_t veto_budget = appLru.size() + cacheLru.size() + 1;
     while (reclaimed < target) {
         // Page cache first (it ages fastest: read-once file pages),
         // then application pages.
         ClockList *list = cacheLru.size() > 0 ? &cacheLru : &appLru;
         if (list->pages.empty())
             break;
-        const PageNum victim = pickVictim(*list, now);
-        if (victim == static_cast<PageNum>(-1))
+        PageNum victim = pickVictim(*list, now);
+        if (victim == kNoPage)
             break;
         PageMeta *meta = pt.find(victim);
         MEMTIER_ASSERT(meta != nullptr, "victim vanished");
+        if (cfg.demoteOnReclaim && tieringPolicy) {
+            const DemotionDecision d = tieringPolicy->onDemotionRequest(
+                victim, now, *meta, direct);
+            if (d.action == DemotionDecision::Action::Redirect) {
+                PageMeta *alt = pt.find(d.alternative);
+                if (alt != nullptr && alt->present && !alt->pinned &&
+                    alt->node == MemNode::DRAM) {
+                    ++stats.pgdemoteVetoed;  // The proposed victim won.
+                    victim = d.alternative;
+                    meta = alt;
+                } else {
+                    // Unusable redirect target: treat as a veto.
+                    ++stats.pgdemoteVetoed;
+                    ++list->hand;  // Move the clock past the victim.
+                    if (++vetoes >= veto_budget)
+                        break;
+                    continue;
+                }
+            } else if (d.action == DemotionDecision::Action::Veto) {
+                ++stats.pgdemoteVetoed;
+                ++list->hand;  // Move the clock past the victim.
+                if (++vetoes >= veto_budget)
+                    break;
+                continue;
+            }
+        }
         bool ok;
         if (cfg.demoteOnReclaim) {
             ok = demotePage(victim, *meta, direct);
@@ -426,6 +469,72 @@ Kernel::promotePage(PageNum vpn, Cycles now)
     ++stats.pgpromoteSuccess;
     ++stats.pgmigrateSuccess;
     return cost + cfg.migratePageCycles;
+}
+
+PageNum
+Kernel::pickExchangeVictim(Cycles now)
+{
+    if (appLru.pages.empty())
+        return kNoPage;
+    return pickVictim(appLru, now);
+}
+
+Cycles
+Kernel::exchangePages(PageNum nvm_vpn, PageNum dram_vpn, Cycles now)
+{
+    (void)now;
+    PageMeta *up = pt.find(nvm_vpn);
+    PageMeta *down = pt.find(dram_vpn);
+    if (up == nullptr || down == nullptr || !up->present ||
+        !down->present || up->pinned || down->pinned ||
+        up->node != MemNode::NVM || down->node != MemNode::DRAM) {
+        return 0;
+    }
+    MEMTIER_ASSERT(up->owner == down->owner ||
+                       down->owner == FrameOwner::App,
+                   "exchange victim must be an app page");
+
+    // Swap frames in place: the DRAM page takes the NVM frame and vice
+    // versa. Owner accounting moves with the pages so numastat stays
+    // correct when the owners differ.
+    listFor(*down).remove(dram_vpn);
+    if (up->owner != down->owner) {
+        phys.dram().free(down->frame, down->owner);
+        phys.nvm().free(up->frame, up->owner);
+        const auto dram_frame = phys.dram().allocate(up->owner);
+        const auto nvm_frame = phys.nvm().allocate(down->owner);
+        MEMTIER_ASSERT(dram_frame && nvm_frame,
+                       "exchange re-allocation cannot fail");
+        up->frame = *dram_frame;
+        down->frame = *nvm_frame;
+    } else {
+        std::swap(up->frame, down->frame);
+    }
+    up->node = MemNode::DRAM;
+    down->node = MemNode::NVM;
+    up->protNone = false;
+    down->protNone = false;
+    up->promoted = true;
+    listFor(*up).add(nvm_vpn);
+    shootdown(nvm_vpn);
+    shootdown(dram_vpn);
+
+    ++stats.pgexchangeSuccess;
+    stats.pgmigrateSuccess += 2;  // Two pages moved.
+    ++stats.pgpromoteSuccess;
+    if (down->promoted) {
+        ++stats.pgpromoteDemoted;
+        down->promoted = false;
+    }
+    if (down->exchanged) {
+        ++stats.pgexchangeThrash;
+        down->exchanged = false;
+    }
+    up->exchanged = true;
+
+    // An exchange copies both pages (roughly two migrations' worth of
+    // data movement) but needs no reclaim episode.
+    return 2 * cfg.migratePageCycles;
 }
 
 bool

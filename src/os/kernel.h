@@ -154,6 +154,27 @@ class Kernel
      */
     Cycles promotePage(PageNum vpn, Cycles now);
 
+    /**
+     * Directly swap the residence of an NVM page and a DRAM page
+     * (AutoTiering-style exchange), bypassing the reclaim path: no
+     * frame is allocated or freed on either tier, so the per-tier
+     * resident counts are invariant across the call.
+     *
+     * @param nvm_vpn present, unpinned NVM-resident page (promoted).
+     * @param dram_vpn present, unpinned DRAM-resident app page
+     *        (demoted in its place).
+     * @return synchronous cycles spent (two page copies + remaps), or
+     *         0 when the exchange was not possible.
+     */
+    Cycles exchangePages(PageNum nvm_vpn, PageNum dram_vpn, Cycles now);
+
+    /**
+     * Coldest unpinned DRAM-resident application page per the reclaim
+     * clock, for use as an exchange victim.
+     * @return the page, or kNoPage when none qualifies.
+     */
+    PageNum pickExchangeVictim(Cycles now);
+
     /** True when DRAM has free capacity above the high watermark. */
     bool dramHasFreeCapacity() const;
 

@@ -2,8 +2,8 @@
  * @file
  * Upcall interfaces the kernel uses to talk to layers above it without
  * depending on them: TLB shootdowns into the CPU model, tiering-policy
- * decisions (implemented by the autonuma module), and syscall observation
- * (implemented by the profiler's mmap tracker).
+ * decisions (implemented by the policy subsystem), and syscall
+ * observation (implemented by the profiler's mmap tracker).
  */
 
 #ifndef MEMTIER_OS_KERNEL_HOOKS_H_
@@ -11,12 +11,17 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "base/types.h"
 
 namespace memtier {
 
 struct PageMeta;
+
+/** Sentinel for "no page" in policy/kernel exchanges. */
+inline constexpr PageNum kNoPage = static_cast<PageNum>(-1);
 
 /** Implemented by the CPU model: invalidate cached translations. */
 class TlbShootdownClient
@@ -28,14 +33,57 @@ class TlbShootdownClient
     virtual void tlbShootdown(PageNum vpn) = 0;
 };
 
+/** A policy's answer to "may I demote this DRAM page?". */
+struct DemotionDecision
+{
+    enum class Action : std::uint8_t {
+        Allow,     ///< Demote the proposed victim (kernel default).
+        Veto,      ///< Keep the victim in DRAM; reclaim moves on.
+        Redirect,  ///< Demote @ref alternative instead of the victim.
+    };
+
+    Action action = Action::Allow;
+    PageNum alternative = kNoPage;  ///< Victim for Action::Redirect.
+
+    static DemotionDecision allow() { return {}; }
+
+    static DemotionDecision
+    veto()
+    {
+        return {Action::Veto, kNoPage};
+    }
+
+    static DemotionDecision
+    redirect(PageNum vpn)
+    {
+        return {Action::Redirect, vpn};
+    }
+};
+
+/** One named cumulative counter exported by a policy. */
+using PolicyCounter = std::pair<std::string, std::uint64_t>;
+
 /**
- * Implemented by the AutoNUMA tiering module: consulted when a marked
- * page takes a hint fault.
+ * Full lifecycle interface between the kernel and a tiering policy.
+ *
+ * The kernel owns the mechanism (faults, placement, reclaim, migration)
+ * and consults the installed policy at every decision point. Every hook
+ * except @ref onHintFault has a neutral default, so a policy only
+ * implements the events it cares about:
+ *
+ *  - @ref onHintFault     a scanner-marked page was touched (promote?).
+ *  - @ref scanTick        periodic scan invocation (mark pages).
+ *  - @ref onFirstTouchAlloc  first-touch placement of a new page.
+ *  - @ref onDemotionRequest  reclaim proposes a demotion (veto/redirect?).
+ *  - @ref snapshotStats   export policy-private counters for reports.
  */
 class TieringPolicy
 {
   public:
     virtual ~TieringPolicy() = default;
+
+    /** Stable short name ("autonuma", "exchange", ...). */
+    virtual const char *name() const = 0;
 
     /**
      * A hint page fault occurred on @p vpn.
@@ -47,6 +95,52 @@ class TieringPolicy
      *         synchronous cost of a promotion migration).
      */
     virtual Cycles onHintFault(PageNum vpn, Cycles now, PageMeta &meta) = 0;
+
+    /**
+     * Periodic scan invocation, driven by the engine's service clock
+     * every @ref scanPeriod cycles. Policies that do not scan keep the
+     * default no-op and return 0 from scanPeriod().
+     */
+    virtual void scanTick(Cycles now) { (void)now; }
+
+    /** Period of @ref scanTick in cycles; 0 disables the scan service. */
+    virtual Cycles scanPeriod() const { return 0; }
+
+    /**
+     * A page is being populated on first touch into a Default-policy
+     * VMA (mbind-pinned regions never consult the policy). @p chosen is
+     * the kernel's DRAM-first proposal; the returned node is where the
+     * page is placed (allocation failure still falls back to the other
+     * tier).
+     */
+    virtual MemNode
+    onFirstTouchAlloc(PageNum vpn, Cycles now, MemNode chosen)
+    {
+        (void)vpn;
+        (void)now;
+        return chosen;
+    }
+
+    /**
+     * Reclaim (kswapd or direct) proposes demoting @p vpn out of DRAM.
+     * The policy may allow it, veto it (the page stays; reclaim skips
+     * it this pass), or redirect reclaim to a different DRAM page --
+     * the mechanism AutoTiering-style exchange policies use to protect
+     * recently promoted pages from immediate demotion.
+     */
+    virtual DemotionDecision
+    onDemotionRequest(PageNum vpn, Cycles now, const PageMeta &meta,
+                      bool direct)
+    {
+        (void)vpn;
+        (void)now;
+        (void)meta;
+        (void)direct;
+        return DemotionDecision::allow();
+    }
+
+    /** Policy-private cumulative counters for reports/CSV export. */
+    virtual std::vector<PolicyCounter> snapshotStats() const { return {}; }
 };
 
 /** Implemented by the mmap tracker (syscall_intercept equivalent). */

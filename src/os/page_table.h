@@ -26,6 +26,7 @@ struct PageMeta
     bool protNone = false;       ///< Marked by the AutoNUMA scanner.
     bool pinned = false;         ///< mbind-bound; never migrated/scanned.
     bool promoted = false;       ///< Was promoted NVM->DRAM at least once.
+    bool exchanged = false;      ///< Entered DRAM via a page exchange.
     Cycles scanTime = 0;         ///< When the scanner marked the page.
     Cycles lastAccess = 0;       ///< Updated on page-walk (A-bit model).
     Cycles clockStamp = 0;       ///< Last visit of the reclaim clock hand.

@@ -34,6 +34,15 @@ struct VmStat
     /** Pages demoted DRAM -> NVM by synchronous direct reclaim. */
     std::uint64_t pgdemoteDirect = 0;
 
+    /** Reclaim demotion proposals vetoed/redirected by the policy. */
+    std::uint64_t pgdemoteVetoed = 0;
+
+    /** Direct hot/cold page exchanges (one exchange swaps two pages). */
+    std::uint64_t pgexchangeSuccess = 0;
+
+    /** Exchanged-in pages later pushed back out (exchange thrashing). */
+    std::uint64_t pgexchangeThrash = 0;
+
     /** Total successful page migrations (promotions + demotions). */
     std::uint64_t pgmigrateSuccess = 0;
 
@@ -57,6 +66,9 @@ struct VmStat
         d.pgpromoteDemoted = pgpromoteDemoted - earlier.pgpromoteDemoted;
         d.pgdemoteKswapd = pgdemoteKswapd - earlier.pgdemoteKswapd;
         d.pgdemoteDirect = pgdemoteDirect - earlier.pgdemoteDirect;
+        d.pgdemoteVetoed = pgdemoteVetoed - earlier.pgdemoteVetoed;
+        d.pgexchangeSuccess = pgexchangeSuccess - earlier.pgexchangeSuccess;
+        d.pgexchangeThrash = pgexchangeThrash - earlier.pgexchangeThrash;
         d.pgmigrateSuccess = pgmigrateSuccess - earlier.pgmigrateSuccess;
         d.promoteCandidates = promoteCandidates - earlier.promoteCandidates;
         d.promoteRateLimited =

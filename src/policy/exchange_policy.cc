@@ -1,0 +1,140 @@
+#include "policy/exchange_policy.h"
+
+#include <algorithm>
+
+namespace memtier {
+
+ExchangePolicy::ExchangePolicy(Kernel &kernel,
+                               const ExchangePolicyParams &params)
+    : kernel(kernel), cfg(params)
+{
+    kernel.setTieringPolicy(this);
+}
+
+void
+ExchangePolicy::scanTick(Cycles now)
+{
+    batchUsed = 0;  // A fresh exchange budget every scan period.
+
+    const AddressSpace &space = kernel.addressSpace();
+    if (space.vmas().empty())
+        return;
+
+    std::uint32_t marked = 0;
+    // Same walk as the AutoNUMA scanner: resume from the cursor, wrap
+    // once, skip page-cache and mbind-pinned regions.
+    for (int pass = 0; pass < 2 && marked < cfg.scanPagesPerRound;
+         ++pass) {
+        for (const auto &[start, vma] : space.vmas()) {
+            if (marked >= cfg.scanPagesPerRound)
+                break;
+            if (vma.end <= scanCursor)
+                continue;
+            if (vma.pageCache || vma.policy.pinned())
+                continue;
+            PageNum vpn = pageOf(std::max(vma.start, scanCursor));
+            const PageNum end_vpn = pageOf(vma.end);
+            for (; vpn < end_vpn && marked < cfg.scanPagesPerRound;
+                 ++vpn) {
+                PageMeta *meta = kernel.pageMetaMutable(vpn);
+                if (meta == nullptr || !meta->present || meta->protNone)
+                    continue;
+                meta->protNone = true;
+                meta->scanTime = now;
+                kernel.shootdown(vpn);
+                ++marked;
+                ++stat.pagesScanned;
+            }
+            scanCursor = pageBase(vpn);
+        }
+        if (marked < cfg.scanPagesPerRound)
+            scanCursor = 0;  // Wrap to the start of the address space.
+    }
+
+    // Expire stale protection entries so the map stays bounded.
+    for (auto it = protectedUntil.begin(); it != protectedUntil.end();) {
+        if (it->second <= now)
+            it = protectedUntil.erase(it);
+        else
+            ++it;
+    }
+}
+
+Cycles
+ExchangePolicy::onHintFault(PageNum vpn, Cycles now, PageMeta &meta)
+{
+    ++stat.hintFaults;
+    if (meta.node != MemNode::NVM)
+        return 0;
+    ++stat.hintFaultsNvm;
+
+    const Cycles latency = now >= meta.scanTime ? now - meta.scanTime : 0;
+    if (latency >= cfg.hotThreshold) {
+        ++stat.rejectedCold;
+        return 0;
+    }
+
+    // Free-capacity fast path: plain promotion, like AutoNUMA.
+    if (kernel.dramHasFreeCapacity()) {
+        const Cycles cost = kernel.promotePage(vpn, now);
+        if (cost > 0) {
+            ++stat.promotions;
+            protectedUntil[vpn] = now + cfg.protectWindow;
+        }
+        return cost;
+    }
+
+    // DRAM full: exchange with the coldest DRAM page instead of waiting
+    // for reclaim to demote one (the AutoTiering CPM/OPM fast path).
+    if (batchUsed >= cfg.exchangeBatch) {
+        ++stat.rejectedBatch;
+        return 0;
+    }
+    const PageNum victim = kernel.pickExchangeVictim(now);
+    if (victim == kNoPage) {
+        ++stat.noVictim;
+        return 0;
+    }
+    const Cycles cost = kernel.exchangePages(vpn, victim, now);
+    if (cost > 0) {
+        ++stat.exchanges;
+        ++batchUsed;
+        protectedUntil[vpn] = now + cfg.protectWindow;
+        protectedUntil.erase(victim);
+    } else {
+        ++stat.noVictim;
+    }
+    return cost;
+}
+
+DemotionDecision
+ExchangePolicy::onDemotionRequest(PageNum vpn, Cycles now,
+                                  const PageMeta &meta, bool direct)
+{
+    (void)meta;
+    (void)direct;
+    const auto it = protectedUntil.find(vpn);
+    if (it != protectedUntil.end() && it->second > now) {
+        ++stat.demotionsVetoed;
+        return DemotionDecision::veto();
+    }
+    return DemotionDecision::allow();
+}
+
+std::vector<PolicyCounter>
+ExchangePolicy::snapshotStats() const
+{
+    return {
+        {"pages_scanned", stat.pagesScanned},
+        {"hint_faults", stat.hintFaults},
+        {"hint_faults_nvm", stat.hintFaultsNvm},
+        {"promotions", stat.promotions},
+        {"exchanges", stat.exchanges},
+        {"rejected_cold", stat.rejectedCold},
+        {"rejected_batch", stat.rejectedBatch},
+        {"no_victim", stat.noVictim},
+        {"demotions_vetoed", stat.demotionsVetoed},
+    };
+}
+
+}  // namespace memtier

@@ -1,0 +1,191 @@
+#include "policy/policy_registry.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "policy/exchange_policy.h"
+#include "policy/static_policies.h"
+
+namespace memtier {
+
+namespace {
+
+/** AutoNumaParams = machine defaults overridden by the tunables map. */
+AutoNumaParams
+autonumaParams(const PolicyContext &ctx)
+{
+    AutoNumaParams p = ctx.autonumaDefaults;
+    const PolicyTunables &t = ctx.tunables;
+    p.scanPeriod = t.getMillis("scan_period_ms", p.scanPeriod);
+    p.scanPagesPerRound = static_cast<std::uint32_t>(
+        t.getU64("scan_pages", p.scanPagesPerRound));
+    p.initialThreshold = t.getMillis("hot_threshold_ms",
+                                     p.initialThreshold);
+    p.thresholdMin = t.getMillis("threshold_min_ms", p.thresholdMin);
+    p.thresholdMax = t.getMillis("threshold_max_ms", p.thresholdMax);
+    p.rateLimitBytesPerSec =
+        t.has("rate_limit_kib")
+            ? t.getU64("rate_limit_kib", 0) * kKiB
+            : p.rateLimitBytesPerSec;
+    p.adjustPeriod = t.getMillis("adjust_period_ms", p.adjustPeriod);
+    return p;
+}
+
+ExchangePolicyParams
+exchangeParams(const PolicyContext &ctx)
+{
+    ExchangePolicyParams p;
+    // Inherit the machine's scan cadence so exchange and autonuma see
+    // the same page-access information by default.
+    p.scanPeriod = ctx.autonumaDefaults.scanPeriod;
+    p.scanPagesPerRound = ctx.autonumaDefaults.scanPagesPerRound;
+    p.hotThreshold = ctx.autonumaDefaults.initialThreshold;
+
+    const PolicyTunables &t = ctx.tunables;
+    p.scanPeriod = t.getMillis("scan_period_ms", p.scanPeriod);
+    p.scanPagesPerRound = static_cast<std::uint32_t>(
+        t.getU64("scan_pages", p.scanPagesPerRound));
+    p.hotThreshold = t.getMillis("hot_threshold_ms", p.hotThreshold);
+    p.exchangeBatch = static_cast<std::uint32_t>(
+        t.getU64("exchange_batch", p.exchangeBatch));
+    p.protectWindow = t.getMillis("protect_ms", p.protectWindow);
+    return p;
+}
+
+}  // namespace
+
+PolicyRegistry::PolicyRegistry()
+{
+    add("autonuma",
+        "AutoNUMA tiering (the paper's baseline): hint-fault driven "
+        "promotion with adaptive threshold and rate limit; demotion "
+        "through reclaim",
+        {"scan_period_ms", "scan_pages", "hot_threshold_ms",
+         "threshold_min_ms", "threshold_max_ms", "rate_limit_kib",
+         "adjust_period_ms"},
+        [](const PolicyContext &ctx) -> std::unique_ptr<TieringPolicy> {
+            return std::make_unique<AutoNuma>(ctx.kernel,
+                                              autonumaParams(ctx));
+        });
+
+    add("exchange",
+        "AutoTiering-style hot/cold page exchange: hot NVM pages swap "
+        "with the coldest DRAM page directly, bypassing reclaim",
+        {"scan_period_ms", "scan_pages", "hot_threshold_ms",
+         "exchange_batch", "protect_ms"},
+        [](const PolicyContext &ctx) -> std::unique_ptr<TieringPolicy> {
+            return std::make_unique<ExchangePolicy>(ctx.kernel,
+                                                    exchangeParams(ctx));
+        });
+
+    add("dram-only",
+        "Static DRAM-first placement: pack DRAM to the last frame, "
+        "overflow to NVM, never migrate",
+        {},
+        [](const PolicyContext &ctx) -> std::unique_ptr<TieringPolicy> {
+            return std::make_unique<DramOnlyPolicy>(ctx.kernel);
+        });
+
+    add("interleave",
+        "Static page-interleaved placement across DRAM and NVM "
+        "(MPOL_INTERLEAVE), never migrate",
+        {"dram_stride", "nvm_stride"},
+        [](const PolicyContext &ctx) -> std::unique_ptr<TieringPolicy> {
+            return std::make_unique<InterleavePolicy>(
+                ctx.kernel,
+                static_cast<std::uint32_t>(
+                    ctx.tunables.getU64("dram_stride", 1)),
+                static_cast<std::uint32_t>(
+                    ctx.tunables.getU64("nvm_stride", 1)));
+        });
+}
+
+PolicyRegistry &
+PolicyRegistry::instance()
+{
+    static PolicyRegistry registry;
+    return registry;
+}
+
+void
+PolicyRegistry::add(const std::string &name,
+                    const std::string &description,
+                    std::vector<std::string> tunable_keys,
+                    PolicyFactory factory)
+{
+    MEMTIER_ASSERT(find(name) == nullptr, "duplicate policy name");
+    entries.push_back(
+        {name, description, std::move(tunable_keys), std::move(factory)});
+}
+
+const PolicyRegistry::Entry *
+PolicyRegistry::find(const std::string &name) const
+{
+    for (const Entry &e : entries) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+std::unique_ptr<TieringPolicy>
+PolicyRegistry::create(const std::string &name, const PolicyContext &ctx,
+                       std::string *error) const
+{
+    const Entry *entry = find(name);
+    if (entry == nullptr) {
+        if (error != nullptr) {
+            std::string known;
+            for (const std::string &n : names())
+                known += (known.empty() ? "" : ", ") + n;
+            *error = "unknown policy '" + name + "' (available: " +
+                     known + ")";
+        }
+        return nullptr;
+    }
+    const std::vector<std::string> unknown =
+        ctx.tunables.unknownKeys(entry->tunableKeys);
+    if (!unknown.empty()) {
+        if (error != nullptr) {
+            *error = "policy '" + name +
+                     "' does not understand tunable '" + unknown.front() +
+                     "'";
+        }
+        return nullptr;
+    }
+    return entry->factory(ctx);
+}
+
+bool
+PolicyRegistry::contains(const std::string &name) const
+{
+    return find(name) != nullptr;
+}
+
+std::vector<std::string>
+PolicyRegistry::names() const
+{
+    std::vector<std::string> out;
+    out.reserve(entries.size());
+    for (const Entry &e : entries)
+        out.push_back(e.name);
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::string
+PolicyRegistry::description(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    return entry != nullptr ? entry->description : "";
+}
+
+std::vector<std::string>
+PolicyRegistry::tunableKeys(const std::string &name) const
+{
+    const Entry *entry = find(name);
+    return entry != nullptr ? entry->tunableKeys
+                            : std::vector<std::string>{};
+}
+
+}  // namespace memtier

@@ -1,0 +1,68 @@
+#include "policy/static_policies.h"
+
+namespace memtier {
+
+std::vector<PolicyCounter>
+StaticPolicy::snapshotStats() const
+{
+    return {
+        {"first_touch_dram", stat.firstTouchDram},
+        {"first_touch_nvm", stat.firstTouchNvm},
+        {"demotions_vetoed", stat.demotionsVetoed},
+    };
+}
+
+DramOnlyPolicy::DramOnlyPolicy(Kernel &kernel) : kernel(kernel)
+{
+    kernel.setTieringPolicy(this);
+}
+
+MemNode
+DramOnlyPolicy::onFirstTouchAlloc(PageNum vpn, Cycles now, MemNode chosen)
+{
+    (void)vpn;
+    (void)now;
+    (void)chosen;
+    // Pack DRAM completely: override the kernel's watermark-driven NVM
+    // fallback and only overflow when DRAM is truly out of frames (the
+    // fault path falls back on allocation failure).
+    const MemNode node =
+        kernel.physicalMemory().dram().freePages() > 0 ? MemNode::DRAM
+                                                       : MemNode::NVM;
+    if (node == MemNode::DRAM)
+        ++stat.firstTouchDram;
+    else
+        ++stat.firstTouchNvm;
+    return node;
+}
+
+InterleavePolicy::InterleavePolicy(Kernel &kernel,
+                                   std::uint32_t dram_stride,
+                                   std::uint32_t nvm_stride)
+    : kernel(kernel), dramStride(dram_stride ? dram_stride : 1),
+      nvmStride(nvm_stride ? nvm_stride : 1)
+{
+    kernel.setTieringPolicy(this);
+}
+
+MemNode
+InterleavePolicy::onFirstTouchAlloc(PageNum vpn, Cycles now,
+                                    MemNode chosen)
+{
+    (void)vpn;
+    (void)now;
+    (void)chosen;
+    // Deal pages round-robin in stride-sized runs: dramStride pages to
+    // DRAM, then nvmStride pages to NVM, in first-touch order.
+    const std::uint64_t period = dramStride + nvmStride;
+    const MemNode node = (counter++ % period) < dramStride
+                             ? MemNode::DRAM
+                             : MemNode::NVM;
+    if (node == MemNode::DRAM)
+        ++stat.firstTouchDram;
+    else
+        ++stat.firstTouchNvm;
+    return node;
+}
+
+}  // namespace memtier

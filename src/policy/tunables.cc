@@ -1,0 +1,98 @@
+#include "policy/tunables.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+bool
+PolicyTunables::parseAssignment(const std::string &assignment)
+{
+    const std::size_t eq = assignment.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return false;
+    values[assignment.substr(0, eq)] = assignment.substr(eq + 1);
+    return true;
+}
+
+void
+PolicyTunables::set(const std::string &key, const std::string &value)
+{
+    values[key] = value;
+}
+
+bool
+PolicyTunables::has(const std::string &key) const
+{
+    return values.count(key) != 0;
+}
+
+std::vector<std::string>
+PolicyTunables::unknownKeys(const std::vector<std::string> &allowed) const
+{
+    std::vector<std::string> unknown;
+    for (const auto &[key, value] : values) {
+        (void)value;
+        if (std::find(allowed.begin(), allowed.end(), key) ==
+            allowed.end()) {
+            unknown.push_back(key);
+        }
+    }
+    return unknown;
+}
+
+std::vector<std::string>
+PolicyTunables::assignments() const
+{
+    std::vector<std::string> out;
+    out.reserve(values.size());
+    for (const auto &[key, value] : values)
+        out.push_back(key + "=" + value);
+    return out;
+}
+
+std::uint64_t
+PolicyTunables::getU64(const std::string &key,
+                       std::uint64_t fallback) const
+{
+    const auto it = values.find(key);
+    if (it == values.end())
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(it->second.c_str(), &end, 0);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+        fatal("tunable %s=%s is not an unsigned integer", key.c_str(),
+              it->second.c_str());
+    }
+    return v;
+}
+
+double
+PolicyTunables::getDouble(const std::string &key, double fallback) const
+{
+    const auto it = values.find(key);
+    if (it == values.end())
+        return fallback;
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(it->second.c_str(), &end);
+    if (errno != 0 || end == it->second.c_str() || *end != '\0') {
+        fatal("tunable %s=%s is not a number", key.c_str(),
+              it->second.c_str());
+    }
+    return v;
+}
+
+Cycles
+PolicyTunables::getMillis(const std::string &key, Cycles fallback) const
+{
+    if (!has(key))
+        return fallback;
+    return secondsToCycles(getDouble(key, 0.0) / 1000.0);
+}
+
+}  // namespace memtier

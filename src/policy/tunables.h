@@ -1,0 +1,68 @@
+/**
+ * @file
+ * String-keyed tunables map for the policy registry: the CLI/config
+ * surface is "--tunable key=value" assignments, each policy declares
+ * which keys it understands, and the typed getters parse values on
+ * demand ("From Good to Great" shows the tunables dominate outcomes,
+ * so they must be sweepable without recompiling).
+ */
+
+#ifndef MEMTIER_POLICY_TUNABLES_H_
+#define MEMTIER_POLICY_TUNABLES_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** Ordered key -> value-string map of policy tunables. */
+class PolicyTunables
+{
+  public:
+    /**
+     * Parse one "key=value" assignment into the map (later assignments
+     * to the same key win).
+     * @return false when @p assignment is malformed (no '=', empty key).
+     */
+    bool parseAssignment(const std::string &assignment);
+
+    /** Set @p key to @p value directly. */
+    void set(const std::string &key, const std::string &value);
+
+    /** True when @p key is present. */
+    bool has(const std::string &key) const;
+
+    /** Number of tunables set. */
+    std::size_t size() const { return values.size(); }
+
+    /** Keys present but not in @p allowed (registry validation). */
+    std::vector<std::string>
+    unknownKeys(const std::vector<std::string> &allowed) const;
+
+    /** All assignments as "k=v" strings, in key order (CSV labels). */
+    std::vector<std::string> assignments() const;
+
+    // -- Typed getters (fatal on an unparseable value) ----------------
+
+    /** Unsigned integer value of @p key, or @p fallback when absent. */
+    std::uint64_t getU64(const std::string &key,
+                         std::uint64_t fallback) const;
+
+    /** Floating-point value of @p key, or @p fallback when absent. */
+    double getDouble(const std::string &key, double fallback) const;
+
+    /** Value of @p key in milliseconds converted to cycles, or
+     *  @p fallback (already in cycles) when absent. */
+    Cycles getMillis(const std::string &key, Cycles fallback) const;
+
+  private:
+    std::map<std::string, std::string> values;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_POLICY_TUNABLES_H_

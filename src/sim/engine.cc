@@ -1,6 +1,7 @@
 #include "sim/engine.h"
 
 #include "base/logging.h"
+#include "policy/policy_registry.h"
 
 namespace memtier {
 
@@ -16,15 +17,31 @@ Engine::Engine(const SystemConfig &config)
     kern = std::make_unique<Kernel>(phys, kp);
     kern->setShootdownClient(this);
 
-    if (cfg.autonumaEnabled)
-        numa = std::make_unique<AutoNuma>(*kern, cfg.autonuma);
+    // Resolve the tiering policy through the registry. The legacy
+    // autonumaEnabled flag maps onto the "autonuma" registry entry, so
+    // both selection paths construct the identical policy.
+    const std::string policy_name =
+        !cfg.policyName.empty()
+            ? cfg.policyName
+            : (cfg.autonumaEnabled ? "autonuma" : "");
+    if (!policy_name.empty()) {
+        PolicyContext ctx{*kern, cfg.autonuma, cfg.policyTunables};
+        std::string error;
+        tiering =
+            PolicyRegistry::instance().create(policy_name, ctx, &error);
+        if (tiering == nullptr)
+            fatal("%s", error.c_str());
+        kern->setTieringPolicy(tiering.get());
+    }
 
     threads.reserve(cfg.numThreads);
     for (std::uint32_t i = 0; i < cfg.numThreads; ++i)
         threads.push_back(std::make_unique<ThreadContext>(i, cfg.cache));
 
     nextKswapd = cfg.kswapdPeriod;
-    nextScan = cfg.autonuma.scanPeriod;
+    nextScan = tiering && tiering->scanPeriod() > 0
+                   ? tiering->scanPeriod()
+                   : cfg.autonuma.scanPeriod;
     nextTimeline = cfg.timelinePeriod;
 }
 
@@ -74,10 +91,10 @@ Engine::maybeRunServices(Cycles now)
         kern->kswapdTick(nextKswapd);
         nextKswapd += cfg.kswapdPeriod;
     }
-    if (numa) {
+    if (tiering && tiering->scanPeriod() > 0) {
         while (nextScan <= serviceClock) {
-            numa->scanTick(nextScan);
-            nextScan += numa->scanPeriod();
+            tiering->scanTick(nextScan);
+            nextScan += tiering->scanPeriod();
         }
     }
     for (Service &svc : services) {

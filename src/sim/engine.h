@@ -53,7 +53,12 @@ class Engine : public TlbShootdownClient
     ///@{
     Kernel &kernel() { return *kern; }
     PhysicalMemory &physicalMemory() { return phys; }
-    AutoNuma *autonuma() { return numa.get(); }
+
+    /** Installed tiering policy (nullptr when tiering is off). */
+    TieringPolicy *tieringPolicy() { return tiering.get(); }
+
+    /** The policy as AutoNuma, or nullptr when another one runs. */
+    AutoNuma *autonuma() { return dynamic_cast<AutoNuma *>(tiering.get()); }
     ThreadContext &thread(std::uint32_t i) { return *threads.at(i); }
     std::uint32_t threadCount() const
     {
@@ -224,7 +229,7 @@ class Engine : public TlbShootdownClient
     SystemConfig cfg;
     PhysicalMemory phys;
     std::unique_ptr<Kernel> kern;
-    std::unique_ptr<AutoNuma> numa;
+    std::unique_ptr<TieringPolicy> tiering;
     SetAssocCache l3;
     std::vector<std::unique_ptr<ThreadContext>> threads;
     std::vector<AccessObserver *> observers;

@@ -16,10 +16,13 @@
 
 #include <cstdint>
 
+#include <string>
+
 #include "autonuma/autonuma.h"
 #include "cache/cache_params.h"
 #include "mem/tier_params.h"
 #include "os/kernel.h"
+#include "policy/tunables.h"
 
 namespace memtier {
 
@@ -31,6 +34,17 @@ struct SystemConfig
     CacheParams cache;
     KernelParams kernel;
     AutoNumaParams autonuma;
+
+    /**
+     * Tiering policy selected by registry name ("autonuma", "exchange",
+     * "dram-only", "interleave", ...). When empty, the legacy
+     * autonumaEnabled flag decides between "autonuma" and no policy,
+     * so existing configurations behave exactly as before.
+     */
+    std::string policyName;
+
+    /** String-keyed tunables forwarded to the policy factory. */
+    PolicyTunables policyTunables;
 
     /** False runs the vanilla-kernel baseline (no scanning/migration). */
     bool autonumaEnabled = true;

@@ -225,6 +225,8 @@ class RecordingPolicy : public TieringPolicy
   public:
     explicit RecordingPolicy(Kernel &k) : kern(k) {}
 
+    const char *name() const override { return "recording"; }
+
     Cycles
     onHintFault(PageNum vpn, Cycles now, PageMeta &meta) override
     {

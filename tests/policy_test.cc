@@ -1,0 +1,467 @@
+/**
+ * @file
+ * Tests for the policy subsystem: the tunables map, the registry, the
+ * sweep cross product, the kernel's exchange/veto hooks, and the
+ * regression guarantee that "autonuma" selected through the registry is
+ * bit-identical to the pre-registry AutoNUMA path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "exp/runner.h"
+#include "exp/sweep.h"
+#include "os/kernel.h"
+#include "os/physical_memory.h"
+#include "policy/exchange_policy.h"
+#include "policy/policy_registry.h"
+#include "policy/static_policies.h"
+#include "policy/tunables.h"
+
+namespace memtier {
+namespace {
+
+// -------------------------------------------------------- PolicyTunables
+
+TEST(PolicyTunables, ParsesAssignments)
+{
+    PolicyTunables t;
+    EXPECT_TRUE(t.parseAssignment("scan_period_ms=10"));
+    EXPECT_TRUE(t.has("scan_period_ms"));
+    EXPECT_EQ(t.getU64("scan_period_ms", 0), 10u);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(PolicyTunables, RejectsMalformedAssignments)
+{
+    PolicyTunables t;
+    EXPECT_FALSE(t.parseAssignment("no_equals_sign"));
+    EXPECT_FALSE(t.parseAssignment("=value_without_key"));
+    EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(PolicyTunables, LaterAssignmentWins)
+{
+    PolicyTunables t;
+    EXPECT_TRUE(t.parseAssignment("k=1"));
+    EXPECT_TRUE(t.parseAssignment("k=2"));
+    EXPECT_EQ(t.getU64("k", 0), 2u);
+    EXPECT_EQ(t.size(), 1u);
+}
+
+TEST(PolicyTunables, TypedGettersFallBackWhenAbsent)
+{
+    PolicyTunables t;
+    EXPECT_EQ(t.getU64("missing", 42), 42u);
+    EXPECT_DOUBLE_EQ(t.getDouble("missing", 2.5), 2.5);
+    EXPECT_EQ(t.getMillis("missing", 1234), Cycles{1234});
+}
+
+TEST(PolicyTunables, MillisConvertToCycles)
+{
+    PolicyTunables t;
+    t.set("period", "2");
+    EXPECT_EQ(t.getMillis("period", 0), secondsToCycles(0.002));
+    t.set("period", "0.5");
+    EXPECT_EQ(t.getMillis("period", 0), secondsToCycles(0.0005));
+}
+
+TEST(PolicyTunables, UnknownKeysAgainstAllowList)
+{
+    PolicyTunables t;
+    t.set("good", "1");
+    t.set("bogus", "2");
+    const std::vector<std::string> unknown = t.unknownKeys({"good"});
+    ASSERT_EQ(unknown.size(), 1u);
+    EXPECT_EQ(unknown[0], "bogus");
+    EXPECT_TRUE(t.unknownKeys({"good", "bogus"}).empty());
+}
+
+TEST(PolicyTunables, AssignmentsRoundTrip)
+{
+    PolicyTunables t;
+    t.set("b", "2");
+    t.set("a", "1");
+    EXPECT_EQ(t.assignments(),
+              (std::vector<std::string>{"a=1", "b=2"}));
+}
+
+// --------------------------------------------------------------- Sweep
+
+TEST(Sweep, NoAxesYieldsOneEmptyCombination)
+{
+    const auto combos = sweepCombinations({});
+    ASSERT_EQ(combos.size(), 1u);
+    EXPECT_TRUE(combos[0].empty());
+}
+
+TEST(Sweep, CrossProductFirstAxisSlowest)
+{
+    const std::vector<SweepAxis> axes = {
+        {"a", {"1", "2"}},
+        {"b", {"x", "y", "z"}},
+    };
+    const auto combos = sweepCombinations(axes);
+    ASSERT_EQ(combos.size(), 6u);
+    EXPECT_EQ(combos.front(),
+              (std::vector<std::pair<std::string, std::string>>{
+                  {"a", "1"}, {"b", "x"}}));
+    EXPECT_EQ(combos.back(),
+              (std::vector<std::pair<std::string, std::string>>{
+                  {"a", "2"}, {"b", "z"}}));
+}
+
+// ------------------------------------------------------- PolicyRegistry
+
+/** A machine with tiny tiers so capacity effects are easy to trigger. */
+class PolicyKernelTest : public ::testing::Test
+{
+  protected:
+    PolicyKernelTest()
+        : phys(makeDramParams(kDramPages * kPageSize),
+               makeNvmParams(kNvmPages * kPageSize)),
+          kern(phys, KernelParams{})
+    {
+        kern.setShootdownClient(&shootdown);
+    }
+
+    /** mmap @p pages pages and touch each once (first-touch allocate). */
+    Addr
+    populate(std::uint64_t pages, Cycles start = 1000)
+    {
+        const Addr base = kern.mmap(start, pages * kPageSize, 1, "test");
+        for (std::uint64_t i = 0; i < pages; ++i)
+            kern.touchPage(pageOf(base) + i, start + i, MemOp::Store);
+        return base;
+    }
+
+    /** First populated page currently resident on @p node. */
+    PageNum
+    findResident(Addr base, std::uint64_t pages, MemNode node) const
+    {
+        for (std::uint64_t i = 0; i < pages; ++i) {
+            if (kern.nodeOf(pageOf(base) + i) == node)
+                return pageOf(base) + i;
+        }
+        return kNoPage;
+    }
+
+    class CountingShootdown : public TlbShootdownClient
+    {
+      public:
+        void tlbShootdown(PageNum) override { ++count; }
+        std::uint64_t count = 0;
+    };
+
+    static constexpr std::uint64_t kDramPages = 64;
+    static constexpr std::uint64_t kNvmPages = 512;
+
+    PhysicalMemory phys;
+    CountingShootdown shootdown;
+    Kernel kern;
+};
+
+TEST_F(PolicyKernelTest, RegistryListsBuiltinsSorted)
+{
+    const std::vector<std::string> names =
+        PolicyRegistry::instance().names();
+    EXPECT_EQ(names, (std::vector<std::string>{
+                         "autonuma", "dram-only", "exchange",
+                         "interleave"}));
+    for (const std::string &name : names) {
+        EXPECT_TRUE(PolicyRegistry::instance().contains(name));
+        EXPECT_FALSE(
+            PolicyRegistry::instance().description(name).empty());
+    }
+    EXPECT_FALSE(PolicyRegistry::instance().contains("nope"));
+}
+
+TEST_F(PolicyKernelTest, RegistryCreatesEveryBuiltin)
+{
+    for (const std::string &name :
+         PolicyRegistry::instance().names()) {
+        PolicyContext ctx{kern, AutoNumaParams{}, PolicyTunables{}};
+        std::string error;
+        const auto policy =
+            PolicyRegistry::instance().create(name, ctx, &error);
+        ASSERT_NE(policy, nullptr) << name << ": " << error;
+        EXPECT_EQ(policy->name(), name);
+        // Reset: the static policies attach themselves on construction.
+        kern.setTieringPolicy(nullptr);
+    }
+}
+
+TEST_F(PolicyKernelTest, RegistryRejectsUnknownName)
+{
+    PolicyContext ctx{kern, AutoNumaParams{}, PolicyTunables{}};
+    std::string error;
+    EXPECT_EQ(PolicyRegistry::instance().create("numad", ctx, &error),
+              nullptr);
+    EXPECT_NE(error.find("unknown policy 'numad'"), std::string::npos);
+    EXPECT_NE(error.find("autonuma"), std::string::npos);  // Suggests.
+}
+
+TEST_F(PolicyKernelTest, RegistryRejectsUnknownTunable)
+{
+    PolicyContext ctx{kern, AutoNumaParams{}, PolicyTunables{}};
+    ctx.tunables.set("exchange_batch", "8");  // An exchange-only key.
+    std::string error;
+    EXPECT_EQ(
+        PolicyRegistry::instance().create("autonuma", ctx, &error),
+        nullptr);
+    EXPECT_NE(error.find("exchange_batch"), std::string::npos);
+}
+
+TEST_F(PolicyKernelTest, RegistryAppliesTunables)
+{
+    PolicyContext ctx{kern, AutoNumaParams{}, PolicyTunables{}};
+    ctx.tunables.set("scan_period_ms", "7");
+    std::string error;
+    const auto policy =
+        PolicyRegistry::instance().create("autonuma", ctx, &error);
+    ASSERT_NE(policy, nullptr) << error;
+    EXPECT_EQ(policy->scanPeriod(), secondsToCycles(0.007));
+    kern.setTieringPolicy(nullptr);
+}
+
+// ------------------------------------------------------- Exchange hooks
+
+TEST_F(PolicyKernelTest, ExchangeSwapsResidenceKeepingTierCounts)
+{
+    // Overfill DRAM so the tail of the region lands on NVM.
+    const std::uint64_t pages = kDramPages + 32;
+    const Addr base = populate(pages);
+    const PageNum up = findResident(base, pages, MemNode::NVM);
+    ASSERT_NE(up, kNoPage);
+
+    const PageNum down = kern.pickExchangeVictim(500000);
+    ASSERT_NE(down, kNoPage);
+    ASSERT_EQ(kern.nodeOf(down), MemNode::DRAM);
+
+    const std::uint64_t dram_used = phys.dram().usedPages();
+    const std::uint64_t nvm_used = phys.nvm().usedPages();
+    const std::uint64_t shootdowns = shootdown.count;
+
+    const Cycles cost = kern.exchangePages(up, down, 600000);
+    EXPECT_GT(cost, 0u);
+    EXPECT_EQ(kern.nodeOf(up), MemNode::DRAM);
+    EXPECT_EQ(kern.nodeOf(down), MemNode::NVM);
+
+    // The exchange must never change per-tier resident counts: no
+    // frame is created or destroyed, the two pages trade places.
+    EXPECT_EQ(phys.dram().usedPages(), dram_used);
+    EXPECT_EQ(phys.nvm().usedPages(), nvm_used);
+    EXPECT_EQ(kern.vmstat().pgexchangeSuccess, 1u);
+    EXPECT_EQ(kern.vmstat().pgmigrateSuccess, 2u);
+    EXPECT_EQ(shootdown.count, shootdowns + 2);  // Both mappings.
+
+    // Both pages stay present and touchable without a page fault.
+    EXPECT_FALSE(kern.touchPage(up, 700000, MemOp::Load).pageFault);
+    EXPECT_FALSE(kern.touchPage(down, 700001, MemOp::Load).pageFault);
+}
+
+TEST_F(PolicyKernelTest, ExchangeBackCountsThrash)
+{
+    const std::uint64_t pages = kDramPages + 32;
+    const Addr base = populate(pages);
+    const PageNum up = findResident(base, pages, MemNode::NVM);
+    const PageNum down = kern.pickExchangeVictim(500000);
+    ASSERT_NE(up, kNoPage);
+    ASSERT_NE(down, kNoPage);
+
+    ASSERT_GT(kern.exchangePages(up, down, 600000), 0u);
+    // Swapping straight back pushes the exchanged-in page out again:
+    // that is exchange thrash, the failure mode the protection window
+    // exists to prevent.
+    ASSERT_GT(kern.exchangePages(down, up, 700000), 0u);
+    EXPECT_EQ(kern.vmstat().pgexchangeSuccess, 2u);
+    EXPECT_EQ(kern.vmstat().pgexchangeThrash, 1u);
+    EXPECT_GE(kern.vmstat().pgpromoteDemoted, 1u);
+}
+
+TEST_F(PolicyKernelTest, ExchangeRejectsWrongResidence)
+{
+    const std::uint64_t pages = kDramPages + 32;
+    const Addr base = populate(pages);
+    const PageNum dram_page = findResident(base, pages, MemNode::DRAM);
+    const PageNum nvm_page = findResident(base, pages, MemNode::NVM);
+    ASSERT_NE(dram_page, kNoPage);
+    ASSERT_NE(nvm_page, kNoPage);
+
+    // Arguments reversed / unmapped pages: no-op, no counter movement.
+    EXPECT_EQ(kern.exchangePages(dram_page, nvm_page, 600000), 0u);
+    EXPECT_EQ(kern.exchangePages(nvm_page, nvm_page, 600000), 0u);
+    EXPECT_EQ(kern.exchangePages(kNoPage, dram_page, 600000), 0u);
+    EXPECT_EQ(kern.vmstat().pgexchangeSuccess, 0u);
+    EXPECT_EQ(kern.vmstat().pgmigrateSuccess, 0u);
+}
+
+// ---------------------------------------------------------- Veto hooks
+
+TEST_F(PolicyKernelTest, VetoedDemotionLeavesPageTableConsistent)
+{
+    DramOnlyPolicy policy(kern);  // Attaches itself; vetoes everything.
+    const std::uint64_t pages = kDramPages + 32;
+    const Addr base = populate(pages);
+
+    std::vector<MemNode> nodes_before;
+    for (std::uint64_t i = 0; i < pages; ++i)
+        nodes_before.push_back(kern.nodeOf(pageOf(base) + i));
+    const std::uint64_t dram_used = phys.dram().usedPages();
+    const std::uint64_t nvm_used = phys.nvm().usedPages();
+
+    // DRAM is packed solid, so kswapd wants to demote -- and the
+    // policy vetoes every proposal. The bounded veto budget guarantees
+    // this returns instead of spinning.
+    kern.kswapdTick(500000);
+
+    EXPECT_EQ(kern.vmstat().pgdemoteKswapd, 0u);
+    EXPECT_EQ(kern.vmstat().pgdemoteDirect, 0u);
+    EXPECT_GT(kern.vmstat().pgdemoteVetoed, 0u);
+    EXPECT_EQ(phys.dram().usedPages(), dram_used);
+    EXPECT_EQ(phys.nvm().usedPages(), nvm_used);
+
+    // Every page is still mapped, resident where it was, and touchable
+    // without a fault.
+    for (std::uint64_t i = 0; i < pages; ++i) {
+        const PageNum vpn = pageOf(base) + i;
+        const PageMeta *meta = kern.pageMeta(vpn);
+        ASSERT_NE(meta, nullptr);
+        EXPECT_TRUE(meta->present);
+        EXPECT_EQ(meta->node, nodes_before[i]);
+        EXPECT_FALSE(
+            kern.touchPage(vpn, 600000 + i, MemOp::Load).pageFault);
+    }
+    EXPECT_EQ(policy.stats().demotionsVetoed,
+              kern.vmstat().pgdemoteVetoed);
+    kern.setTieringPolicy(nullptr);
+}
+
+// ------------------------------------------- AutoNUMA regression golden
+//
+// The exact VmStat deltas and output checksum this workload produced on
+// the pre-registry seed tree (captured from a seed build). The
+// registry path must reproduce them bit for bit -- any drift means the
+// refactor changed AutoNUMA behaviour.
+
+RunConfig
+goldenConfig()
+{
+    RunConfig rc;
+    rc.workload.app = App::PR;
+    rc.workload.kind = GraphKind::Kron;
+    rc.workload.scale = 13;
+    rc.workload.trials = 8;
+    rc.sampling = false;
+    rc.sys.dram = makeDramParams(192 * kPageSize);
+    rc.sys.nvm = makeNvmParams(4096 * kPageSize);
+    rc.sys.autonuma.scanPeriod = secondsToCycles(0.0005);
+    rc.sys.autonuma.adjustPeriod = secondsToCycles(0.002);
+    rc.sys.autonuma.rateLimitBytesPerSec = 4 * kMiB;
+    return rc;
+}
+
+void
+expectGolden(const RunResult &r)
+{
+    EXPECT_EQ(r.vmstat.pgfault, 249u);
+    EXPECT_EQ(r.vmstat.numaHintFaults, 1991u);
+    EXPECT_EQ(r.vmstat.pgpromoteSuccess, 865u);
+    EXPECT_EQ(r.vmstat.pgpromoteDemoted, 684u);
+    EXPECT_EQ(r.vmstat.pgdemoteKswapd, 203u);
+    EXPECT_EQ(r.vmstat.pgdemoteDirect, 704u);
+    EXPECT_EQ(r.vmstat.pgdemoteVetoed, 0u);
+    EXPECT_EQ(r.vmstat.pgexchangeSuccess, 0u);
+    EXPECT_EQ(r.vmstat.pgexchangeThrash, 0u);
+    EXPECT_EQ(r.vmstat.pgmigrateSuccess, 1772u);
+    EXPECT_EQ(r.vmstat.promoteCandidates, 865u);
+    EXPECT_EQ(r.vmstat.promoteRateLimited, 0u);
+    EXPECT_EQ(r.vmstat.pageCacheDrops, 0u);
+    EXPECT_EQ(r.outputChecksum, 0xb5d59696c650f8d5ull);
+    EXPECT_DOUBLE_EQ(r.totalSeconds, 0.010918201923076923);
+}
+
+TEST(AutoNumaRegression, LegacyModePathMatchesSeed)
+{
+    const RunResult r = runWorkload(goldenConfig());
+    EXPECT_TRUE(r.hasAutoNuma);
+    expectGolden(r);
+}
+
+TEST(AutoNumaRegression, RegistryPathMatchesSeed)
+{
+    RunConfig rc = goldenConfig();
+    rc.policy = "autonuma";
+    const RunResult r = runWorkload(rc);
+    EXPECT_EQ(r.policyName, "autonuma");
+    EXPECT_FALSE(r.policyCounters.empty());
+    expectGolden(r);
+}
+
+TEST(AutoNumaRegression, TunablesExpressTheSameConfig)
+{
+    RunConfig rc = goldenConfig();
+    // Wipe the struct-level overrides and express them as registry
+    // tunables instead; the run must still match the golden values.
+    rc.sys.autonuma = AutoNumaParams{};
+    rc.policy = "autonuma";
+    rc.tunables = {"scan_period_ms=0.5", "adjust_period_ms=2",
+                   "rate_limit_kib=4096"};
+    expectGolden(runWorkload(rc));
+}
+
+// --------------------------------------------------- Policy end-to-end
+
+TEST(PolicyEndToEnd, StaticPoliciesNeverMigrate)
+{
+    RunConfig rc = goldenConfig();
+    rc.policy = "dram-only";
+    const RunResult dram_only = runWorkload(rc);
+    EXPECT_EQ(dram_only.policyName, "dram-only");
+    EXPECT_EQ(dram_only.vmstat.pgmigrateSuccess, 0u);
+    EXPECT_EQ(dram_only.vmstat.pgpromoteSuccess, 0u);
+    EXPECT_EQ(dram_only.vmstat.pgdemoteKswapd, 0u);
+    EXPECT_EQ(dram_only.vmstat.pgdemoteDirect, 0u);
+    EXPECT_EQ(dram_only.vmstat.numaHintFaults, 0u);
+
+    rc.policy = "interleave";
+    const RunResult interleave = runWorkload(rc);
+    EXPECT_EQ(interleave.vmstat.pgmigrateSuccess, 0u);
+    // Interleave really stripes: first touches land on both tiers.
+    // (finalNumastat is useless here -- the runner unmaps the graph
+    // before harvesting, so resident counts are zero by then.)
+    std::uint64_t to_dram = 0;
+    std::uint64_t to_nvm = 0;
+    for (const auto &[key, value] : interleave.policyCounters) {
+        if (key == "first_touch_dram")
+            to_dram = value;
+        if (key == "first_touch_nvm")
+            to_nvm = value;
+    }
+    EXPECT_GT(to_dram, 0u);
+    EXPECT_GT(to_nvm, 0u);
+
+    // Placement must never change application output.
+    EXPECT_EQ(dram_only.outputChecksum, interleave.outputChecksum);
+    EXPECT_EQ(dram_only.outputChecksum, 0xb5d59696c650f8d5ull);
+}
+
+TEST(PolicyEndToEnd, ExchangePolicyExchanges)
+{
+    RunConfig rc = goldenConfig();
+    rc.policy = "exchange";
+    rc.tunables = {"scan_period_ms=0.5", "protect_ms=2"};
+    const RunResult r = runWorkload(rc);
+    EXPECT_EQ(r.policyName, "exchange");
+    EXPECT_GT(r.vmstat.pgexchangeSuccess, 0u);
+    // The whole point: hot/cold swaps replace most reclaim demotions.
+    EXPECT_LT(r.vmstat.pgdemoteKswapd + r.vmstat.pgdemoteDirect,
+              r.vmstat.pgexchangeSuccess);
+    EXPECT_EQ(r.outputChecksum, 0xb5d59696c650f8d5ull);
+}
+
+}  // namespace
+}  // namespace memtier
