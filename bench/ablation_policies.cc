@@ -13,6 +13,7 @@
 #include "base/csv.h"
 #include "base/logging.h"
 #include "bench_common.h"
+#include "fault/fault_plan.h"
 #include "policy/policy_registry.h"
 
 using namespace memtier;
@@ -22,6 +23,9 @@ namespace {
 /** The four policies, in presentation order. */
 const char *kPolicies[] = {"autonuma", "exchange", "dram-only",
                            "interleave"};
+
+/** Fault plan applied to every run (default: no faults). */
+FaultPlan g_faults;
 
 RunConfig
 policyConfig(const WorkloadSpec &w, const char *policy)
@@ -39,18 +43,33 @@ policyConfig(const WorkloadSpec &w, const char *policy)
     } else if (std::string(policy) == "exchange") {
         rc.tunables = {"scan_period_ms=0.5", "protect_ms=2"};
     }
+    rc.sys.faults = g_faults;
     return rc;
 }
 
 }  // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--faults" && i + 1 < argc) {
+            g_faults = FaultPlan::parseOrDie(argv[++i]);
+        } else if (arg.rfind("--faults=", 0) == 0) {
+            g_faults = FaultPlan::parseOrDie(arg.substr(9));
+        } else {
+            fatal("usage: ablation_policies [--faults PLAN]\n"
+                  "  PLAN e.g. 'migrate:p=0.2,burst=8;seed=7'");
+        }
+    }
+
     benchHeader("Policy ablation -- autonuma vs exchange vs static "
                 "baselines",
                 "extends the paper with the AutoTiering exchange policy "
                 "(Sys-KU, ATC'21)");
+    if (g_faults.anyEnabled())
+        std::cout << "fault plan: " << g_faults.summary() << "\n";
 
     for (const char *policy : kPolicies) {
         MEMTIER_ASSERT(PolicyRegistry::instance().contains(policy),
@@ -78,7 +97,8 @@ main()
     CsvWriter csv(csv_file);
     csv.header({"workload", "policy", "total_seconds", "compute_seconds",
                 "ext_nvm_share", "hint_faults", "promotions", "demotions",
-                "exchanges", "thrash"});
+                "exchanges", "thrash", "migrate_fail", "promote_retry",
+                "alloc_fail", "disk_read_retry", "breaker_trips"});
 
     for (const WorkloadSpec &w : workloads) {
         std::cout << "\n" << w.name() << " (scale " << scale << ")\n";
@@ -109,7 +129,12 @@ main()
                 .cell(r.vmstat.pgpromoteSuccess)
                 .cell(demotions)
                 .cell(r.vmstat.pgexchangeSuccess)
-                .cell(thrash);
+                .cell(thrash)
+                .cell(r.vmstat.pgmigrateFail)
+                .cell(r.vmstat.promoteRetry)
+                .cell(r.vmstat.pgallocFail)
+                .cell(r.vmstat.diskReadRetry)
+                .cell(r.vmstat.breakerTrips);
             csv.endRow();
         }
         table.print(std::cout);

@@ -20,6 +20,7 @@
 #include "base/logging.h"
 #include "bench_common.h"
 #include "exp/sweep.h"
+#include "fault/fault_plan.h"
 #include "policy/policy_registry.h"
 
 using namespace memtier;
@@ -33,14 +34,17 @@ usage()
         << "usage: policy_sweep [--policy=NAME] "
            "[--tunable KEY=V1,V2,...]...\n"
            "                    [--workload APP:KIND]... "
-           "[--out=PATH.csv]\n\n"
+           "[--out=PATH.csv] [--faults PLAN]\n\n"
            "  --policy=NAME    registry policy to sweep "
            "(default autonuma)\n"
            "  --tunable K=Vs   one sweep axis; comma-separated values\n"
            "  --workload A:K   app {bc,bfs,cc,pr,sssp} : "
            "graph {kron,urand}\n"
            "  --out=PATH       CSV output path "
-           "(default results/sweep_<policy>.csv)\n\n"
+           "(default results/sweep_<policy>.csv)\n"
+           "  --faults PLAN    fault-injection plan applied to every "
+           "point,\n"
+           "                   e.g. 'migrate:p=0.2,burst=8;seed=7'\n\n"
            "registered policies:\n";
     for (const std::string &name : PolicyRegistry::instance().names()) {
         std::cout << "  " << name << " -- "
@@ -150,6 +154,8 @@ main(int argc, char **argv)
                 parseWorkload(value_of("--workload"), scale));
         } else if (arg.rfind("--out", 0) == 0) {
             out_path = value_of("--out");
+        } else if (arg.rfind("--faults", 0) == 0) {
+            spec.sys.faults = FaultPlan::parseOrDie(value_of("--faults"));
         } else {
             usage();
             fatal("unknown argument '%s'", arg.c_str());
@@ -184,6 +190,8 @@ main(int argc, char **argv)
     benchHeader("parameter sweep over policy '" + spec.policy + "'",
                 "parameter-tuning methodology for tiered-memory "
                 "kernels");
+    if (spec.sys.faults.anyEnabled())
+        std::cout << "fault plan: " << spec.sys.faults.summary() << "\n";
     const std::vector<SweepPoint> points = runSweep(spec, &std::cerr);
 
     std::ofstream csv_file(out_path);
@@ -198,6 +206,10 @@ main(int argc, char **argv)
         headers.insert(headers.end(),
                        {"exec (s)", "promotions", "demotions",
                         "exchanges", "thrash"});
+        if (spec.sys.faults.anyEnabled()) {
+            headers.insert(headers.end(),
+                           {"migrate fail", "retries", "breaker trips"});
+        }
         return headers;
     }());
     for (const SweepPoint &p : points) {
@@ -210,6 +222,11 @@ main(int argc, char **argv)
                    {num(p.totalSeconds, 3), fmtCount(p.promotions),
                     fmtCount(p.demotions), fmtCount(p.exchanges),
                     fmtCount(p.thrash)});
+        if (spec.sys.faults.anyEnabled()) {
+            row.insert(row.end(),
+                       {fmtCount(p.migrateFail), fmtCount(p.promoteRetry),
+                        fmtCount(p.breakerTrips)});
+        }
         table.addRow(std::move(row));
     }
     table.print(std::cout);

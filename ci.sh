@@ -3,25 +3,36 @@
 #
 #   1. tier-1 verify: warnings-as-errors build + the full test suite;
 #   2. an ASan/UBSan build of the test suite, to catch memory and UB
-#      bugs the functional tests would miss.
+#      bugs the functional tests would miss;
+#   3. a chaos pass: the tier-1 binaries re-run with the kernel
+#      invariant checker forced on and a moderate fault-injection plan
+#      pushed into the chaos-aware tests.
 #
-# Both builds live in their own build directories so they never disturb
+# All builds live in their own build directories so they never disturb
 # an existing developer build/.
 set -euo pipefail
 cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/2] tier-1: RelWithDebInfo -Werror build + ctest ==="
+echo "=== [1/3] tier-1: RelWithDebInfo -Werror build + ctest ==="
 cmake -B build-ci -S . -DMEMTIER_WERROR=ON
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [2/2] sanitizers: ASan/UBSan build + ctest ==="
+echo "=== [2/3] sanitizers: ASan/UBSan build + ctest ==="
 cmake -B build-asan -S . -DMEMTIER_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
+
+echo "=== [3/3] chaos: invariant checker on + fault plan, tier-1 binaries ==="
+# MEMTIER_CHECK_INVARIANTS=ON arms the kernel invariant checker in
+# every Engine (observer-only: results stay bit-identical), and
+# MEMTIER_FAULT_PLAN overrides the chaos-aware tests' default plan.
+MEMTIER_CHECK_INVARIANTS=ON \
+MEMTIER_FAULT_PLAN="migrate:p=0.1,burst=6;alloc:p=0.03;seed=97" \
+    ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 echo "ci.sh: all gates passed"

@@ -43,3 +43,19 @@ for b in $binaries; do
     fi
     echo
 done
+
+# Failure-rate sensitivity: the same workload under increasingly lossy
+# migration, exercising the retry/backoff path and the circuit breaker.
+echo "=== fault_sensitivity ==="
+echo "--- baseline: no faults ---"
+./build/bench/policy_sweep --policy=autonuma \
+    --tunable scan_period_ms=0.5 --workload pr:kron \
+    --out=results/fault_sweep_p0.csv 2>/dev/null
+for p in 0.05 0.1 0.2 0.4; do
+    echo "--- transient migration failures p=$p burst=8 ---"
+    ./build/bench/policy_sweep --policy=autonuma \
+        --tunable scan_period_ms=0.5 --workload pr:kron \
+        --faults "migrate:p=$p,burst=8;seed=7" \
+        --out="results/fault_sweep_p$p.csv" 2>/dev/null
+done
+echo

@@ -16,6 +16,12 @@ AutoNuma::AutoNuma(Kernel &kernel, const AutoNumaParams &params)
 void
 AutoNuma::scanTick(Cycles now)
 {
+    if (kernel.migrationsPaused(now)) {
+        // Breaker open: marking pages now would only produce hint
+        // faults whose promotions the kernel refuses. Skip the round.
+        ++stat.scansPaused;
+        return;
+    }
     const AddressSpace &space = kernel.addressSpace();
     if (space.vmas().empty())
         return;
@@ -166,6 +172,7 @@ AutoNuma::snapshotStats() const
         {"rejected_by_threshold", stat.rejectedByThreshold},
         {"rejected_by_rate_limit", stat.rejectedByRateLimit},
         {"promotion_failures", stat.promotionFailures},
+        {"scans_paused", stat.scansPaused},
     };
 }
 

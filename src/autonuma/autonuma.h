@@ -74,6 +74,7 @@ struct AutoNumaStats
     std::uint64_t rejectedByThreshold = 0;
     std::uint64_t rejectedByRateLimit = 0;
     std::uint64_t promotionFailures = 0;     ///< No DRAM frame available.
+    std::uint64_t scansPaused = 0;           ///< Rounds skipped, breaker open.
 
     /** Distribution of observed hint fault latencies (seconds). */
     PercentileSummary hintLatencySeconds;

@@ -223,6 +223,13 @@ runWorkload(const RunConfig &config, const PlacementPlan *plan)
         out.levelCounts[l] = eng.levelCount(static_cast<MemLevel>(l));
         out.totalAccesses += out.levelCounts[l];
     }
+    if (eng.faultInjector())
+        out.faultsInjected = eng.faultInjector()->totalInjected();
+    if (eng.invariantChecker()) {
+        // One final sweep so even short runs validate end-state.
+        eng.invariantChecker()->checkNow(eng.globalTime());
+        out.invariantChecksRun = eng.invariantChecker()->checksRun();
+    }
     return out;
 }
 

@@ -88,6 +88,12 @@ struct RunResult
     /** Order-independent digest of the application output, used to
      *  check that placement policy never changes results. */
     std::uint64_t outputChecksum = 0;
+
+    /** Faults the injector fired (0 when the plan enables nothing). */
+    std::uint64_t faultsInjected = 0;
+
+    /** Invariant sweeps completed (0 when checking was off). */
+    std::uint64_t invariantChecksRun = 0;
 };
 
 /**

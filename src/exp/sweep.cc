@@ -64,6 +64,11 @@ runSweep(const SweepSpec &spec, std::ostream *progress)
             p.migrations = r.vmstat.pgmigrateSuccess;
             p.thrash =
                 r.vmstat.pgpromoteDemoted + r.vmstat.pgexchangeThrash;
+            p.migrateFail = r.vmstat.pgmigrateFail;
+            p.promoteRetry = r.vmstat.promoteRetry;
+            p.allocFail = r.vmstat.pgallocFail;
+            p.diskReadRetry = r.vmstat.diskReadRetry;
+            p.breakerTrips = r.vmstat.breakerTrips;
             points.push_back(std::move(p));
         }
     }
@@ -81,7 +86,8 @@ writeSweepCsv(const SweepSpec &spec,
     for (const char *metric :
          {"total_seconds", "compute_seconds", "hint_faults",
           "promotions", "demotions", "exchanges", "migrations",
-          "thrash"}) {
+          "thrash", "migrate_fail", "promote_retry", "alloc_fail",
+          "disk_read_retry", "breaker_trips"}) {
         columns.push_back(metric);
     }
     csv.header(columns);
@@ -99,7 +105,12 @@ writeSweepCsv(const SweepSpec &spec,
             .cell(p.demotions)
             .cell(p.exchanges)
             .cell(p.migrations)
-            .cell(p.thrash);
+            .cell(p.thrash)
+            .cell(p.migrateFail)
+            .cell(p.promoteRetry)
+            .cell(p.allocFail)
+            .cell(p.diskReadRetry)
+            .cell(p.breakerTrips);
         csv.endRow();
     }
 }

@@ -56,6 +56,11 @@ struct SweepPoint
     std::uint64_t exchanges = 0;
     std::uint64_t migrations = 0;
     std::uint64_t thrash = 0;  ///< Promote-then-demote + exchange thrash.
+    std::uint64_t migrateFail = 0;    ///< Failed migrations (faults/ENOMEM).
+    std::uint64_t promoteRetry = 0;   ///< Promotion retries after faults.
+    std::uint64_t allocFail = 0;      ///< Injected DRAM allocation failures.
+    std::uint64_t diskReadRetry = 0;  ///< Re-issued page-cache disk reads.
+    std::uint64_t breakerTrips = 0;   ///< Circuit-breaker openings.
 };
 
 /**

@@ -1,0 +1,53 @@
+#include "fault/circuit_breaker.h"
+
+#include <cmath>
+
+namespace memtier {
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerParams &params)
+    : cfg(params)
+{
+}
+
+void
+CircuitBreaker::decay(Cycles now)
+{
+    if (now <= lastDecay_)
+        return;  // Per-thread clocks are not globally monotone.
+    const double halves = static_cast<double>(now - lastDecay_) /
+                          static_cast<double>(cfg.decayHalfLife);
+    const double factor = std::exp2(-halves);
+    attempts_ *= factor;
+    failures_ *= factor;
+    lastDecay_ = now;
+}
+
+bool
+CircuitBreaker::record(bool success, Cycles now)
+{
+    decay(now);
+    attempts_ += 1.0;
+    if (!success)
+        failures_ += 1.0;
+    if (isOpen(now))
+        return false;
+    if (attempts_ >= cfg.minAttempts &&
+        failures_ >= cfg.tripRatio * attempts_) {
+        openUntil_ = now + cfg.cooldown;
+        ++trips_;
+        // Reset the window: after the cooldown the breaker needs fresh
+        // failures to trip again (re-enable with decay, not memory).
+        attempts_ = 0.0;
+        failures_ = 0.0;
+        return true;
+    }
+    return false;
+}
+
+double
+CircuitBreaker::failureRate() const
+{
+    return attempts_ > 0.0 ? failures_ / attempts_ : 0.0;
+}
+
+}  // namespace memtier

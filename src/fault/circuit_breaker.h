@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Migration circuit breaker: pauses promotion work when migrations
+ * start failing in bulk, then re-enables after a cooldown.
+ *
+ * Real AutoNUMA backs off its scan rate when migrations are expensive
+ * or failing (promotion rate limiting exists for exactly this reason,
+ * Moura et al. Section 2.2); the breaker generalizes that into an
+ * explicit open/closed state the kernel consults before promoting and
+ * the scanner consults before marking pages. Failure history decays
+ * exponentially, so one bad burst trips the breaker but ancient
+ * history never does.
+ */
+
+#ifndef MEMTIER_FAULT_CIRCUIT_BREAKER_H_
+#define MEMTIER_FAULT_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** Tunables of the migration circuit breaker. */
+struct CircuitBreakerParams
+{
+    /** Failure fraction of the decayed window that trips the breaker. */
+    double tripRatio = 0.5;
+
+    /** Minimum decayed attempt count before the breaker may trip. */
+    double minAttempts = 8.0;
+
+    /** Half-life of the failure/attempt history decay. */
+    Cycles decayHalfLife = secondsToCycles(0.002);
+
+    /** How long the breaker stays open once tripped. */
+    Cycles cooldown = secondsToCycles(0.004);
+};
+
+/** Decaying-window failure-rate breaker. */
+class CircuitBreaker
+{
+  public:
+    /** @param params trip/decay tunables. */
+    explicit CircuitBreaker(const CircuitBreakerParams &params = {});
+
+    /**
+     * Record one migration attempt.
+     *
+     * @param success whether the attempt succeeded.
+     * @param now attempt time.
+     * @return true when this record tripped the breaker open.
+     */
+    bool record(bool success, Cycles now);
+
+    /** True while the breaker is open (migrations paused). */
+    bool isOpen(Cycles now) const { return now < openUntil_; }
+
+    /** Times the breaker has tripped. */
+    std::uint64_t trips() const { return trips_; }
+
+    /** Decayed failure fraction of the current window (0 when empty). */
+    double failureRate() const;
+
+    /** Parameters in effect. */
+    const CircuitBreakerParams &params() const { return cfg; }
+
+  private:
+    void decay(Cycles now);
+
+    CircuitBreakerParams cfg;
+    double attempts_ = 0.0;
+    double failures_ = 0.0;
+    Cycles lastDecay_ = 0;
+    Cycles openUntil_ = 0;
+    std::uint64_t trips_ = 0;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_FAULT_CIRCUIT_BREAKER_H_

@@ -1,0 +1,70 @@
+#include "fault/fault_injector.h"
+
+namespace memtier {
+
+FaultInjector::FaultInjector(const FaultPlan &plan) : cfg(plan)
+{
+    for (int i = 0; i < kNumFaultPoints; ++i) {
+        PointState &ps = state[static_cast<std::size_t>(i)];
+        // Independent stream per point: mixing the point index through
+        // SplitMix64 decorrelates the streams even for adjacent seeds.
+        SplitMix64 mix(cfg.seed + 0x9e3779b97f4a7c15ULL *
+                                      static_cast<std::uint64_t>(i + 1));
+        ps.rng = Rng(mix.next());
+        const FaultSpec &spec = cfg.points[static_cast<std::size_t>(i)];
+        ps.fromCycles = secondsToCycles(spec.fromSec);
+        ps.toCycles = spec.toSec > 0.0 ? secondsToCycles(spec.toSec) : 0;
+    }
+}
+
+bool
+FaultInjector::shouldFail(FaultPoint point, Cycles now)
+{
+    const FaultSpec &spec = cfg.at(point);
+    if (!spec.enabled())
+        return false;
+    PointState &ps = state[static_cast<std::size_t>(point)];
+    if (now < ps.fromCycles || (ps.toCycles != 0 && now >= ps.toCycles))
+        return false;
+    ++ps.queryCount;
+    if (ps.burstLeft > 0) {
+        --ps.burstLeft;
+        ++ps.injectCount;
+        return true;
+    }
+    if (ps.rng.nextBool(spec.probability)) {
+        ps.burstLeft = spec.burstLength - 1;
+        ++ps.injectCount;
+        return true;
+    }
+    return false;
+}
+
+Cycles
+FaultInjector::latencyPenalty(FaultPoint point, Cycles now)
+{
+    return shouldFail(point, now) ? cfg.at(point).extraCycles : 0;
+}
+
+std::uint64_t
+FaultInjector::injected(FaultPoint point) const
+{
+    return state[static_cast<std::size_t>(point)].injectCount;
+}
+
+std::uint64_t
+FaultInjector::queried(FaultPoint point) const
+{
+    return state[static_cast<std::size_t>(point)].queryCount;
+}
+
+std::uint64_t
+FaultInjector::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (const PointState &ps : state)
+        total += ps.injectCount;
+    return total;
+}
+
+}  // namespace memtier

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Seeded, deterministic fault injector.
+ *
+ * Each injection point owns an independent RNG stream derived from the
+ * plan seed, so whether one point fires never perturbs another point's
+ * decisions and a run replayed with the same FaultPlan reproduces the
+ * exact same fault sequence. A trigger fails the triggering query plus
+ * the next burstLength-1 queries of the same point (failure bursts,
+ * the shape real ENOMEM/congestion episodes have); specs may also be
+ * confined to a simulated-time window.
+ *
+ * The injector is pure observation + decision: the kernel and memory
+ * layers query it at their named points and implement the actual
+ * failure semantics (error returns, retries, fallbacks) themselves.
+ */
+
+#ifndef MEMTIER_FAULT_FAULT_INJECTOR_H_
+#define MEMTIER_FAULT_FAULT_INJECTOR_H_
+
+#include <array>
+#include <cstdint>
+
+#include "base/rng.h"
+#include "base/types.h"
+#include "fault/fault_plan.h"
+
+namespace memtier {
+
+/** Deterministic per-point fault source. */
+class FaultInjector
+{
+  public:
+    /** @param plan what to inject, with the RNG seed. */
+    explicit FaultInjector(const FaultPlan &plan);
+
+    /**
+     * Should the operation at @p point fail now?
+     *
+     * Draws from the point's RNG stream only when the point is enabled
+     * and @p now falls inside its window, so a plan with a point
+     * disabled is bit-identical to no plan at all.
+     */
+    bool shouldFail(FaultPoint point, Cycles now);
+
+    /**
+     * Extra latency to charge at @p point (NvmLatency spikes): the
+     * spec's extraCycles when the point triggers, 0 otherwise.
+     */
+    Cycles latencyPenalty(FaultPoint point, Cycles now);
+
+    /** The plan in effect. */
+    const FaultPlan &plan() const { return cfg; }
+
+    /** Failures injected at @p point so far. */
+    std::uint64_t injected(FaultPoint point) const;
+
+    /** Queries made at @p point so far. */
+    std::uint64_t queried(FaultPoint point) const;
+
+    /** Failures injected across all points. */
+    std::uint64_t totalInjected() const;
+
+  private:
+    struct PointState
+    {
+        Rng rng;
+        Cycles fromCycles = 0;
+        Cycles toCycles = 0;  ///< 0 = unbounded.
+        std::uint32_t burstLeft = 0;
+        std::uint64_t injectCount = 0;
+        std::uint64_t queryCount = 0;
+
+        PointState() : rng(0) {}
+    };
+
+    FaultPlan cfg;
+    std::array<PointState, kNumFaultPoints> state;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_FAULT_FAULT_INJECTOR_H_

@@ -1,0 +1,217 @@
+#include "fault/fault_plan.h"
+
+#include <cstdlib>
+#include <sstream>
+#include <vector>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+namespace {
+
+/** Point spec names, indexed by FaultPoint value. */
+const char *const kPointNames[kNumFaultPoints] = {
+    "alloc", "migrate", "exchange", "nvmlat", "diskread",
+};
+
+/** Split @p s on @p sep; empty segments are dropped. */
+std::vector<std::string>
+split(const std::string &s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t start = 0;
+    while (start <= s.size()) {
+        const std::size_t pos = s.find(sep, start);
+        const std::size_t end = pos == std::string::npos ? s.size() : pos;
+        if (end > start)
+            out.push_back(s.substr(start, end - start));
+        if (pos == std::string::npos)
+            break;
+        start = pos + 1;
+    }
+    return out;
+}
+
+bool
+parseDouble(const std::string &s, double *out)
+{
+    char *end = nullptr;
+    const double v = std::strtod(s.c_str(), &end);
+    if (end == s.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+bool
+parseU64(const std::string &s, std::uint64_t *out)
+{
+    char *end = nullptr;
+    const unsigned long long v = std::strtoull(s.c_str(), &end, 10);
+    if (end == s.c_str() || *end != '\0')
+        return false;
+    *out = v;
+    return true;
+}
+
+void
+setError(std::string *error, const std::string &message)
+{
+    if (error != nullptr)
+        *error = message;
+}
+
+}  // namespace
+
+const char *
+faultPointName(FaultPoint point)
+{
+    return kPointNames[static_cast<int>(point)];
+}
+
+FaultSpec &
+FaultPlan::at(FaultPoint point)
+{
+    return points[static_cast<int>(point)];
+}
+
+const FaultSpec &
+FaultPlan::at(FaultPoint point) const
+{
+    return points[static_cast<int>(point)];
+}
+
+bool
+FaultPlan::anyEnabled() const
+{
+    for (const FaultSpec &spec : points) {
+        if (spec.enabled())
+            return true;
+    }
+    return false;
+}
+
+bool
+FaultPlan::parse(const std::string &spec, FaultPlan *out,
+                 std::string *error)
+{
+    FaultPlan plan;
+    for (const std::string &clause : split(spec, ';')) {
+        // Plan-level clause: seed=N.
+        if (clause.rfind("seed=", 0) == 0) {
+            if (!parseU64(clause.substr(5), &plan.seed)) {
+                setError(error, "fault plan: bad seed '" + clause + "'");
+                return false;
+            }
+            continue;
+        }
+        const std::size_t colon = clause.find(':');
+        if (colon == std::string::npos || colon == 0) {
+            setError(error, "fault plan: malformed clause '" + clause +
+                                "' (expected point:key=value,...)");
+            return false;
+        }
+        const std::string name = clause.substr(0, colon);
+        int point = -1;
+        for (int i = 0; i < kNumFaultPoints; ++i) {
+            if (name == kPointNames[i])
+                point = i;
+        }
+        if (point < 0) {
+            setError(error, "fault plan: unknown point '" + name +
+                                "' (expected alloc, migrate, exchange, "
+                                "nvmlat or diskread)");
+            return false;
+        }
+        FaultSpec &fs = plan.points[static_cast<std::size_t>(point)];
+        for (const std::string &kv : split(clause.substr(colon + 1), ',')) {
+            const std::size_t eq = kv.find('=');
+            if (eq == std::string::npos || eq == 0) {
+                setError(error, "fault plan: malformed assignment '" + kv +
+                                    "' in point '" + name + "'");
+                return false;
+            }
+            const std::string key = kv.substr(0, eq);
+            const std::string value = kv.substr(eq + 1);
+            double d = 0.0;
+            std::uint64_t u = 0;
+            if (key == "p" && parseDouble(value, &d) && d >= 0.0 &&
+                d <= 1.0) {
+                fs.probability = d;
+            } else if (key == "burst" && parseU64(value, &u) && u >= 1) {
+                fs.burstLength = static_cast<std::uint32_t>(u);
+            } else if (key == "from_ms" && parseDouble(value, &d) &&
+                       d >= 0.0) {
+                fs.fromSec = d * 1e-3;
+            } else if (key == "to_ms" && parseDouble(value, &d) &&
+                       d >= 0.0) {
+                fs.toSec = d * 1e-3;
+            } else if (key == "extra_ns" && parseDouble(value, &d) &&
+                       d >= 0.0) {
+                fs.extraCycles = secondsToCycles(d * 1e-9);
+            } else {
+                setError(error, "fault plan: bad assignment '" + kv +
+                                    "' in point '" + name +
+                                    "' (keys: p, burst, from_ms, to_ms, "
+                                    "extra_ns)");
+                return false;
+            }
+        }
+        if (!fs.enabled()) {
+            setError(error, "fault plan: point '" + name +
+                                "' needs p=<probability> > 0");
+            return false;
+        }
+    }
+    *out = plan;
+    return true;
+}
+
+FaultPlan
+FaultPlan::parseOrDie(const std::string &spec)
+{
+    FaultPlan plan;
+    std::string error;
+    if (!parse(spec, &plan, &error))
+        fatal("%s", error.c_str());
+    return plan;
+}
+
+FaultPlan
+FaultPlan::fromEnvOr(const char *env_var, const FaultPlan &fallback)
+{
+    const char *value = std::getenv(env_var);
+    if (value == nullptr || value[0] == '\0')
+        return fallback;
+    return parseOrDie(value);
+}
+
+std::string
+FaultPlan::summary() const
+{
+    if (!anyEnabled())
+        return "(no faults)";
+    std::ostringstream os;
+    bool first = true;
+    for (int i = 0; i < kNumFaultPoints; ++i) {
+        const FaultSpec &fs = points[static_cast<std::size_t>(i)];
+        if (!fs.enabled())
+            continue;
+        if (!first)
+            os << "; ";
+        first = false;
+        os << kPointNames[i] << " p=" << fs.probability;
+        if (fs.burstLength > 1)
+            os << " burst=" << fs.burstLength;
+        if (fs.toSec > 0.0)
+            os << " window=[" << fs.fromSec * 1e3 << ","
+               << fs.toSec * 1e3 << "]ms";
+        if (fs.extraCycles > 0)
+            os << " extra=" << fs.extraCycles << "cy";
+    }
+    os << "; seed=" << seed;
+    return os.str();
+}
+
+}  // namespace memtier

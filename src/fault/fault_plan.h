@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Declarative description of what the fault injector should break.
+ *
+ * A FaultPlan names a set of injection points (frame allocation,
+ * migration, exchange, NVM latency, disk reads) and gives each one a
+ * trigger probability, a burst length, an optional active time window
+ * and, for latency points, an extra-latency amplitude. Together with
+ * the plan seed this makes every faulty run exactly reproducible: the
+ * same plan on the same workload produces bit-identical failures.
+ *
+ * Plans are built programmatically or parsed from the compact spec
+ * strings the benches accept via --faults:
+ *
+ *   migrate:p=0.2,burst=8;alloc:p=0.05;nvmlat:p=0.01,extra_ns=400;seed=7
+ */
+
+#ifndef MEMTIER_FAULT_FAULT_PLAN_H_
+#define MEMTIER_FAULT_FAULT_PLAN_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** Named injection points registered by the kernel and memory layers. */
+enum class FaultPoint : std::uint8_t {
+    FrameAlloc = 0,  ///< DRAM frame allocation fails (ENOMEM burst).
+    Migration,       ///< Promotion/demotion page copy fails transiently.
+    Exchange,        ///< Hot/cold page exchange fails transiently.
+    NvmLatency,      ///< NVM access latency spike (extra cycles).
+    DiskRead,        ///< Page-cache disk read error (forces a retry).
+};
+
+/** Number of FaultPoint values. */
+inline constexpr int kNumFaultPoints = 5;
+
+/** Stable short name of @p point ("alloc", "migrate", ...). */
+const char *faultPointName(FaultPoint point);
+
+/** Behaviour of one injection point. */
+struct FaultSpec
+{
+    /** Per-query trigger probability; 0 disables the point. */
+    double probability = 0.0;
+
+    /** Consecutive queries that fail once a trigger fires. */
+    std::uint32_t burstLength = 1;
+
+    /** Active window start in simulated seconds (0 = from the start). */
+    double fromSec = 0.0;
+
+    /** Active window end in simulated seconds (0 = unbounded). */
+    double toSec = 0.0;
+
+    /** NvmLatency only: extra cycles added per triggered access. */
+    Cycles extraCycles = 0;
+
+    /** True when this point can fire at all. */
+    bool enabled() const { return probability > 0.0; }
+};
+
+/** A full fault-injection configuration. */
+struct FaultPlan
+{
+    std::array<FaultSpec, kNumFaultPoints> points;
+
+    /** Seed of the injector's per-point RNG streams. */
+    std::uint64_t seed = 1;
+
+    /** Spec of @p point. */
+    FaultSpec &at(FaultPoint point);
+    const FaultSpec &at(FaultPoint point) const;
+
+    /** True when at least one point is enabled. */
+    bool anyEnabled() const;
+
+    /**
+     * Parse a compact plan spec: semicolon-separated clauses, each
+     * either "seed=N" or "<point>:key=value[,key=value...]" with point
+     * in {alloc, migrate, exchange, nvmlat, diskread} and keys p,
+     * burst, from_ms, to_ms, extra_ns.
+     *
+     * @param spec the spec string.
+     * @param out receives the parsed plan (untouched on failure).
+     * @param error receives a message on failure; may be nullptr.
+     * @return true on success.
+     */
+    static bool parse(const std::string &spec, FaultPlan *out,
+                      std::string *error = nullptr);
+
+    /** parse() or fatal() with the parse error (CLI convenience). */
+    static FaultPlan parseOrDie(const std::string &spec);
+
+    /**
+     * Plan parsed from the @p env_var environment variable, or
+     * @p fallback when the variable is unset/empty. Used by the chaos
+     * CI stage to push a moderate plan into the chaos-aware tests.
+     */
+    static FaultPlan fromEnvOr(const char *env_var,
+                               const FaultPlan &fallback);
+
+    /** One-line human-readable summary ("(no faults)" when empty). */
+    std::string summary() const;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_FAULT_FAULT_PLAN_H_

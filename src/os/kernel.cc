@@ -3,11 +3,13 @@
 #include <algorithm>
 
 #include "base/logging.h"
+#include "fault/fault_injector.h"
+#include "os/invariants.h"
 
 namespace memtier {
 
 Kernel::Kernel(PhysicalMemory &phys, const KernelParams &params)
-    : phys(phys), cfg(params)
+    : phys(phys), cfg(params), breaker(params.breaker)
 {
 }
 
@@ -27,6 +29,59 @@ void
 Kernel::setSyscallObserver(SyscallObserver *obs)
 {
     observer = obs;
+}
+
+void
+Kernel::setFaultInjector(FaultInjector *injector)
+{
+    faults = injector;
+}
+
+void
+Kernel::setInvariantChecker(InvariantChecker *checker)
+{
+    invariants = checker;
+}
+
+void
+Kernel::noteEvent(Cycles now)
+{
+    if (invariants)
+        invariants->onEvent(now);
+}
+
+void
+Kernel::recordMigration(bool success, Cycles now)
+{
+    if (breaker.record(success, now)) {
+        ++stats.breakerTrips;
+        breakerOpenNotified = true;
+        if (tieringPolicy)
+            tieringPolicy->onBreakerEvent(true, now);
+    }
+}
+
+bool
+Kernel::migrationsPaused(Cycles now)
+{
+    const bool open = breaker.isOpen(now);
+    if (!open && breakerOpenNotified) {
+        breakerOpenNotified = false;
+        if (tieringPolicy)
+            tieringPolicy->onBreakerEvent(false, now);
+    }
+    return open;
+}
+
+std::optional<FrameNum>
+Kernel::allocFrame(MemNode node, FrameOwner owner, Cycles now)
+{
+    if (node == MemNode::DRAM && faults &&
+        faults->shouldFail(FaultPoint::FrameAlloc, now)) {
+        ++stats.pgallocFail;
+        return std::nullopt;
+    }
+    return phys.tier(node).allocate(owner);
 }
 
 void
@@ -126,6 +181,7 @@ Kernel::munmap(Cycles now, Addr start)
     space.munmap(start);
     if (observer)
         observer->onMunmap(now, start, bytes, object);
+    noteEvent(now);
 }
 
 void
@@ -175,7 +231,10 @@ Kernel::handlePageFault(PageNum vpn, Cycles now)
     const FrameOwner owner =
         vma->pageCache ? FrameOwner::PageCache : FrameOwner::App;
 
-    auto frame = phys.tier(node).allocate(owner);
+    // The first attempt goes through the injectable allocator; fallback
+    // attempts below allocate directly so an injected DRAM failure
+    // degrades to NVM placement rather than a spurious OOM.
+    auto frame = allocFrame(node, owner, now);
     if (!frame && node == MemNode::DRAM) {
         // DRAM-bound allocation with DRAM exhausted: synchronous direct
         // reclaim makes room (pgdemote_direct), as the bound policy
@@ -211,6 +270,7 @@ Kernel::handlePageFault(PageNum vpn, Cycles now)
         listFor(meta).add(vpn);
 
     result.node = node;
+    noteEvent(now);
     return result;
 }
 
@@ -279,7 +339,18 @@ Kernel::ensureCached(PageNum vpn, Cycles now)
     TouchResult r = handlePageFault(vpn, now);
     MEMTIER_ASSERT(stats.pgfault == faults_before + 1, "fault accounting");
     --stats.pgfault;
-    return r.cost + cfg.diskReadCyclesPerPage;
+    Cycles cost = r.cost + cfg.diskReadCyclesPerPage;
+    // A transient read error re-issues the whole disk read. Reads are
+    // bounded-retry: after diskReadRetryLimit re-issues the read is
+    // taken as good (media errors are not modelled as permanent).
+    for (std::uint32_t retry = 0;
+         faults && retry < cfg.diskReadRetryLimit &&
+         faults->shouldFail(FaultPoint::DiskRead, now);
+         ++retry) {
+        ++stats.diskReadRetry;
+        cost += cfg.diskReadCyclesPerPage;
+    }
+    return cost;
 }
 
 // -- Reclaim / migration ----------------------------------------------
@@ -293,12 +364,27 @@ Kernel::freePage(PageNum vpn, PageMeta &meta)
 }
 
 bool
-Kernel::demotePage(PageNum vpn, PageMeta &meta, bool direct)
+Kernel::demotePage(PageNum vpn, PageMeta &meta, bool direct, Cycles now)
 {
     MEMTIER_ASSERT(meta.node == MemNode::DRAM, "demoting non-DRAM page");
     auto frame = phys.nvm().allocate(meta.owner);
-    if (!frame)
+    if (!frame) {
+        // Real ENOMEM: the slow tier is full, nothing to retry against.
+        ++stats.pgmigrateFail;
+        if (tieringPolicy)
+            tieringPolicy->onMigrationFailure(vpn, now, false);
         return false;
+    }
+    if (faults && faults->shouldFail(FaultPoint::Migration, now)) {
+        // Transient copy failure: release the target frame; reclaim
+        // moves on and will revisit the page on a later pass.
+        phys.nvm().free(*frame, meta.owner);
+        ++stats.pgmigrateFail;
+        recordMigration(false, now);
+        if (tieringPolicy)
+            tieringPolicy->onMigrationFailure(vpn, now, false);
+        return false;
+    }
 
     listFor(meta).remove(vpn);
     phys.dram().free(meta.frame, meta.owner);
@@ -320,6 +406,7 @@ Kernel::demotePage(PageNum vpn, PageMeta &meta, bool direct)
         ++stats.pgexchangeThrash;
         meta.exchanged = false;
     }
+    recordMigration(true, now);
     return true;
 }
 
@@ -409,7 +496,7 @@ Kernel::reclaimBatch(std::uint32_t target, bool direct, Cycles now)
         }
         bool ok;
         if (cfg.demoteOnReclaim) {
-            ok = demotePage(victim, *meta, direct);
+            ok = demotePage(victim, *meta, direct, now);
         } else {
             // Vanilla kernel with no swap: only clean page-cache pages
             // can be reclaimed; application pages stay where they are.
@@ -434,6 +521,7 @@ Kernel::kswapdTick(Cycles now)
     const std::uint32_t target = static_cast<std::uint32_t>(
         std::min<std::uint64_t>(deficit, cfg.kswapdBatchPages));
     reclaimBatch(target, /*direct=*/false, now);
+    noteEvent(now);
 }
 
 Cycles
@@ -444,31 +532,60 @@ Kernel::promotePage(PageNum vpn, Cycles now)
     MEMTIER_ASSERT(meta->node == MemNode::NVM, "promoting non-NVM page");
     if (meta->pinned)
         return 0;
-
-    Cycles cost = 0;
-    auto frame = phys.dram().allocate(meta->owner);
-    if (!frame) {
-        // Promotion target allocation enters direct reclaim.
-        if (cfg.demoteOnReclaim &&
-            reclaimBatch(cfg.directReclaimBatchPages, /*direct=*/true,
-                         now) > 0) {
-            cost += cfg.migratePageCycles;
-            frame = phys.dram().allocate(meta->owner);
-        }
-        if (!frame)
-            return 0;
+    if (migrationsPaused(now)) {
+        ++stats.promotePaused;
+        return 0;
     }
 
-    phys.nvm().free(meta->frame, meta->owner);
-    meta->frame = *frame;
-    meta->node = MemNode::DRAM;
-    meta->promoted = true;
-    listFor(*meta).add(vpn);
-    shootdown(vpn);
+    Cycles cost = 0;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        auto frame = phys.dram().allocate(meta->owner);
+        if (!frame) {
+            // Promotion target allocation enters direct reclaim.
+            if (cfg.demoteOnReclaim &&
+                reclaimBatch(cfg.directReclaimBatchPages, /*direct=*/true,
+                             now) > 0) {
+                cost += cfg.migratePageCycles;
+                frame = phys.dram().allocate(meta->owner);
+            }
+            if (!frame) {
+                // Real ENOMEM: DRAM cannot be freed; retrying cannot
+                // help, so fail the promotion outright.
+                ++stats.pgmigrateFail;
+                if (tieringPolicy)
+                    tieringPolicy->onMigrationFailure(vpn, now, true);
+                return 0;
+            }
+        }
+        if (faults && faults->shouldFail(FaultPoint::Migration, now)) {
+            // Transient copy failure: release the target frame and
+            // retry with exponential backoff, unless the bounded retry
+            // budget is spent or this failure tripped the breaker.
+            phys.dram().free(*frame, meta->owner);
+            ++stats.pgmigrateFail;
+            recordMigration(false, now);
+            if (tieringPolicy)
+                tieringPolicy->onMigrationFailure(vpn, now, true);
+            if (attempt >= cfg.migrateRetryLimit || migrationsPaused(now))
+                return 0;
+            cost += cfg.migrateRetryBackoffCycles << attempt;
+            ++stats.promoteRetry;
+            continue;
+        }
 
-    ++stats.pgpromoteSuccess;
-    ++stats.pgmigrateSuccess;
-    return cost + cfg.migratePageCycles;
+        phys.nvm().free(meta->frame, meta->owner);
+        meta->frame = *frame;
+        meta->node = MemNode::DRAM;
+        meta->promoted = true;
+        listFor(*meta).add(vpn);
+        shootdown(vpn);
+
+        ++stats.pgpromoteSuccess;
+        ++stats.pgmigrateSuccess;
+        recordMigration(true, now);
+        noteEvent(now);
+        return cost + cfg.migratePageCycles;
+    }
 }
 
 PageNum
@@ -482,7 +599,6 @@ Kernel::pickExchangeVictim(Cycles now)
 Cycles
 Kernel::exchangePages(PageNum nvm_vpn, PageNum dram_vpn, Cycles now)
 {
-    (void)now;
     PageMeta *up = pt.find(nvm_vpn);
     PageMeta *down = pt.find(dram_vpn);
     if (up == nullptr || down == nullptr || !up->present ||
@@ -493,6 +609,19 @@ Kernel::exchangePages(PageNum nvm_vpn, PageNum dram_vpn, Cycles now)
     MEMTIER_ASSERT(up->owner == down->owner ||
                        down->owner == FrameOwner::App,
                    "exchange victim must be an app page");
+    if (migrationsPaused(now)) {
+        ++stats.promotePaused;
+        return 0;
+    }
+    if (faults && faults->shouldFail(FaultPoint::Exchange, now)) {
+        // Transient exchange failure: neither page moves, no frame was
+        // touched yet, so the abort is free of side effects.
+        ++stats.pgmigrateFail;
+        recordMigration(false, now);
+        if (tieringPolicy)
+            tieringPolicy->onMigrationFailure(nvm_vpn, now, true);
+        return 0;
+    }
 
     // Swap frames in place: the DRAM page takes the NVM frame and vice
     // versa. Owner accounting moves with the pages so numastat stays
@@ -531,6 +660,8 @@ Kernel::exchangePages(PageNum nvm_vpn, PageNum dram_vpn, Cycles now)
         down->exchanged = false;
     }
     up->exchanged = true;
+    recordMigration(true, now);
+    noteEvent(now);
 
     // An exchange copies both pages (roughly two migrations' worth of
     // data movement) but needs no reclaim episode.
@@ -561,10 +692,11 @@ Kernel::migratePages(Addr start, Addr end, MemNode target,
             if (promotePage(vpn, now) > 0)
                 ++moved;
         } else {
-            if (demotePage(vpn, *meta, /*direct=*/true))
+            if (demotePage(vpn, *meta, /*direct=*/true, now))
                 ++moved;
         }
     }
+    noteEvent(now);
     return moved;
 }
 

@@ -11,11 +11,13 @@
 #define MEMTIER_OS_KERNEL_H_
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <unordered_map>
 #include <vector>
 
 #include "base/types.h"
+#include "fault/circuit_breaker.h"
 #include "os/address_space.h"
 #include "os/kernel_hooks.h"
 #include "os/page_table.h"
@@ -23,6 +25,9 @@
 #include "os/vmstat.h"
 
 namespace memtier {
+
+class FaultInjector;
+class InvariantChecker;
 
 /** Kernel tunables (watermarks, fault costs, reclaim batch sizes). */
 struct KernelParams
@@ -62,6 +67,18 @@ struct KernelParams
      * clean page-cache pages and never migrates application pages.
      */
     bool demoteOnReclaim = true;
+
+    /** Extra promotion attempts after a transient migration failure. */
+    std::uint32_t migrateRetryLimit = 3;
+
+    /** Backoff charged before retry i is 2^i times this base cost. */
+    Cycles migrateRetryBackoffCycles = 1300;
+
+    /** Disk reads re-issued before a faulty page read is declared ok. */
+    std::uint32_t diskReadRetryLimit = 4;
+
+    /** Migration circuit-breaker trip/decay tunables. */
+    CircuitBreakerParams breaker;
 };
 
 /** Result of resolving one page touch (TLB-miss path). */
@@ -99,6 +116,12 @@ class Kernel
 
     /** Install the mmap/munmap observer (nullptr = no tracking). */
     void setSyscallObserver(SyscallObserver *observer);
+
+    /** Install the fault injector (nullptr = infallible kernel). */
+    void setFaultInjector(FaultInjector *injector);
+
+    /** Install the invariant checker (nullptr = no checking). */
+    void setInvariantChecker(InvariantChecker *checker);
 
     // -- Syscall surface ---------------------------------------------
 
@@ -179,6 +202,16 @@ class Kernel
     bool dramHasFreeCapacity() const;
 
     /**
+     * True while the migration circuit breaker is open: promotions and
+     * exchanges are refused and scanners should pause marking. Detects
+     * the open->closed transition and notifies the tiering policy.
+     */
+    bool migrationsPaused(Cycles now);
+
+    /** The migration circuit breaker (read-only introspection). */
+    const CircuitBreaker &migrationBreaker() const { return breaker; }
+
+    /**
      * Migrate present, unpinned pages of [start, end) to @p target
      * (move_pages(2) equivalent, used by object-granularity policies).
      * Migrations count into the promotion/demotion vmstat counters.
@@ -216,6 +249,8 @@ class Kernel
     const KernelParams &params() const { return cfg; }
 
   private:
+    friend class InvariantChecker;  ///< Reads internal state, only.
+
     /** Which reclaim LRU a DRAM page sits on. */
     enum class LruList : std::uint8_t { AppLru, CacheLru };
 
@@ -235,12 +270,27 @@ class Kernel
     TouchResult handlePageFault(PageNum vpn, Cycles now);
     MemNode choosePlacement(const Vma &vma, PageNum vpn);
     void freePage(PageNum vpn, PageMeta &meta);
-    bool demotePage(PageNum vpn, PageMeta &meta, bool direct);
+    bool demotePage(PageNum vpn, PageMeta &meta, bool direct,
+                    Cycles now);
     bool dropCachePage(PageNum vpn, PageMeta &meta);
     std::uint32_t reclaimBatch(std::uint32_t target, bool direct,
                                Cycles now);
     PageNum pickVictim(ClockList &list, Cycles now);
     ClockList &listFor(const PageMeta &meta);
+
+    /**
+     * Allocate a frame on @p node, subject to injected allocation
+     * failures on the DRAM tier (NVM allocation only fails for real,
+     * when the tier is full).
+     */
+    std::optional<FrameNum> allocFrame(MemNode node, FrameOwner owner,
+                                       Cycles now);
+
+    /** Feed the breaker one migration outcome; count trips. */
+    void recordMigration(bool success, Cycles now);
+
+    /** Tick the invariant checker after a kernel event. */
+    void noteEvent(Cycles now);
 
     std::uint64_t minWatermarkPages() const;
     std::uint64_t lowWatermarkPages() const;
@@ -258,6 +308,11 @@ class Kernel
     TlbShootdownClient *shootdownClient = nullptr;
     TieringPolicy *tieringPolicy = nullptr;
     SyscallObserver *observer = nullptr;
+    FaultInjector *faults = nullptr;
+    InvariantChecker *invariants = nullptr;
+
+    CircuitBreaker breaker;
+    bool breakerOpenNotified = false;
 
     ObjectId nextFileId = -2;  ///< Page-cache "objects" get negative ids.
 };

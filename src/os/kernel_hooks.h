@@ -139,6 +139,34 @@ class TieringPolicy
         return DemotionDecision::allow();
     }
 
+    /**
+     * A page migration attempt failed (transient fault or ENOMEM).
+     * Policies observe failures to adapt their aggressiveness.
+     *
+     * @param vpn the page whose migration failed.
+     * @param now failure time.
+     * @param promotion true for promotion/exchange, false for demotion.
+     */
+    virtual void
+    onMigrationFailure(PageNum vpn, Cycles now, bool promotion)
+    {
+        (void)vpn;
+        (void)now;
+        (void)promotion;
+    }
+
+    /**
+     * The migration circuit breaker changed state. While open
+     * (@p open true) the kernel refuses promotions and exchanges;
+     * scanning policies should stop marking pages until it closes.
+     */
+    virtual void
+    onBreakerEvent(bool open, Cycles now)
+    {
+        (void)open;
+        (void)now;
+    }
+
     /** Policy-private cumulative counters for reports/CSV export. */
     virtual std::vector<PolicyCounter> snapshotStats() const { return {}; }
 };

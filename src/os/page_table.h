@@ -51,6 +51,13 @@ class PageTable
     /** Number of mapped pages. */
     std::size_t size() const { return table.size(); }
 
+    /** All entries, for consistency sweeps (the invariant checker). */
+    const std::unordered_map<PageNum, PageMeta> &
+    entries() const
+    {
+        return table;
+    }
+
   private:
     std::unordered_map<PageNum, PageMeta> table;
 };

@@ -55,6 +55,24 @@ struct VmStat
     /** Clean page-cache pages dropped by reclaim (no tiering path). */
     std::uint64_t pageCacheDrops = 0;
 
+    /** Page migrations that failed (transient fault or ENOMEM). */
+    std::uint64_t pgmigrateFail = 0;
+
+    /** Promotion attempts retried after a transient failure. */
+    std::uint64_t promoteRetry = 0;
+
+    /** Promotions/exchanges suppressed while the breaker was open. */
+    std::uint64_t promotePaused = 0;
+
+    /** DRAM frame allocations failed by the fault injector. */
+    std::uint64_t pgallocFail = 0;
+
+    /** Page-cache disk reads re-issued after a transient read error. */
+    std::uint64_t diskReadRetry = 0;
+
+    /** Times the migration circuit breaker tripped open. */
+    std::uint64_t breakerTrips = 0;
+
     /** Delta of every field between two snapshots (this - earlier). */
     VmStat
     delta(const VmStat &earlier) const
@@ -74,6 +92,12 @@ struct VmStat
         d.promoteRateLimited =
             promoteRateLimited - earlier.promoteRateLimited;
         d.pageCacheDrops = pageCacheDrops - earlier.pageCacheDrops;
+        d.pgmigrateFail = pgmigrateFail - earlier.pgmigrateFail;
+        d.promoteRetry = promoteRetry - earlier.promoteRetry;
+        d.promotePaused = promotePaused - earlier.promotePaused;
+        d.pgallocFail = pgallocFail - earlier.pgallocFail;
+        d.diskReadRetry = diskReadRetry - earlier.diskReadRetry;
+        d.breakerTrips = breakerTrips - earlier.breakerTrips;
         return d;
     }
 };

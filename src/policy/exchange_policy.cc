@@ -16,6 +16,10 @@ ExchangePolicy::scanTick(Cycles now)
 {
     batchUsed = 0;  // A fresh exchange budget every scan period.
 
+    if (kernel.migrationsPaused(now)) {
+        ++stat.scansPaused;
+        return;
+    }
     const AddressSpace &space = kernel.addressSpace();
     if (space.vmas().empty())
         return;
@@ -134,6 +138,7 @@ ExchangePolicy::snapshotStats() const
         {"rejected_batch", stat.rejectedBatch},
         {"no_victim", stat.noVictim},
         {"demotions_vetoed", stat.demotionsVetoed},
+        {"scans_paused", stat.scansPaused},
     };
 }
 

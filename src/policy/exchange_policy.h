@@ -56,6 +56,7 @@ struct ExchangePolicyStats
     std::uint64_t rejectedBatch = 0;     ///< Batch budget exhausted.
     std::uint64_t noVictim = 0;          ///< No DRAM victim available.
     std::uint64_t demotionsVetoed = 0;   ///< Protected-page reclaim hits.
+    std::uint64_t scansPaused = 0;       ///< Rounds skipped, breaker open.
 };
 
 /** The hot/cold exchange policy. */

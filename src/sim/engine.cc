@@ -1,9 +1,26 @@
 #include "sim/engine.h"
 
+#include <cstdlib>
+
 #include "base/logging.h"
 #include "policy/policy_registry.h"
 
 namespace memtier {
+
+namespace {
+
+/** MEMTIER_CHECK_INVARIANTS=ON/1 force-enables the checker. */
+bool
+invariantsForcedByEnv()
+{
+    const char *env = std::getenv("MEMTIER_CHECK_INVARIANTS");
+    if (env == nullptr)
+        return false;
+    const std::string value(env);
+    return value == "ON" || value == "on" || value == "1";
+}
+
+}  // namespace
 
 Engine::Engine(const SystemConfig &config)
     : cfg(config),
@@ -16,6 +33,19 @@ Engine::Engine(const SystemConfig &config)
     kp.demoteOnReclaim = cfg.tieringKernel;
     kern = std::make_unique<Kernel>(phys, kp);
     kern->setShootdownClient(this);
+
+    // A plan with no enabled point builds no injector at all, keeping
+    // fault-free runs bit-identical (the kernel never even branches on
+    // a plan, only on the injector pointer).
+    if (cfg.faults.anyEnabled()) {
+        faults_ = std::make_unique<FaultInjector>(cfg.faults);
+        kern->setFaultInjector(faults_.get());
+    }
+    if (cfg.checkInvariants || invariantsForcedByEnv()) {
+        invariants_ = std::make_unique<InvariantChecker>(
+            *kern, cfg.invariantCheckPeriod);
+        kern->setInvariantChecker(invariants_.get());
+    }
 
     // Resolve the tiering policy through the registry. The legacy
     // autonumaEnabled flag maps onto the "autonuma" registry entry, so
@@ -179,6 +209,10 @@ Engine::memoryAccess(ThreadContext &t, Addr addr, MemNode node, MemOp op,
     // load latency; the dirty data leaves later via writeback.
     Cycles lat =
         phys.tier(node).access(issue_time, MemOp::Load, sequential);
+    if (faults_ && node == MemNode::NVM) {
+        // Injected NVM latency spike (media congestion / thermal jitter).
+        lat += faults_->latencyPenalty(FaultPoint::NvmLatency, issue_time);
+    }
 
     if (cfg.nextLinePrefetch && sequential) {
         // Next-line prefetch on a detected stream: fetch line+1 in the

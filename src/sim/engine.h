@@ -21,6 +21,8 @@
 #include "base/stats.h"
 #include "base/types.h"
 #include "cache/set_assoc_cache.h"
+#include "fault/fault_injector.h"
+#include "os/invariants.h"
 #include "os/kernel.h"
 #include "os/physical_memory.h"
 #include "sim/access_observer.h"
@@ -66,6 +68,12 @@ class Engine : public TlbShootdownClient
     }
     const SystemConfig &config() const { return cfg; }
     const SetAssocCache &sharedL3() const { return l3; }
+
+    /** Fault injector, or nullptr when the plan enables nothing. */
+    FaultInjector *faultInjector() { return faults_.get(); }
+
+    /** Invariant checker, or nullptr when checking is off. */
+    InvariantChecker *invariantChecker() { return invariants_.get(); }
     ///@}
 
     /** Install the sole access observer (nullptr clears them all). */
@@ -229,6 +237,8 @@ class Engine : public TlbShootdownClient
     SystemConfig cfg;
     PhysicalMemory phys;
     std::unique_ptr<Kernel> kern;
+    std::unique_ptr<FaultInjector> faults_;
+    std::unique_ptr<InvariantChecker> invariants_;
     std::unique_ptr<TieringPolicy> tiering;
     SetAssocCache l3;
     std::vector<std::unique_ptr<ThreadContext>> threads;

@@ -20,6 +20,7 @@
 
 #include "autonuma/autonuma.h"
 #include "cache/cache_params.h"
+#include "fault/fault_plan.h"
 #include "mem/tier_params.h"
 #include "os/kernel.h"
 #include "policy/tunables.h"
@@ -78,6 +79,23 @@ struct SystemConfig
 
     /** Deterministic seed for all engine-level randomness. */
     std::uint64_t seed = 42;
+
+    /**
+     * Fault-injection plan. The default (no point enabled) constructs
+     * no injector at all, so fault-free runs are bit-identical to
+     * builds that predate the fault layer.
+     */
+    FaultPlan faults;
+
+    /**
+     * Run the kernel invariant checker every invariantCheckPeriod
+     * kernel events. Tests keep it on; the MEMTIER_CHECK_INVARIANTS
+     * environment variable (ON/1) force-enables it for any run.
+     */
+    bool checkInvariants = false;
+
+    /** Kernel events between invariant sweeps. */
+    std::uint64_t invariantCheckPeriod = 4096;
 };
 
 }  // namespace memtier

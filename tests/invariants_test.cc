@@ -3,14 +3,18 @@
  * Property/invariant torture tests: drive the kernel and engine with
  * randomized operation sequences and check global invariants after
  * every step -- frame conservation, page-table/placement consistency,
- * counter monotonicity, and engine/level accounting.
+ * counter monotonicity, and engine/level accounting. The chaos variant
+ * repeats the torture under a fault-injection plan with the runtime
+ * invariant checker armed.
  */
 
+#include <cstdlib>
 #include <map>
 
 #include <gtest/gtest.h>
 
 #include "base/rng.h"
+#include "fault/fault_plan.h"
 #include "runtime/sim_heap.h"
 #include "sim/engine.h"
 
@@ -74,15 +78,21 @@ checkInvariants(Engine &eng)
     ASSERT_LE(vm.pgpromoteDemoted, vm.pgpromoteSuccess);
 }
 
-class KernelTorture : public ::testing::TestWithParam<std::uint64_t>
+/**
+ * The randomized torture loop shared by the fault-free and chaos
+ * variants: mmap/mbind/munmap/migrate/access at random, checking the
+ * conservation invariants as it goes.
+ *
+ * @param allow_mbind pinned (Bind/Split) placements are only asserted
+ *     conformant in fault-free runs: an injected allocation failure on
+ *     a pinned fault legitimately falls back to the other tier, so the
+ *     chaos variant sticks to the default policy.
+ */
+void
+tortureLoop(Engine &eng, std::uint64_t seed, bool allow_mbind)
 {
-};
-
-TEST_P(KernelTorture, RandomOpsPreserveInvariants)
-{
-    Engine eng(tortureConfig(GetParam()));
     SimHeap heap(eng);
-    Rng rng(GetParam());
+    Rng rng(seed);
 
     struct Live
     {
@@ -102,7 +112,7 @@ TEST_P(KernelTorture, RandomOpsPreserveInvariants)
             auto v = heap.alloc<std::int64_t>(
                 t, "torture" + std::to_string(rng.nextBounded(6)),
                 pages * 512);
-            if (rng.nextBool(0.25)) {
+            if (allow_mbind && rng.nextBool(0.25)) {
                 eng.kernel().mbind(
                     v.base(),
                     rng.nextBool(0.5)
@@ -170,6 +180,43 @@ TEST_P(KernelTorture, RandomOpsPreserveInvariants)
     const NumaStatSnapshot end = eng.kernel().numastat();
     EXPECT_EQ(end.appPages[0], 0u);
     EXPECT_EQ(end.appPages[1], 0u);
+}
+
+class KernelTorture : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(KernelTorture, RandomOpsPreserveInvariants)
+{
+    Engine eng(tortureConfig(GetParam()));
+    tortureLoop(eng, GetParam(), /*allow_mbind=*/true);
+}
+
+TEST_P(KernelTorture, ChaosRunSurvivesFaultsUnderInvariantChecker)
+{
+    // Same torture, but with transient faults injected and the kernel's
+    // own invariant checker sweeping every 64 events. The chaos CI
+    // stage overrides the plan via MEMTIER_FAULT_PLAN.
+    SystemConfig cfg = tortureConfig(GetParam());
+    cfg.checkInvariants = true;
+    cfg.invariantCheckPeriod = 64;
+    const FaultPlan fallback = FaultPlan::parseOrDie(
+        "migrate:p=0.05,burst=4;alloc:p=0.02;seed=" +
+        std::to_string(GetParam() + 1));
+    cfg.faults = FaultPlan::fromEnvOr("MEMTIER_FAULT_PLAN", fallback);
+
+    Engine eng(cfg);
+    tortureLoop(eng, GetParam(), /*allow_mbind=*/false);
+
+    ASSERT_NE(eng.invariantChecker(), nullptr);
+    eng.invariantChecker()->checkNow(eng.globalTime());
+    EXPECT_GT(eng.invariantChecker()->checksRun(), 0u);
+    if (cfg.faults.anyEnabled()) {
+        ASSERT_NE(eng.faultInjector(), nullptr);
+        if (std::getenv("MEMTIER_FAULT_PLAN") == nullptr) {
+            EXPECT_GT(eng.faultInjector()->totalInjected(), 0u);
+        }
+    }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, KernelTorture,

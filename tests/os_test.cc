@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
+#include <type_traits>
+
 #include "os/address_space.h"
 #include "os/kernel.h"
 #include "os/page_table.h"
@@ -470,6 +473,20 @@ TEST_F(KernelTest, VmStatDelta)
     touchRange(a + 2 * kPageSize, 2);
     const VmStat d = kern.vmstat().delta(snap);
     EXPECT_EQ(d.pgfault, 2u);
+}
+
+TEST(VmStat, DeltaCoversEveryField)
+{
+    // Catches a counter added to VmStat but forgotten in delta(): a
+    // snapshot with every byte set, minus an all-zero snapshot, must
+    // reproduce itself exactly. A skipped field comes back zeroed and
+    // fails the byte comparison.
+    VmStat full;
+    static_assert(std::is_trivially_copyable_v<VmStat>);
+    std::memset(static_cast<void *>(&full), 0x5A, sizeof(VmStat));
+    const VmStat zero{};
+    const VmStat d = full.delta(zero);
+    EXPECT_EQ(std::memcmp(&d, &full, sizeof(VmStat)), 0);
 }
 
 TEST_F(KernelTest, NumastatTracksFree)
