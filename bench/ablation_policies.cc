@@ -27,6 +27,9 @@ const char *kPolicies[] = {"autonuma", "exchange", "dram-only",
 /** Fault plan applied to every run (default: no faults). */
 FaultPlan g_faults;
 
+/** Map anonymous memory with 2 MiB PMD entries (--thp). */
+bool g_thp = false;
+
 RunConfig
 policyConfig(const WorkloadSpec &w, const char *policy)
 {
@@ -35,6 +38,7 @@ policyConfig(const WorkloadSpec &w, const char *policy)
     rc.policy = policy;
     rc.sys.dram = makeDramParams(scaledCapacity(24 * kMiB, w.scale));
     rc.sys.nvm = makeNvmParams(scaledCapacity(96 * kMiB, w.scale));
+    rc.sys.thp.enabled = g_thp;
     // The scaled testbed compresses hours to milliseconds; compress the
     // scan clocks the same way or no scan ever fires inside a run.
     if (std::string(policy) == "autonuma") {
@@ -52,6 +56,7 @@ policyConfig(const WorkloadSpec &w, const char *policy)
 int
 main(int argc, char **argv)
 {
+    g_thp = consumeThpFlag(argc, argv);
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         if (arg == "--faults" && i + 1 < argc) {
@@ -59,7 +64,7 @@ main(int argc, char **argv)
         } else if (arg.rfind("--faults=", 0) == 0) {
             g_faults = FaultPlan::parseOrDie(arg.substr(9));
         } else {
-            fatal("usage: ablation_policies [--faults PLAN]\n"
+            fatal("usage: ablation_policies [--thp] [--faults PLAN]\n"
                   "  PLAN e.g. 'migrate:p=0.2,burst=8;seed=7'");
         }
     }
@@ -70,6 +75,8 @@ main(int argc, char **argv)
                 "(Sys-KU, ATC'21)");
     if (g_faults.anyEnabled())
         std::cout << "fault plan: " << g_faults.summary() << "\n";
+    std::cout << "thp: " << (g_thp ? "on" : "off")
+              << " (pass --thp for 2 MiB PMD mappings)\n";
 
     for (const char *policy : kPolicies) {
         MEMTIER_ASSERT(PolicyRegistry::instance().contains(policy),
@@ -95,10 +102,12 @@ main(int argc, char **argv)
               "the repository root");
     }
     CsvWriter csv(csv_file);
-    csv.header({"workload", "policy", "total_seconds", "compute_seconds",
-                "ext_nvm_share", "hint_faults", "promotions", "demotions",
-                "exchanges", "thrash", "migrate_fail", "promote_retry",
-                "alloc_fail", "disk_read_retry", "breaker_trips"});
+    csv.header({"workload", "policy", "thp", "total_seconds",
+                "compute_seconds", "ext_nvm_share", "hint_faults",
+                "promotions", "demotions", "exchanges", "thrash",
+                "migrate_fail", "promote_retry", "alloc_fail",
+                "disk_read_retry", "breaker_trips", "thp_fault_alloc",
+                "thp_collapse_alloc", "thp_split_page"});
 
     for (const WorkloadSpec &w : workloads) {
         std::cout << "\n" << w.name() << " (scale " << scale << ")\n";
@@ -122,6 +131,7 @@ main(int argc, char **argv)
                           fmtCount(thrash)});
             csv.cell(w.name())
                 .cell(std::string(policy))
+                .cell(std::string(g_thp ? "on" : "off"))
                 .cell(r.totalSeconds)
                 .cell(r.computeSeconds)
                 .cell(es.nvmFrac)
@@ -134,7 +144,10 @@ main(int argc, char **argv)
                 .cell(r.vmstat.promoteRetry)
                 .cell(r.vmstat.pgallocFail)
                 .cell(r.vmstat.diskReadRetry)
-                .cell(r.vmstat.breakerTrips);
+                .cell(r.vmstat.breakerTrips)
+                .cell(r.vmstat.thpFaultAlloc)
+                .cell(r.vmstat.thpCollapseAlloc)
+                .cell(r.vmstat.thpSplitPage);
             csv.endRow();
         }
         table.print(std::cout);

@@ -56,7 +56,7 @@ scaledCapacity(std::uint64_t base_at_18, int scale)
 inline RunResult
 runBench(const WorkloadSpec &w, Mode mode = Mode::AutoNuma,
          std::uint32_t sampler_period = 61,
-         const PlacementPlan *plan = nullptr)
+         const PlacementPlan *plan = nullptr, bool thp = false)
 {
     RunConfig rc;
     rc.workload = w;
@@ -64,9 +64,28 @@ runBench(const WorkloadSpec &w, Mode mode = Mode::AutoNuma,
     rc.sampler.period = sampler_period;
     rc.sys.dram = makeDramParams(scaledCapacity(24 * kMiB, w.scale));
     rc.sys.nvm = makeNvmParams(scaledCapacity(96 * kMiB, w.scale));
+    rc.sys.thp.enabled = thp;
     std::cerr << "running " << w.name() << " [" << modeName(mode)
-              << "] scale=" << w.scale << "...\n";
+              << (thp ? ", thp" : "") << "] scale=" << w.scale << "...\n";
     return runWorkload(rc, plan);
+}
+
+/**
+ * Consume a leading `--thp` argument if present (shared by the benches
+ * that report a THP column). Returns true and shifts argv when found.
+ */
+inline bool
+consumeThpFlag(int &argc, char **argv)
+{
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]) == "--thp") {
+            for (int j = i; j + 1 < argc; ++j)
+                argv[j] = argv[j + 1];
+            --argc;
+            return true;
+        }
+    }
+    return false;
 }
 
 /** Header block naming the experiment. */

@@ -34,9 +34,11 @@ usage()
         << "usage: policy_sweep [--policy=NAME] "
            "[--tunable KEY=V1,V2,...]...\n"
            "                    [--workload APP:KIND]... "
-           "[--out=PATH.csv] [--faults PLAN]\n\n"
+           "[--out=PATH.csv] [--faults PLAN] [--thp]\n\n"
            "  --policy=NAME    registry policy to sweep "
            "(default autonuma)\n"
+           "  --thp            map anonymous memory with 2 MiB PMD "
+           "entries\n"
            "  --tunable K=Vs   one sweep axis; comma-separated values\n"
            "  --workload A:K   app {bc,bfs,cc,pr,sssp} : "
            "graph {kron,urand}\n"
@@ -121,6 +123,7 @@ main(int argc, char **argv)
     const int scale = std::max(12, benchScale() - 4);
 
     SweepSpec spec;
+    spec.sys.thp.enabled = consumeThpFlag(argc, argv);
     std::string out_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -192,6 +195,8 @@ main(int argc, char **argv)
                 "kernels");
     if (spec.sys.faults.anyEnabled())
         std::cout << "fault plan: " << spec.sys.faults.summary() << "\n";
+    if (spec.sys.thp.enabled)
+        std::cout << "thp: on (2 MiB PMD mappings)\n";
     const std::vector<SweepPoint> points = runSweep(spec, &std::cerr);
 
     std::ofstream csv_file(out_path);

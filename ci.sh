@@ -6,7 +6,12 @@
 #      bugs the functional tests would miss;
 #   3. a chaos pass: the tier-1 binaries re-run with the kernel
 #      invariant checker forced on and a moderate fault-injection plan
-#      pushed into the chaos-aware tests.
+#      pushed into the chaos-aware tests;
+#   4. a THP pass: the tier-1 binaries re-run with transparent huge
+#      pages forced on (MEMTIER_THP=ON) under the invariant checker, so
+#      every run exercises PMD mappings, collapse and splits. Tests
+#      whose golden values need the 4 KiB-only baseline skip
+#      themselves.
 #
 # All builds live in their own build directories so they never disturb
 # an existing developer build/.
@@ -15,24 +20,32 @@ cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/3] tier-1: RelWithDebInfo -Werror build + ctest ==="
+echo "=== [1/4] tier-1: RelWithDebInfo -Werror build + ctest ==="
 cmake -B build-ci -S . -DMEMTIER_WERROR=ON
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [2/3] sanitizers: ASan/UBSan build + ctest ==="
+echo "=== [2/4] sanitizers: ASan/UBSan build + ctest ==="
 cmake -B build-asan -S . -DMEMTIER_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/3] chaos: invariant checker on + fault plan, tier-1 binaries ==="
+echo "=== [3/4] chaos: invariant checker on + fault plan, tier-1 binaries ==="
 # MEMTIER_CHECK_INVARIANTS=ON arms the kernel invariant checker in
 # every Engine (observer-only: results stay bit-identical), and
 # MEMTIER_FAULT_PLAN overrides the chaos-aware tests' default plan.
 MEMTIER_CHECK_INVARIANTS=ON \
 MEMTIER_FAULT_PLAN="migrate:p=0.1,burst=6;alloc:p=0.03;seed=97" \
+    ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== [4/4] thp: MEMTIER_THP=ON + invariant checker, tier-1 binaries ==="
+# MEMTIER_THP=ON force-enables the THP model in every Engine; the
+# extended invariant sweep (PMD/PTE consistency, THP counter identity)
+# runs continuously. Golden-value tests captured with THP off skip.
+MEMTIER_THP=ON \
+MEMTIER_CHECK_INVARIANTS=ON \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 echo "ci.sh: all gates passed"

@@ -59,3 +59,19 @@ for p in 0.05 0.1 0.2 0.4; do
         --out="results/fault_sweep_p$p.csv" 2>/dev/null
 done
 echo
+
+# THP sensitivity: Table 3's TLB-cost matrix and the policy ablation
+# with 2 MiB PMD mappings on, next to the 4 KiB baselines printed above.
+# Expect a lower dTLB miss rate and a narrower NVMmiss/DRAMmiss ratio.
+echo "=== thp_sensitivity ==="
+echo "--- table3_tlb_cost --thp ---"
+./build/bench/table3_tlb_cost --thp 2>/dev/null
+echo "--- ablation_policies --thp ---"
+./build/bench/ablation_policies --thp 2>/dev/null
+mv -f results/ablation_policies.csv results/ablation_policies_thp.csv \
+    2>/dev/null || true
+echo "--- policy_sweep --thp ---"
+./build/bench/policy_sweep --policy=autonuma --thp \
+    --tunable scan_period_ms=0.5 --workload pr:kron \
+    --out=results/sweep_autonuma_thp.csv 2>/dev/null
+echo

@@ -43,6 +43,21 @@ AutoNuma::scanTick(Cycles now)
             const PageNum end_vpn = pageOf(vma.end);
             for (; vpn < end_vpn && marked < cfg.scanPagesPerRound;
                  ++vpn) {
+                // A PMD mapping is marked once at the PMD entry; the
+                // one hint fault it produces covers 512 base pages, so
+                // the whole range counts against the scan budget.
+                if (PageMeta *hm = kernel.hugeMetaMutable(vpn)) {
+                    const PageNum base = hugeBaseOf(vpn);
+                    if (hm->present && !hm->protNone && !hm->pinned) {
+                        hm->protNone = true;
+                        hm->scanTime = now;
+                        kernel.shootdownHuge(base);
+                        marked += kPagesPerHuge;
+                        stat.pagesScanned += kPagesPerHuge;
+                    }
+                    vpn = base + kPagesPerHuge - 1;
+                    continue;
+                }
                 PageMeta *meta = kernel.pageMetaMutable(vpn);
                 if (meta == nullptr || !meta->present || meta->protNone)
                     continue;
@@ -121,10 +136,18 @@ AutoNuma::onHintFault(PageNum vpn, Cycles now, PageMeta &meta)
 
     ++stat.hintFaultsNvm;
 
+    // One fault on a PMD mapping stands for 512 base pages: the rate
+    // limit and the threshold-adaptation window are charged in bytes so
+    // a huge promotion consumes a proportionate share of the budget.
+    const bool huge = meta.huge;
+    const std::uint64_t bytes = huge ? kHugePageSize : kPageSize;
+    if (huge)
+        ++stat.hugeHintFaults;
+
     // Free-capacity fast path: promote on any hint fault (Section 2.2:
     // "if there is enough free space ... all pages can be promoted").
     if (kernel.dramHasFreeCapacity()) {
-        if (!rateLimitAllows(now, kPageSize)) {
+        if (!rateLimitAllows(now, bytes)) {
             ++stat.rejectedByRateLimit;
             ++kernel.vmstatMutable().promoteRateLimited;
             return 0;
@@ -143,10 +166,11 @@ AutoNuma::onHintFault(PageNum vpn, Cycles now, PageMeta &meta)
         ++stat.rejectedByThreshold;
         return 0;
     }
-    ++kernel.vmstatMutable().promoteCandidates;
-    windowCandidateBytes += kPageSize;
+    kernel.vmstatMutable().promoteCandidates +=
+        huge ? kPagesPerHuge : 1;
+    windowCandidateBytes += bytes;
 
-    if (!rateLimitAllows(now, kPageSize)) {
+    if (!rateLimitAllows(now, bytes)) {
         ++stat.rejectedByRateLimit;
         ++kernel.vmstatMutable().promoteRateLimited;
         return 0;
@@ -158,6 +182,22 @@ AutoNuma::onHintFault(PageNum vpn, Cycles now, PageMeta &meta)
         ++stat.promotionFailures;
     }
     return cost;
+}
+
+void
+AutoNuma::onThpCollapse(PageNum base_vpn, Cycles now)
+{
+    (void)base_vpn;
+    (void)now;
+    ++stat.thpCollapses;
+}
+
+void
+AutoNuma::onThpSplit(PageNum base_vpn, Cycles now)
+{
+    (void)base_vpn;
+    (void)now;
+    ++stat.thpSplits;
 }
 
 std::vector<PolicyCounter>
@@ -173,6 +213,9 @@ AutoNuma::snapshotStats() const
         {"rejected_by_rate_limit", stat.rejectedByRateLimit},
         {"promotion_failures", stat.promotionFailures},
         {"scans_paused", stat.scansPaused},
+        {"huge_hint_faults", stat.hugeHintFaults},
+        {"thp_collapses", stat.thpCollapses},
+        {"thp_splits", stat.thpSplits},
     };
 }
 

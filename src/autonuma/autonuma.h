@@ -75,6 +75,9 @@ struct AutoNumaStats
     std::uint64_t rejectedByRateLimit = 0;
     std::uint64_t promotionFailures = 0;     ///< No DRAM frame available.
     std::uint64_t scansPaused = 0;           ///< Rounds skipped, breaker open.
+    std::uint64_t hugeHintFaults = 0;        ///< Hint faults on PMD mappings.
+    std::uint64_t thpCollapses = 0;          ///< Collapse notifications.
+    std::uint64_t thpSplits = 0;             ///< Split notifications.
 
     /** Distribution of observed hint fault latencies (seconds). */
     PercentileSummary hintLatencySeconds;
@@ -102,8 +105,18 @@ class AutoNuma : public TieringPolicy
      */
     void scanTick(Cycles now) override;
 
-    /** TieringPolicy: hint fault on @p vpn; may promote. */
+    /**
+     * TieringPolicy: hint fault on @p vpn; may promote. A fault on a
+     * PMD mapping covers all 512 base pages: the rate limit is charged
+     * 2 MiB and a promotion moves the whole range at once.
+     */
     Cycles onHintFault(PageNum vpn, Cycles now, PageMeta &meta) override;
+
+    /** TieringPolicy: khugepaged collapsed the range at @p base_vpn. */
+    void onThpCollapse(PageNum base_vpn, Cycles now) override;
+
+    /** TieringPolicy: the PMD mapping at @p base_vpn was split. */
+    void onThpSplit(PageNum base_vpn, Cycles now) override;
 
     /** TieringPolicy: policy counters for reports/CSV export. */
     std::vector<PolicyCounter> snapshotStats() const override;

@@ -39,6 +39,12 @@ inline constexpr ObjectId kNoObject = -1;
 inline constexpr unsigned kPageShift = 12;
 inline constexpr std::uint64_t kPageSize = 1ULL << kPageShift;
 
+/** Huge-page geometry (x86 PMD mappings: 2 MiB = 512 base pages). */
+inline constexpr unsigned kHugePageShift = 21;
+inline constexpr std::uint64_t kHugePageSize = 1ULL << kHugePageShift;
+inline constexpr unsigned kPagesPerHugeShift = kHugePageShift - kPageShift;
+inline constexpr std::uint64_t kPagesPerHuge = 1ULL << kPagesPerHugeShift;
+
 /** Cache-line geometry (64 B lines). */
 inline constexpr unsigned kLineShift = 6;
 inline constexpr std::uint64_t kLineSize = 1ULL << kLineShift;
@@ -77,6 +83,27 @@ constexpr std::uint64_t
 roundUpPages(std::uint64_t bytes)
 {
     return (bytes + kPageSize - 1) >> kPageShift;
+}
+
+/** First page of the 2 MiB-aligned huge range containing @p vpn. */
+constexpr PageNum
+hugeBaseOf(PageNum vpn)
+{
+    return vpn & ~(kPagesPerHuge - 1);
+}
+
+/** True when @p vpn starts a 2 MiB-aligned huge range. */
+constexpr bool
+isHugeBase(PageNum vpn)
+{
+    return (vpn & (kPagesPerHuge - 1)) == 0;
+}
+
+/** Round @p addr up to the next 2 MiB boundary. */
+constexpr Addr
+roundUpHuge(Addr addr)
+{
+    return (addr + kHugePageSize - 1) & ~(kHugePageSize - 1);
 }
 
 /** Convert a cycle count to seconds of simulated time. */

@@ -52,6 +52,12 @@ struct CacheParams
      */
     unsigned pageWalkMemRefs = 2;
 
+    /**
+     * Memory references of a walk that ends at a PMD entry: the walk is
+     * one level shorter, so one fewer reference leaves the caches.
+     */
+    unsigned pageWalkMemRefsHuge = 1;
+
     TlbParams tlb;
 };
 

@@ -71,6 +71,8 @@ Tlb::Tlb(const TlbParams &params) : cfg(params)
 {
     l1.init(cfg.l1Entries, cfg.l1Ways);
     stlb.init(cfg.stlbEntries, cfg.stlbWays);
+    l1Huge.init(cfg.l1HugeEntries, cfg.l1HugeWays);
+    stlbHuge.init(cfg.stlbHugeEntries, cfg.stlbHugeWays);
 }
 
 TlbOutcome
@@ -92,6 +94,37 @@ Tlb::lookup(PageNum vpn)
     return TlbOutcome::Miss;
 }
 
+TlbOutcome
+Tlb::lookupHuge(PageNum base_vpn)
+{
+    // Key by huge-page number, not base vpn: a 2 MiB base has nine zero
+    // low bits, which would otherwise alias every range onto set 0.
+    const PageNum key = base_vpn >> kPagesPerHugeShift;
+    ++tick;
+    if (l1Huge.lookup(key, tick)) {
+        ++huge_l1_hits;
+        return TlbOutcome::L1Hit;
+    }
+    if (stlbHuge.lookup(key, tick)) {
+        ++huge_stlb_hits;
+        l1Huge.insert(key, tick);
+        return TlbOutcome::StlbHit;
+    }
+    ++huge_miss_count;
+    l1Huge.insert(key, tick);
+    stlbHuge.insert(key, tick);
+    return TlbOutcome::Miss;
+}
+
+void
+Tlb::insertHuge(PageNum base_vpn)
+{
+    const PageNum key = base_vpn >> kPagesPerHugeShift;
+    ++tick;
+    l1Huge.insert(key, tick);
+    stlbHuge.insert(key, tick);
+}
+
 void
 Tlb::invalidate(PageNum vpn)
 {
@@ -100,10 +133,20 @@ Tlb::invalidate(PageNum vpn)
 }
 
 void
+Tlb::invalidateHuge(PageNum base_vpn)
+{
+    const PageNum key = base_vpn >> kPagesPerHugeShift;
+    l1Huge.invalidate(key);
+    stlbHuge.invalidate(key);
+}
+
+void
 Tlb::flushAll()
 {
     l1.flush();
     stlb.flush();
+    l1Huge.flush();
+    stlbHuge.flush();
 }
 
 }  // namespace memtier

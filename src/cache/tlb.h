@@ -32,9 +32,25 @@ struct TlbParams
     unsigned stlbEntries = 1536; ///< 1536-entry 12-way unified STLB.
     unsigned stlbWays = 12;
     Cycles stlbHitCycles = 9;    ///< Added when L1 misses but STLB hits.
+
+    /**
+     * Separate 2 MiB entry classes (Skylake keeps a 32-entry 4-way
+     * dTLB array for 2M/4M pages; the STLB's 2 MiB class is sized like
+     * the unified array). One huge entry covers 512 base pages, so TLB
+     * reach grows by orders of magnitude when THP is on. The arrays
+     * exist regardless but see traffic only for PMD-mapped ranges.
+     */
+    unsigned l1HugeEntries = 32;
+    unsigned l1HugeWays = 4;
+    unsigned stlbHugeEntries = 1536;
+    unsigned stlbHugeWays = 12;
 };
 
-/** A two-level, set-associative, LRU TLB over 4 KiB pages. */
+/**
+ * A two-level, set-associative, LRU TLB with separate 4 KiB and 2 MiB
+ * entry classes per level. The 4 KiB path (@ref lookup) never touches
+ * the huge arrays, keeping THP-off runs bit-identical.
+ */
 class Tlb
 {
   public:
@@ -47,10 +63,23 @@ class Tlb
      */
     TlbOutcome lookup(PageNum vpn);
 
+    /**
+     * Translate the PMD-mapped range at @p base_vpn through the 2 MiB
+     * entry classes; fills both huge levels on miss.
+     */
+    TlbOutcome lookupHuge(PageNum base_vpn);
+
+    /** Install the 2 MiB translation at @p base_vpn in both levels
+     *  (used when a fault upgraded a range under a 4 KiB lookup). */
+    void insertHuge(PageNum base_vpn);
+
     /** Drop any cached translation of @p vpn (PTE changed). */
     void invalidate(PageNum vpn);
 
-    /** Flush both levels. */
+    /** Drop the cached 2 MiB translation at @p base_vpn (PMD changed). */
+    void invalidateHuge(PageNum base_vpn);
+
+    /** Flush all levels and entry classes. */
     void flushAll();
 
     /** Extra cycles charged for an STLB hit. */
@@ -59,6 +88,12 @@ class Tlb
     std::uint64_t l1Hits() const { return l1_hits; }
     std::uint64_t stlbHits() const { return stlb_hits; }
     std::uint64_t misses() const { return miss_count; }
+
+    /** Hits/misses of the 2 MiB entry classes (kept separate so the
+     *  4 KiB counters stay comparable across THP on/off runs). */
+    std::uint64_t hugeL1Hits() const { return huge_l1_hits; }
+    std::uint64_t hugeStlbHits() const { return huge_stlb_hits; }
+    std::uint64_t hugeMisses() const { return huge_miss_count; }
 
   private:
     struct Entry
@@ -84,10 +119,15 @@ class Tlb
     TlbParams cfg;
     Level l1;
     Level stlb;
+    Level l1Huge;
+    Level stlbHuge;
     std::uint64_t tick = 0;
     std::uint64_t l1_hits = 0;
     std::uint64_t stlb_hits = 0;
     std::uint64_t miss_count = 0;
+    std::uint64_t huge_l1_hits = 0;
+    std::uint64_t huge_stlb_hits = 0;
+    std::uint64_t huge_miss_count = 0;
 };
 
 }  // namespace memtier

@@ -80,7 +80,7 @@ writeSweepCsv(const SweepSpec &spec,
               const std::vector<SweepPoint> &points, std::ostream &out)
 {
     CsvWriter csv(out);
-    std::vector<std::string> columns = {"workload", "policy"};
+    std::vector<std::string> columns = {"workload", "policy", "thp"};
     for (const SweepAxis &axis : spec.axes)
         columns.push_back(axis.key);
     for (const char *metric :
@@ -92,8 +92,9 @@ writeSweepCsv(const SweepSpec &spec,
     }
     csv.header(columns);
 
+    const std::string thp = spec.sys.thp.enabled ? "on" : "off";
     for (const SweepPoint &p : points) {
-        csv.cell(p.workload).cell(p.policy);
+        csv.cell(p.workload).cell(p.policy).cell(thp);
         for (const auto &[key, value] : p.tunables) {
             (void)key;
             csv.cell(value);

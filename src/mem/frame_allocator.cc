@@ -1,11 +1,14 @@
 #include "mem/frame_allocator.h"
 
+#include <algorithm>
+
 #include "base/logging.h"
 
 namespace memtier {
 
 FrameAllocator::FrameAllocator(std::uint64_t total_frames)
-    : total(total_frames)
+    : total(total_frames),
+      blockUsed((total_frames + kPagesPerHuge - 1) >> kPagesPerHugeShift, 0)
 {
 }
 
@@ -16,10 +19,12 @@ FrameAllocator::allocate()
         const FrameNum frame = recycled.back();
         recycled.pop_back();
         ++used;
+        ++blockUsed[frame >> kPagesPerHugeShift];
         return frame;
     }
     if (next < total) {
         ++used;
+        ++blockUsed[next >> kPagesPerHugeShift];
         return next++;
     }
     return std::nullopt;
@@ -30,8 +35,66 @@ FrameAllocator::free(FrameNum frame)
 {
     MEMTIER_ASSERT(frame < total, "freeing frame outside the pool");
     MEMTIER_ASSERT(used > 0, "freeing with no frames allocated");
+    MEMTIER_ASSERT(blockUsed[frame >> kPagesPerHugeShift] > 0,
+                   "block accounting underflow");
     --used;
+    --blockUsed[frame >> kPagesPerHugeShift];
     recycled.push_back(frame);
+}
+
+void
+FrameAllocator::carveBlock(FrameNum base)
+{
+    const FrameNum end = base + kPagesPerHuge;
+    const FrameNum old_next = next;
+    if (old_next < end)
+        next = end;
+    // Never-used frames below the block stay allocatable: move them onto
+    // the recycled list (they only exist when the bump pointer sat below
+    // the block's base).
+    for (FrameNum f = old_next; f < base; ++f)
+        recycled.push_back(f);
+    // Frames of the block that were used and freed sit on the recycled
+    // list; pull them out. Only frames below the old bump pointer can
+    // ever have been recycled.
+    if (old_next > base) {
+        const std::uint64_t expect = std::min(old_next, end) - base;
+        const std::uint64_t removed = static_cast<std::uint64_t>(
+            std::erase_if(recycled, [base, end](FrameNum f) {
+                return f >= base && f < end;
+            }));
+        MEMTIER_ASSERT(removed == expect,
+                       "free block missing recycled frames");
+    }
+}
+
+std::optional<FrameNum>
+FrameAllocator::allocateHuge()
+{
+    // Lowest fully free, naturally aligned block wins (deterministic).
+    const std::uint64_t full_blocks = total >> kPagesPerHugeShift;
+    for (std::uint64_t b = 0; b < full_blocks; ++b) {
+        if (blockUsed[b] != 0)
+            continue;
+        const FrameNum base = b << kPagesPerHugeShift;
+        carveBlock(base);
+        blockUsed[b] = static_cast<std::uint16_t>(kPagesPerHuge);
+        used += kPagesPerHuge;
+        ++huge_allocs;
+        return base;
+    }
+    ++huge_alloc_fails;
+    return std::nullopt;
+}
+
+void
+FrameAllocator::freeHuge(FrameNum base)
+{
+    MEMTIER_ASSERT(isHugeBase(base), "huge free of unaligned base");
+    MEMTIER_ASSERT(blockUsed[base >> kPagesPerHugeShift] == kPagesPerHuge,
+                   "huge free of partially allocated block");
+    for (FrameNum f = base; f < base + kPagesPerHuge; ++f)
+        free(f);
 }
 
 }  // namespace memtier

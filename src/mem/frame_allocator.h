@@ -17,6 +17,13 @@ namespace memtier {
 /**
  * Hands out page frames from a fixed-size pool, recycling freed frames
  * LIFO. Frame numbers are tier-local.
+ *
+ * The pool is additionally grouped into naturally aligned 512-frame
+ * blocks (buddy-style, one level) so 2 MiB huge frames can be carved
+ * out: @ref allocateHuge finds the lowest fully free block and claims
+ * all of it. Single-frame allocation order is untouched by the block
+ * bookkeeping, so 4 KiB-only runs are bit-identical to builds without
+ * huge-page support.
  */
 class FrameAllocator
 {
@@ -30,6 +37,21 @@ class FrameAllocator
     /** Return a previously allocated frame to the pool. */
     void free(FrameNum frame);
 
+    /**
+     * Allocate a naturally aligned 512-frame block for a 2 MiB huge
+     * page. Fails (fragmentation) when no block is fully free, even if
+     * 512 scattered frames are: the counters record such failures.
+     * @return the base frame of the block, or nullopt.
+     */
+    std::optional<FrameNum> allocateHuge();
+
+    /**
+     * Free a block previously obtained from @ref allocateHuge whose
+     * 512 frames are all still allocated (i.e. the huge page was not
+     * split; split pages return frames individually via @ref free).
+     */
+    void freeHuge(FrameNum base);
+
     /** Frames currently allocated. */
     std::uint64_t usedFrames() const { return used; }
 
@@ -39,11 +61,30 @@ class FrameAllocator
     /** Pool size. */
     std::uint64_t totalFrames() const { return total; }
 
+    /** Successful huge-block allocations. */
+    std::uint64_t hugeAllocs() const { return huge_allocs; }
+
+    /**
+     * Huge-block allocations that failed because no naturally aligned
+     * block was fully free (external fragmentation), counted even when
+     * enough scattered single frames existed.
+     */
+    std::uint64_t hugeAllocFails() const { return huge_alloc_fails; }
+
   private:
+    /** Make every frame of the block at @p base allocated. */
+    void carveBlock(FrameNum base);
+
     std::uint64_t total;
     std::uint64_t next = 0;  ///< High-water mark of never-used frames.
     std::uint64_t used = 0;
     std::vector<FrameNum> recycled;
+
+    /** Allocated frames per naturally aligned 512-frame block. */
+    std::vector<std::uint16_t> blockUsed;
+
+    std::uint64_t huge_allocs = 0;
+    std::uint64_t huge_alloc_fails = 0;
 };
 
 }  // namespace memtier

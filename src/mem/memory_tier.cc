@@ -27,6 +27,24 @@ MemoryTier::free(FrameNum frame, FrameOwner owner)
     allocator_.free(frame);
 }
 
+std::optional<FrameNum>
+MemoryTier::allocateHuge(FrameOwner owner)
+{
+    auto base = allocator_.allocateHuge();
+    if (base)
+        owner_pages[static_cast<int>(owner)] += kPagesPerHuge;
+    return base;
+}
+
+void
+MemoryTier::freeHuge(FrameNum base, FrameOwner owner)
+{
+    auto &count = owner_pages[static_cast<int>(owner)];
+    MEMTIER_ASSERT(count >= kPagesPerHuge, "owner accounting underflow");
+    count -= kPagesPerHuge;
+    allocator_.freeHuge(base);
+}
+
 std::uint64_t
 MemoryTier::ownerPages(FrameOwner owner) const
 {

@@ -43,6 +43,15 @@ class MemoryTier
     /** Free a frame previously charged to @p owner. */
     void free(FrameNum frame, FrameOwner owner);
 
+    /**
+     * Allocate a naturally aligned 512-frame block (one 2 MiB huge
+     * frame) charged to @p owner; nullopt when no block is fully free.
+     */
+    std::optional<FrameNum> allocateHuge(FrameOwner owner);
+
+    /** Free an unsplit huge frame previously charged to @p owner. */
+    void freeHuge(FrameNum base, FrameOwner owner);
+
     /** Timing access to this tier (delegates to the device model). */
     Cycles
     access(Cycles now, MemOp op, bool sequential)
@@ -64,6 +73,16 @@ class MemoryTier
 
     /** Bytes currently allocated across owners. */
     std::uint64_t usedBytes() const { return usedPages() * kPageSize; }
+
+    /** Successful 2 MiB frame allocations on this tier. */
+    std::uint64_t hugeAllocs() const { return allocator_.hugeAllocs(); }
+
+    /** 2 MiB frame allocations defeated by fragmentation. */
+    std::uint64_t
+    hugeAllocFails() const
+    {
+        return allocator_.hugeAllocFails();
+    }
 
     /** The underlying timing device (for bandwidth/queue statistics). */
     const TierDevice &device() const { return device_; }

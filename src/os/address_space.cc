@@ -22,6 +22,12 @@ AddressSpace::mmap(std::uint64_t bytes, ObjectId object,
     MEMTIER_ASSERT(bytes > 0, "mmap of zero bytes");
     const std::uint64_t pages = roundUpPages(bytes);
 
+    // THP mode places regions on PMD boundaries (the kernel's
+    // thp_get_unmapped_area behaviour); without it a region start is
+    // only page-aligned and almost never begins a 2 MiB range.
+    if (hugeAlign)
+        nextAddr = roundUpHuge(nextAddr);
+
     Vma vma;
     vma.start = nextAddr;
     vma.end = nextAddr + pages * kPageSize;

@@ -67,9 +67,20 @@ class AddressSpace
     /** All VMAs keyed by start address. */
     const std::map<Addr, Vma> &vmas() const { return regions; }
 
+    /**
+     * Align future VMA starts to 2 MiB (THP mode) so collapse-eligible
+     * PMD ranges exist. Off by default: the page-aligned legacy layout
+     * is part of the bit-identical 4 KiB-mode contract.
+     */
+    void setHugeAlignment(bool on) { hugeAlign = on; }
+
+    /** Whether VMA starts are 2 MiB-aligned. */
+    bool hugeAlignment() const { return hugeAlign; }
+
   private:
     std::map<Addr, Vma> regions;
     Addr nextAddr;
+    bool hugeAlign = false;
 };
 
 }  // namespace memtier

@@ -33,10 +33,10 @@ InvariantChecker::fail(Cycles now, const std::string &what) const
                          " (event %" PRIu64 ") ===\n",
                  static_cast<std::uint64_t>(now), events_);
     std::fprintf(stderr, "  %s\n", what.c_str());
-    std::fprintf(stderr, "  page table: %zu entries; appLru=%zu "
-                         "cacheLru=%zu\n",
-                 kernel_.pt.size(), kernel_.appLru.size(),
-                 kernel_.cacheLru.size());
+    std::fprintf(stderr, "  page table: %zu entries (+%zu huge); "
+                         "appLru=%zu cacheLru=%zu\n",
+                 kernel_.pt.size(), kernel_.pt.hugeSize(),
+                 kernel_.appLru.size(), kernel_.cacheLru.size());
     for (int n = 0; n < kNumNodes; ++n) {
         std::fprintf(stderr, "  node %d: app=%" PRIu64 " cache=%" PRIu64
                              " free=%" PRIu64 "\n",
@@ -105,19 +105,79 @@ InvariantChecker::checkNow(Cycles now)
             fail(now, strprintf("pinned page %" PRIu64 " carries a scan "
                                 "marker", vpn));
         }
+        if (meta.huge) {
+            fail(now, strprintf("PTE for page %" PRIu64 " carries the "
+                                "huge flag", vpn));
+        }
     }
 
-    // Every LRU entry must be a mapped page (residence/owner agreement
-    // was already verified from the page-table side above).
+    // Huge (PMD) mappings: aligned, one tier, 512 contiguous frames
+    // that collide with no other mapping, and no 4 KiB PTE shadowing
+    // any page of the range.
+    for (const auto &[base, hmeta] : k.pt.hugeEntries()) {
+        if (!isHugeBase(base) || !hmeta.huge || !hmeta.present) {
+            fail(now, strprintf("malformed PMD entry at page %" PRIu64,
+                                base));
+        }
+        if (!isHugeBase(hmeta.frame)) {
+            fail(now, strprintf("PMD entry %" PRIu64 " has unaligned "
+                                "base frame %" PRIu64, base,
+                                static_cast<std::uint64_t>(hmeta.frame)));
+        }
+        const int n = static_cast<int>(hmeta.node);
+        const MemoryTier &tier = k.phys.tier(hmeta.node);
+        if (hmeta.frame + kPagesPerHuge > tier.totalPages()) {
+            fail(now, strprintf("PMD entry %" PRIu64 " maps past node %d "
+                                "capacity", base, n));
+        }
+        if (hmeta.owner != FrameOwner::App) {
+            fail(now, strprintf("PMD entry %" PRIu64 " is not App-owned",
+                                base));
+        }
+        for (std::uint64_t i = 0; i < kPagesPerHuge; ++i) {
+            if (!frames[n].insert(hmeta.frame + i).second) {
+                fail(now, strprintf("huge frame %" PRIu64 " on node %d "
+                                    "is double-mapped (range %" PRIu64 ")",
+                                    static_cast<std::uint64_t>(
+                                        hmeta.frame + i), n, base));
+            }
+            if (k.pt.find(base + i) != nullptr) {
+                fail(now, strprintf("4 KiB PTE %" PRIu64 " shadows the "
+                                    "PMD range at %" PRIu64,
+                                    base + i, base));
+            }
+        }
+        counted[n][static_cast<int>(hmeta.owner)] += kPagesPerHuge;
+
+        const bool on_app = k.appLru.contains(base);
+        const bool on_cache = k.cacheLru.contains(base);
+        if (hmeta.node == MemNode::DRAM ? (!on_app || on_cache)
+                                        : (on_app || on_cache)) {
+            fail(now, strprintf("PMD entry %" PRIu64 " on wrong LRU "
+                                "(app=%d cache=%d)", base, on_app,
+                                on_cache));
+        }
+        if (hmeta.pinned && hmeta.protNone) {
+            fail(now, strprintf("pinned PMD entry %" PRIu64 " carries a "
+                                "scan marker", base));
+        }
+    }
+
+    // Every LRU entry must be a mapped page: a 4 KiB PTE or the base of
+    // a PMD mapping (residence/owner agreement was already verified
+    // from the page-table side above).
     for (const Kernel::ClockList *list : {&k.appLru, &k.cacheLru}) {
         if (list->pos.size() != list->pages.size()) {
             fail(now, strprintf("LRU index size %zu != list size %zu",
                                 list->pos.size(), list->pages.size()));
         }
         for (PageNum vpn : list->pages) {
-            if (k.pt.find(vpn) == nullptr)
-                fail(now, strprintf("LRU references unmapped page %"
-                                    PRIu64, vpn));
+            if (k.pt.find(vpn) != nullptr)
+                continue;
+            if (k.pt.findHuge(vpn) != nullptr && isHugeBase(vpn))
+                continue;
+            fail(now, strprintf("LRU references unmapped page %" PRIu64,
+                                vpn));
         }
     }
 
@@ -156,6 +216,20 @@ InvariantChecker::checkNow(Cycles now)
         fail(now, strprintf("pgmigrate_success=%" PRIu64 " != promote+"
                             "demote+exchange=%" PRIu64,
                             s.pgmigrateSuccess, expect));
+    }
+
+    // THP counter identity: every PMD mapping was born from a fault
+    // allocation or a collapse and dies by a split or a whole-range
+    // munmap, so births - deaths = live PMD mappings.
+    const std::uint64_t born = s.thpFaultAlloc + s.thpCollapseAlloc;
+    const std::uint64_t died = s.thpSplitPage + s.thpUnmapHuge;
+    if (born < died || born - died != k.pt.hugeSize()) {
+        fail(now, strprintf("thp counter identity broken: fault_alloc=%"
+                            PRIu64 " + collapse=%" PRIu64 " - split=%"
+                            PRIu64 " - unmap=%" PRIu64 " != live=%zu",
+                            s.thpFaultAlloc, s.thpCollapseAlloc,
+                            s.thpSplitPage, s.thpUnmapHuge,
+                            k.pt.hugeSize()));
     }
 }
 

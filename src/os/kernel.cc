@@ -11,6 +11,10 @@ namespace memtier {
 Kernel::Kernel(PhysicalMemory &phys, const KernelParams &params)
     : phys(phys), cfg(params), breaker(params.breaker)
 {
+    // THP wants VMA starts on PMD boundaries so collapse-eligible
+    // ranges exist; 4 KiB mode keeps the legacy page-aligned layout.
+    if (cfg.thp.enabled)
+        space.setHugeAlignment(true);
 }
 
 void
@@ -89,6 +93,21 @@ Kernel::shootdown(PageNum vpn)
 {
     if (shootdownClient)
         shootdownClient->tlbShootdown(vpn);
+}
+
+void
+Kernel::shootdownHuge(PageNum base_vpn)
+{
+    if (shootdownClient)
+        shootdownClient->tlbShootdownHuge(base_vpn);
+}
+
+PageMeta *
+Kernel::lruMeta(PageNum vpn)
+{
+    // LRU lists hold 4 KiB vpns and huge base vpns alike.
+    PageMeta *m = pt.find(vpn);
+    return m != nullptr ? m : pt.findHuge(vpn);
 }
 
 std::uint64_t
@@ -171,6 +190,14 @@ Kernel::munmap(Cycles now, Addr start)
     const ObjectId object = vma->object;
 
     for (PageNum vpn = pageOf(vma->start); vpn < pageOf(vma->end); ++vpn) {
+        if (isHugeBase(vpn)) {
+            if (PageMeta *hm = pt.findHuge(vpn); hm != nullptr) {
+                freeHugeMapping(vpn, *hm);
+                ++stats.thpUnmapHuge;
+                vpn += kPagesPerHuge - 1;
+                continue;
+            }
+        }
         PageMeta *meta = pt.find(vpn);
         if (meta == nullptr)
             continue;
@@ -212,6 +239,60 @@ Kernel::choosePlacement(const Vma &vma, PageNum vpn)
     return MemNode::NVM;
 }
 
+bool
+Kernel::tryHugeFaultAlloc(const Vma &vma, PageNum vpn, Cycles now,
+                          TouchResult &result)
+{
+    // Anonymous Default-policy regions only: page-cache ranges are
+    // 4 KiB-grained and explicit mbind placements are not widened.
+    if (vma.pageCache || vma.policy.mode != MemPolicy::Mode::Default)
+        return false;
+    const PageNum base = hugeBaseOf(vpn);
+    if (pageBase(base) < vma.start ||
+        pageBase(base + kPagesPerHuge) > vma.end) {
+        return false;  // PMD range not fully inside the VMA.
+    }
+    for (PageNum p = base; p < base + kPagesPerHuge; ++p) {
+        if (pt.find(p) != nullptr)
+            return false;  // Partially populated: khugepaged's job.
+    }
+
+    // DRAM first while a whole block fits above the reserve; the
+    // tiering policy steers placement exactly as for 4 KiB touches.
+    MemNode node =
+        phys.dram().freePages() > minWatermarkPages() + kPagesPerHuge
+            ? MemNode::DRAM
+            : MemNode::NVM;
+    if (tieringPolicy)
+        node = tieringPolicy->onFirstTouchAlloc(vpn, now, node);
+
+    auto frame = phys.tier(node).allocateHuge(FrameOwner::App);
+    if (!frame) {
+        const MemNode other =
+            node == MemNode::DRAM ? MemNode::NVM : MemNode::DRAM;
+        frame = phys.tier(other).allocateHuge(FrameOwner::App);
+        if (frame)
+            node = other;
+    }
+    if (!frame) {
+        // Fragmentation on both tiers: fall back to a 4 KiB page.
+        ++stats.thpFaultFallback;
+        return false;
+    }
+
+    PageMeta &meta = pt.insertHuge(base);
+    meta.frame = *frame;
+    meta.node = node;
+    meta.owner = FrameOwner::App;
+    meta.present = true;
+    meta.lastAccess = now;
+    if (node == MemNode::DRAM)
+        appLru.add(base);
+    ++stats.thpFaultAlloc;
+    result.node = node;
+    return true;
+}
+
 TouchResult
 Kernel::handlePageFault(PageNum vpn, Cycles now)
 {
@@ -222,6 +303,13 @@ Kernel::handlePageFault(PageNum vpn, Cycles now)
     result.pageFault = true;
     result.cost = cfg.pageFaultCycles;
     ++stats.pgfault;
+
+    // THP "always" policy: one fault populates the whole PMD range.
+    if (cfg.thp.enabled && cfg.thp.faultAlloc &&
+        tryHugeFaultAlloc(*vma, vpn, now, result)) {
+        noteEvent(now);
+        return result;
+    }
 
     MemNode node = choosePlacement(*vma, vpn);
     // Default-policy regions let the tiering policy steer first-touch
@@ -275,12 +363,44 @@ Kernel::handlePageFault(PageNum vpn, Cycles now)
 }
 
 TouchResult
+Kernel::touchHugePage(PageNum vpn, PageMeta &hmeta, Cycles now)
+{
+    TouchResult result;
+    if (hmeta.protNone) {
+        // One PMD-granularity hint fault stands in for all 512
+        // subpages: the trap cost is paid once and the policy's
+        // promotion decision covers the whole range.
+        hmeta.protNone = false;
+        result.hintFault = true;
+        result.cost = cfg.hintFaultCycles;
+        ++stats.numaHintFaults;
+        if (tieringPolicy)
+            result.cost += tieringPolicy->onHintFault(vpn, now, hmeta);
+    }
+    // The policy may have migrated the range -- or demand-split it,
+    // invalidating hmeta -- so re-resolve before stamping recency.
+    PageMeta *after = pt.findHuge(vpn);
+    if (after == nullptr)
+        after = pt.find(vpn);
+    MEMTIER_ASSERT(after != nullptr && after->present,
+                   "page vanished during huge hint fault");
+    after->lastAccess = now;
+    result.node = after->node;
+    return result;
+}
+
+TouchResult
 Kernel::touchPage(PageNum vpn, Cycles now, MemOp op)
 {
     (void)op;  // Loads and stores fault identically for our purposes.
     PageMeta *meta = pt.find(vpn);
-    if (meta == nullptr || !meta->present)
+    if (meta == nullptr || !meta->present) {
+        if (PageMeta *hmeta = pt.findHuge(vpn);
+            hmeta != nullptr && hmeta->present) {
+            return touchHugePage(vpn, *hmeta, now);
+        }
         return handlePageFault(vpn, now);
+    }
 
     TouchResult result;
     if (meta->protNone) {
@@ -305,6 +425,8 @@ MemNode
 Kernel::nodeOf(PageNum vpn) const
 {
     const PageMeta *meta = pt.find(vpn);
+    if (meta == nullptr)
+        meta = pt.findHuge(vpn);
     MEMTIER_ASSERT(meta != nullptr && meta->present,
                    "nodeOf on non-present page");
     return meta->node;
@@ -313,7 +435,8 @@ Kernel::nodeOf(PageNum vpn) const
 const PageMeta *
 Kernel::pageMeta(PageNum vpn) const
 {
-    return pt.find(vpn);
+    const PageMeta *meta = pt.find(vpn);
+    return meta != nullptr ? meta : pt.findHuge(vpn);
 }
 
 // -- Page cache -------------------------------------------------------
@@ -367,6 +490,7 @@ bool
 Kernel::demotePage(PageNum vpn, PageMeta &meta, bool direct, Cycles now)
 {
     MEMTIER_ASSERT(meta.node == MemNode::DRAM, "demoting non-DRAM page");
+    MEMTIER_ASSERT(!meta.huge, "huge pages are split before demotion");
     auto frame = phys.nvm().allocate(meta.owner);
     if (!frame) {
         // Real ENOMEM: the slow tier is full, nothing to retry against.
@@ -433,7 +557,7 @@ Kernel::pickVictim(ClockList &list, Cycles now)
         if (list.hand >= list.pages.size())
             list.hand = 0;
         const PageNum vpn = list.pages[list.hand];
-        PageMeta *meta = pt.find(vpn);
+        PageMeta *meta = lruMeta(vpn);
         MEMTIER_ASSERT(meta != nullptr, "LRU references unmapped page");
         if (meta->pinned) {
             ++list.hand;
@@ -466,8 +590,17 @@ Kernel::reclaimBatch(std::uint32_t target, bool direct, Cycles now)
         PageNum victim = pickVictim(*list, now);
         if (victim == kNoPage)
             break;
-        PageMeta *meta = pt.find(victim);
+        PageMeta *meta = lruMeta(victim);
         MEMTIER_ASSERT(meta != nullptr, "victim vanished");
+        if (meta->huge) {
+            // Split-on-demote: reclaim migrates at 4 KiB, so a cold
+            // huge victim is demand-split first; its subpages rejoin
+            // the LRU individually (and stay cold, so this round will
+            // demote some of them right away).
+            splitHugePage(victim, now);
+            meta = pt.find(victim);
+            MEMTIER_ASSERT(meta != nullptr, "split produced no PTE");
+        }
         if (cfg.demoteOnReclaim && tieringPolicy) {
             const DemotionDecision d = tieringPolicy->onDemotionRequest(
                 victim, now, *meta, direct);
@@ -525,8 +658,60 @@ Kernel::kswapdTick(Cycles now)
 }
 
 Cycles
+Kernel::promoteHugePage(PageNum vpn, Cycles now)
+{
+    const PageNum base = hugeBaseOf(vpn);
+    PageMeta *hm = pt.findHuge(base);
+    MEMTIER_ASSERT(hm != nullptr && hm->present, "promoting bad huge page");
+    MEMTIER_ASSERT(hm->node == MemNode::NVM, "promoting non-NVM huge page");
+    if (hm->pinned)
+        return 0;
+    if (migrationsPaused(now)) {
+        ++stats.promotePaused;
+        return 0;
+    }
+
+    auto frame = phys.dram().allocateHuge(FrameOwner::App);
+    if (!frame) {
+        // No contiguous DRAM block: the tiering decision straddles the
+        // huge page. Demand-split it and promote just the faulting
+        // subpage; the rest stay NVM and hint-fault individually.
+        splitHugePage(base, now);
+        return promotePage(vpn, now);
+    }
+    if (faults && faults->shouldFail(FaultPoint::Migration, now)) {
+        // Transient bulk-copy failure: release the target block; the
+        // range stays NVM and a later hint fault retries. No synchronous
+        // retry loop -- a 2 MiB copy is too large to spin on.
+        phys.dram().freeHuge(*frame, FrameOwner::App);
+        ++stats.pgmigrateFail;
+        recordMigration(false, now);
+        if (tieringPolicy)
+            tieringPolicy->onMigrationFailure(vpn, now, true);
+        return 0;
+    }
+
+    phys.nvm().freeHuge(hm->frame, FrameOwner::App);
+    hm->frame = *frame;
+    hm->node = MemNode::DRAM;
+    hm->promoted = true;
+    appLru.add(base);
+    shootdownHuge(base);
+
+    stats.pgpromoteSuccess += kPagesPerHuge;
+    stats.pgmigrateSuccess += kPagesPerHuge;
+    recordMigration(true, now);
+    noteEvent(now);
+    return cfg.hugeMigrateCycles;
+}
+
+Cycles
 Kernel::promotePage(PageNum vpn, Cycles now)
 {
+    if (const PageMeta *hm = pt.findHuge(vpn);
+        hm != nullptr && hm->present) {
+        return promoteHugePage(vpn, now);
+    }
     PageMeta *meta = pt.find(vpn);
     MEMTIER_ASSERT(meta != nullptr && meta->present, "promoting bad page");
     MEMTIER_ASSERT(meta->node == MemNode::NVM, "promoting non-NVM page");
@@ -593,7 +778,14 @@ Kernel::pickExchangeVictim(Cycles now)
 {
     if (appLru.pages.empty())
         return kNoPage;
-    return pickVictim(appLru, now);
+    const PageNum victim = pickVictim(appLru, now);
+    // Exchanges swap exactly one 4 KiB frame per side; a huge victim
+    // cannot participate (and is not worth splitting just for this).
+    if (victim != kNoPage && pt.findHuge(victim) != nullptr &&
+        isHugeBase(victim)) {
+        return kNoPage;
+    }
+    return victim;
 }
 
 Cycles
@@ -674,6 +866,116 @@ Kernel::dramHasFreeCapacity() const
     return phys.dram().freePages() > highWatermarkPages();
 }
 
+// -- Transparent huge pages -------------------------------------------
+
+void
+Kernel::freeHugeMapping(PageNum base_vpn, PageMeta &hmeta)
+{
+    if (hmeta.node == MemNode::DRAM)
+        appLru.remove(base_vpn);
+    phys.tier(hmeta.node).freeHuge(hmeta.frame, hmeta.owner);
+    pt.eraseHuge(base_vpn);
+    shootdownHuge(base_vpn);
+}
+
+CollapseResult
+Kernel::collapseHugePage(PageNum base_vpn, Cycles now)
+{
+    MEMTIER_ASSERT(isHugeBase(base_vpn), "collapse of unaligned range");
+    if (pt.findHuge(base_vpn) != nullptr)
+        return CollapseResult::NotEligible;
+
+    // Eligibility: fully populated, one tier, App-owned, unpinned, no
+    // pending scan marker (collapsing one would swallow its hint fault).
+    MemNode node = MemNode::DRAM;
+    for (PageNum p = base_vpn; p < base_vpn + kPagesPerHuge; ++p) {
+        const PageMeta *m = pt.find(p);
+        if (m == nullptr || !m->present || m->pinned || m->protNone ||
+            m->owner != FrameOwner::App) {
+            return CollapseResult::NotEligible;
+        }
+        if (p == base_vpn)
+            node = m->node;
+        else if (m->node != node)
+            return CollapseResult::NotEligible;
+    }
+
+    // Like khugepaged: allocate the huge frame first, then copy and
+    // retire the 512 scattered source frames.
+    auto frame = phys.tier(node).allocateHuge(FrameOwner::App);
+    if (!frame) {
+        ++stats.thpCollapseFail;
+        return CollapseResult::AllocFailed;
+    }
+
+    Cycles last_access = 0;
+    Cycles clock_stamp = 0;
+    for (PageNum p = base_vpn; p < base_vpn + kPagesPerHuge; ++p) {
+        PageMeta *m = pt.find(p);
+        last_access = std::max(last_access, m->lastAccess);
+        clock_stamp = std::max(clock_stamp, m->clockStamp);
+        if (m->node == MemNode::DRAM)
+            listFor(*m).remove(p);
+        phys.tier(node).free(m->frame, m->owner);
+        pt.erase(p);
+        shootdown(p);
+    }
+
+    PageMeta &hmeta = pt.insertHuge(base_vpn);
+    hmeta.frame = *frame;
+    hmeta.node = node;
+    hmeta.owner = FrameOwner::App;
+    hmeta.present = true;
+    hmeta.lastAccess = last_access;
+    hmeta.clockStamp = clock_stamp;
+    if (node == MemNode::DRAM)
+        appLru.add(base_vpn);
+
+    ++stats.thpCollapseAlloc;
+    if (tieringPolicy)
+        tieringPolicy->onThpCollapse(base_vpn, now);
+    noteEvent(now);
+    return CollapseResult::Collapsed;
+}
+
+void
+Kernel::splitHugePage(PageNum base_vpn, Cycles now)
+{
+    MEMTIER_ASSERT(isHugeBase(base_vpn), "split of unaligned range");
+    PageMeta *hm = pt.findHuge(base_vpn);
+    MEMTIER_ASSERT(hm != nullptr && hm->present,
+                   "splitting a non-huge range");
+    const PageMeta copy = *hm;
+    if (copy.node == MemNode::DRAM)
+        appLru.remove(base_vpn);
+    pt.eraseHuge(base_vpn);
+
+    // The 512 subpages inherit the huge page's contiguous frames; the
+    // allocator needs no notification (the frames stay allocated and
+    // become individually freeable). A pending scan marker is dropped
+    // rather than fanned out to 512 PTEs.
+    for (std::uint64_t i = 0; i < kPagesPerHuge; ++i) {
+        const PageNum vpn = base_vpn + i;
+        PageMeta &m = pt.insert(vpn);
+        m.frame = copy.frame + i;
+        m.node = copy.node;
+        m.owner = copy.owner;
+        m.present = true;
+        m.pinned = copy.pinned;
+        m.promoted = copy.promoted;
+        m.lastAccess = copy.lastAccess;
+        m.clockStamp = copy.clockStamp;
+        if (copy.node == MemNode::DRAM)
+            listFor(m).add(vpn);
+    }
+    shootdownHuge(base_vpn);
+
+    ++stats.thpSplitPage;
+    if (tieringPolicy)
+        tieringPolicy->onThpSplit(base_vpn, now);
+    noteEvent(now);
+}
+
 std::uint32_t
 Kernel::migratePages(Addr start, Addr end, MemNode target,
                      std::uint32_t max_pages, Cycles now)
@@ -681,6 +983,37 @@ Kernel::migratePages(Addr start, Addr end, MemNode target,
     std::uint32_t moved = 0;
     for (PageNum vpn = pageOf(start);
          vpn < pageOf(end + kPageSize - 1) && moved < max_pages; ++vpn) {
+        if (const PageMeta *hm = pt.findHuge(vpn);
+            hm != nullptr && hm->present) {
+            const PageNum base = hugeBaseOf(vpn);
+            if (hm->pinned || hm->node == target) {
+                vpn = base + kPagesPerHuge - 1;
+                continue;
+            }
+            if (target == MemNode::NVM ||
+                max_pages - moved < kPagesPerHuge) {
+                // Demotion (or a budget smaller than the PMD) straddles
+                // the huge page: demand-split and fall through to the
+                // 4 KiB path for this and the following subpages.
+                splitHugePage(base, now);
+            } else {
+                if (phys.dram().freePages() <=
+                    minWatermarkPages() + kPagesPerHuge) {
+                    break;
+                }
+                const Cycles c = promotePage(vpn, now);
+                if (pt.findHuge(vpn) != nullptr) {
+                    if (c > 0)
+                        moved += static_cast<std::uint32_t>(kPagesPerHuge);
+                    vpn = base + kPagesPerHuge - 1;
+                } else if (c > 0) {
+                    // Promotion demand-split the range and moved one
+                    // subpage; keep walking the remaining PTEs.
+                    ++moved;
+                }
+                continue;
+            }
+        }
         PageMeta *meta = pt.find(vpn);
         if (meta == nullptr || !meta->present || meta->pinned ||
             meta->node == target) {

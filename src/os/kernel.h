@@ -23,6 +23,7 @@
 #include "os/page_table.h"
 #include "os/physical_memory.h"
 #include "os/vmstat.h"
+#include "thp/thp_params.h"
 
 namespace memtier {
 
@@ -58,6 +59,13 @@ struct KernelParams
     /** Synchronous cost of migrating one page (copy 4 KiB + remap). */
     Cycles migratePageCycles = 5200;
 
+    /**
+     * Synchronous cost of migrating one 2 MiB huge page. A bulk copy
+     * amortizes per-page remap overhead, so this is far below 512x the
+     * single-page cost (2 MiB at ~20 GB/s plus one remap/shootdown).
+     */
+    Cycles hugeMigrateCycles = 260'000;
+
     /** Disk fetch cost per page-cache miss (about 2 GB/s streaming). */
     Cycles diskReadCyclesPerPage = 5200;
 
@@ -79,6 +87,16 @@ struct KernelParams
 
     /** Migration circuit-breaker trip/decay tunables. */
     CircuitBreakerParams breaker;
+
+    /** Transparent-huge-page model knobs (inert while disabled). */
+    ThpParams thp;
+};
+
+/** Outcome of one khugepaged collapse attempt. */
+enum class CollapseResult : std::uint8_t {
+    Collapsed = 0,  ///< The range is now a PMD mapping.
+    NotEligible,    ///< Holes, mixed tiers, pinned/marked pages, ...
+    AllocFailed,    ///< No contiguous 2 MiB frame (fragmentation).
 };
 
 /** Result of resolving one page touch (TLB-miss path). */
@@ -215,12 +233,48 @@ class Kernel
      * Migrate present, unpinned pages of [start, end) to @p target
      * (move_pages(2) equivalent, used by object-granularity policies).
      * Migrations count into the promotion/demotion vmstat counters.
+     * Huge pages promote whole when the budget allows and are demand-
+     * split otherwise (a tiering decision straddling the PMD).
      *
      * @param max_pages migration budget.
      * @return pages actually migrated.
      */
     std::uint32_t migratePages(Addr start, Addr end, MemNode target,
                                std::uint32_t max_pages, Cycles now);
+
+    // -- Transparent huge pages ---------------------------------------
+
+    /**
+     * Collapse the 512-page range at @p base_vpn into a PMD mapping
+     * (khugepaged's work): every page must be present, on the same
+     * tier, App-owned, unpinned, and free of a pending scan marker,
+     * and a contiguous 2 MiB frame must be available on that tier.
+     */
+    CollapseResult collapseHugePage(PageNum base_vpn, Cycles now);
+
+    /**
+     * Split the PMD mapping at @p base_vpn back into 512 PTEs over the
+     * same (contiguous) frames. Accounting-only at the allocator level;
+     * the subpages become individually migratable afterwards.
+     */
+    void splitHugePage(PageNum base_vpn, Cycles now);
+
+    /** True when @p vpn is covered by a present PMD mapping. */
+    bool
+    isHugeMapped(PageNum vpn) const
+    {
+        const PageMeta *hm = pt.findHuge(vpn);
+        return hm != nullptr && hm->present;
+    }
+
+    /** Mutable PMD metadata covering @p vpn (scanner marks it). */
+    PageMeta *hugeMetaMutable(PageNum vpn) { return pt.findHuge(vpn); }
+
+    /** Issue a huge-TLB shootdown for the range at @p base_vpn. */
+    void shootdownHuge(PageNum base_vpn);
+
+    /** Live PMD mappings (for reports). */
+    std::size_t hugeMappings() const { return pt.hugeSize(); }
 
     // -- Introspection ------------------------------------------------
 
@@ -269,6 +323,12 @@ class Kernel
 
     TouchResult handlePageFault(PageNum vpn, Cycles now);
     MemNode choosePlacement(const Vma &vma, PageNum vpn);
+    bool tryHugeFaultAlloc(const Vma &vma, PageNum vpn, Cycles now,
+                           TouchResult &result);
+    TouchResult touchHugePage(PageNum vpn, PageMeta &hmeta, Cycles now);
+    Cycles promoteHugePage(PageNum base_vpn, Cycles now);
+    void freeHugeMapping(PageNum base_vpn, PageMeta &hmeta);
+    PageMeta *lruMeta(PageNum vpn);
     void freePage(PageNum vpn, PageMeta &meta);
     bool demotePage(PageNum vpn, PageMeta &meta, bool direct,
                     Cycles now);

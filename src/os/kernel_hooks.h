@@ -31,6 +31,13 @@ class TlbShootdownClient
 
     /** Invalidate @p vpn in every logical thread's TLB. */
     virtual void tlbShootdown(PageNum vpn) = 0;
+
+    /**
+     * Invalidate the 2 MiB translation at @p base_vpn in every logical
+     * thread's huge TLB. Default no-op so clients that predate the THP
+     * model keep compiling (they never see huge mappings).
+     */
+    virtual void tlbShootdownHuge(PageNum base_vpn) { (void)base_vpn; }
 };
 
 /** A policy's answer to "may I demote this DRAM page?". */
@@ -164,6 +171,29 @@ class TieringPolicy
     onBreakerEvent(bool open, Cycles now)
     {
         (void)open;
+        (void)now;
+    }
+
+    /**
+     * khugepaged collapsed the 4 KiB range at @p base_vpn into a PMD
+     * mapping. Hotness state the policy tracked per 4 KiB page now
+     * aggregates to the whole range.
+     */
+    virtual void
+    onThpCollapse(PageNum base_vpn, Cycles now)
+    {
+        (void)base_vpn;
+        (void)now;
+    }
+
+    /**
+     * The PMD mapping at @p base_vpn was split back into 4 KiB PTEs
+     * (demand split: a tiering decision straddled the huge page).
+     */
+    virtual void
+    onThpSplit(PageNum base_vpn, Cycles now)
+    {
+        (void)base_vpn;
         (void)now;
     }
 

@@ -33,4 +33,35 @@ PageTable::erase(PageNum vpn)
     MEMTIER_ASSERT(removed == 1, "erasing unmapped page");
 }
 
+PageMeta *
+PageTable::findHuge(PageNum vpn)
+{
+    auto it = hugeTable.find(hugeBaseOf(vpn));
+    return it == hugeTable.end() ? nullptr : &it->second;
+}
+
+const PageMeta *
+PageTable::findHuge(PageNum vpn) const
+{
+    auto it = hugeTable.find(hugeBaseOf(vpn));
+    return it == hugeTable.end() ? nullptr : &it->second;
+}
+
+PageMeta &
+PageTable::insertHuge(PageNum base_vpn)
+{
+    MEMTIER_ASSERT(isHugeBase(base_vpn), "PMD entry must be 2MiB-aligned");
+    auto [it, inserted] = hugeTable.emplace(base_vpn, PageMeta{});
+    MEMTIER_ASSERT(inserted, "huge range already mapped");
+    it->second.huge = true;
+    return it->second;
+}
+
+void
+PageTable::eraseHuge(PageNum base_vpn)
+{
+    const auto removed = hugeTable.erase(base_vpn);
+    MEMTIER_ASSERT(removed == 1, "erasing unmapped huge range");
+}
+
 }  // namespace memtier

@@ -16,7 +16,11 @@
 
 namespace memtier {
 
-/** Metadata of one mapped page. */
+/**
+ * Metadata of one mapped page. A huge (PMD) entry uses the same record:
+ * @ref huge is set, @ref frame is the 512-frame-aligned base frame, and
+ * the entry is keyed by the 2 MiB-aligned base vpn in the huge table.
+ */
 struct PageMeta
 {
     FrameNum frame = 0;          ///< Frame within the owning tier.
@@ -27,12 +31,17 @@ struct PageMeta
     bool pinned = false;         ///< mbind-bound; never migrated/scanned.
     bool promoted = false;       ///< Was promoted NVM->DRAM at least once.
     bool exchanged = false;      ///< Entered DRAM via a page exchange.
+    bool huge = false;           ///< PMD mapping covering 512 base pages.
     Cycles scanTime = 0;         ///< When the scanner marked the page.
     Cycles lastAccess = 0;       ///< Updated on page-walk (A-bit model).
     Cycles clockStamp = 0;       ///< Last visit of the reclaim clock hand.
 };
 
-/** Hash-map-backed page table. */
+/**
+ * Hash-map-backed page table: one map of 4 KiB PTEs plus one map of
+ * PMD entries keyed by 2 MiB-aligned base vpn. A virtual page is mapped
+ * by at most one of the two (the invariant checker enforces it).
+ */
 class PageTable
 {
   public:
@@ -48,8 +57,23 @@ class PageTable
     /** Remove @p vpn's entry (must exist). */
     void erase(PageNum vpn);
 
-    /** Number of mapped pages. */
+    /** PMD entry covering @p vpn (any page of the range), or nullptr. */
+    PageMeta *findHuge(PageNum vpn);
+
+    /** Const PMD lookup. */
+    const PageMeta *findHuge(PageNum vpn) const;
+
+    /** Insert a fresh PMD entry for the range at @p base_vpn. */
+    PageMeta &insertHuge(PageNum base_vpn);
+
+    /** Remove the PMD entry at @p base_vpn (must exist). */
+    void eraseHuge(PageNum base_vpn);
+
+    /** Number of mapped 4 KiB pages (PMD entries not included). */
     std::size_t size() const { return table.size(); }
+
+    /** Number of live PMD mappings. */
+    std::size_t hugeSize() const { return hugeTable.size(); }
 
     /** All entries, for consistency sweeps (the invariant checker). */
     const std::unordered_map<PageNum, PageMeta> &
@@ -58,8 +82,16 @@ class PageTable
         return table;
     }
 
+    /** All PMD entries keyed by base vpn. */
+    const std::unordered_map<PageNum, PageMeta> &
+    hugeEntries() const
+    {
+        return hugeTable;
+    }
+
   private:
     std::unordered_map<PageNum, PageMeta> table;
+    std::unordered_map<PageNum, PageMeta> hugeTable;
 };
 
 }  // namespace memtier

@@ -73,6 +73,24 @@ struct VmStat
     /** Times the migration circuit breaker tripped open. */
     std::uint64_t breakerTrips = 0;
 
+    /** Huge pages allocated directly on first touch (thp_fault_alloc). */
+    std::uint64_t thpFaultAlloc = 0;
+
+    /** Eligible first touches that fell back to a 4 KiB allocation. */
+    std::uint64_t thpFaultFallback = 0;
+
+    /** 4 KiB ranges collapsed into PMD mappings (thp_collapse_alloc). */
+    std::uint64_t thpCollapseAlloc = 0;
+
+    /** Collapse attempts defeated by fragmentation (no 2 MiB frame). */
+    std::uint64_t thpCollapseFail = 0;
+
+    /** PMD mappings split back into 4 KiB PTEs (thp_split_page). */
+    std::uint64_t thpSplitPage = 0;
+
+    /** PMD mappings freed whole by munmap. */
+    std::uint64_t thpUnmapHuge = 0;
+
     /** Delta of every field between two snapshots (this - earlier). */
     VmStat
     delta(const VmStat &earlier) const
@@ -98,6 +116,12 @@ struct VmStat
         d.pgallocFail = pgallocFail - earlier.pgallocFail;
         d.diskReadRetry = diskReadRetry - earlier.diskReadRetry;
         d.breakerTrips = breakerTrips - earlier.breakerTrips;
+        d.thpFaultAlloc = thpFaultAlloc - earlier.thpFaultAlloc;
+        d.thpFaultFallback = thpFaultFallback - earlier.thpFaultFallback;
+        d.thpCollapseAlloc = thpCollapseAlloc - earlier.thpCollapseAlloc;
+        d.thpCollapseFail = thpCollapseFail - earlier.thpCollapseFail;
+        d.thpSplitPage = thpSplitPage - earlier.thpSplitPage;
+        d.thpUnmapHuge = thpUnmapHuge - earlier.thpUnmapHuge;
         return d;
     }
 };

@@ -40,6 +40,20 @@ ExchangePolicy::scanTick(Cycles now)
             const PageNum end_vpn = pageOf(vma.end);
             for (; vpn < end_vpn && marked < cfg.scanPagesPerRound;
                  ++vpn) {
+                // PMD mappings are marked once at the PMD entry (same
+                // PMD-granularity model as the AutoNUMA scanner).
+                if (PageMeta *hm = kernel.hugeMetaMutable(vpn)) {
+                    const PageNum base = hugeBaseOf(vpn);
+                    if (hm->present && !hm->protNone && !hm->pinned) {
+                        hm->protNone = true;
+                        hm->scanTime = now;
+                        kernel.shootdownHuge(base);
+                        marked += kPagesPerHuge;
+                        stat.pagesScanned += kPagesPerHuge;
+                    }
+                    vpn = base + kPagesPerHuge - 1;
+                    continue;
+                }
                 PageMeta *meta = kernel.pageMetaMutable(vpn);
                 if (meta == nullptr || !meta->present || meta->protNone)
                     continue;
@@ -76,6 +90,19 @@ ExchangePolicy::onHintFault(PageNum vpn, Cycles now, PageMeta &meta)
     if (latency >= cfg.hotThreshold) {
         ++stat.rejectedCold;
         return 0;
+    }
+
+    // PMD mappings take the plain promotion path only: the pairwise
+    // 4 KiB exchange cannot host a 2 MiB range, and the kernel demand-
+    // splits the mapping itself if no contiguous DRAM frame exists.
+    if (meta.huge) {
+        const PageNum base = hugeBaseOf(vpn);
+        const Cycles cost = kernel.promotePage(vpn, now);
+        if (cost > 0) {
+            ++stat.promotions;
+            protectedUntil[base] = now + cfg.protectWindow;
+        }
+        return cost;
     }
 
     // Free-capacity fast path: plain promotion, like AutoNUMA.

@@ -27,7 +27,10 @@ Engine::Engine(const SystemConfig &config)
       phys(config.dram, config.nvm),
       l3("L3", config.cache.l3Size, config.cache.l3Ways)
 {
+    if (thpForcedByEnv())
+        cfg.thp.enabled = true;
     KernelParams kp = cfg.kernel;
+    kp.thp = cfg.thp;
     // The vanilla baseline has no demotion path; tiering kernels keep
     // it even when the AutoNUMA scanner is replaced by another policy.
     kp.demoteOnReclaim = cfg.tieringKernel;
@@ -64,6 +67,12 @@ Engine::Engine(const SystemConfig &config)
         kern->setTieringPolicy(tiering.get());
     }
 
+    if (cfg.thp.enabled && cfg.thp.khugepagedPeriod > 0) {
+        khugepaged_ = std::make_unique<Khugepaged>(*kern, cfg.thp);
+        addPeriodicService(cfg.thp.khugepagedPeriod,
+                           [this](Cycles now) { khugepaged_->tick(now); });
+    }
+
     threads.reserve(cfg.numThreads);
     for (std::uint32_t i = 0; i < cfg.numThreads; ++i)
         threads.push_back(std::make_unique<ThreadContext>(i, cfg.cache));
@@ -82,6 +91,13 @@ Engine::tlbShootdown(PageNum vpn)
 {
     for (auto &t : threads)
         t->tlb.invalidate(vpn);
+}
+
+void
+Engine::tlbShootdownHuge(PageNum base_vpn)
+{
+    for (auto &t : threads)
+        t->tlb.invalidateHuge(base_vpn);
 }
 
 void
@@ -248,7 +264,11 @@ Engine::access(ThreadContext &t, Addr addr, MemOp op)
     MemNode node = MemNode::DRAM;
     bool node_known = false;
 
-    switch (t.tlb.lookup(vpn)) {
+    // PMD-mapped ranges translate through the 2 MiB TLB entry class;
+    // with THP off the branch reduces to the legacy 4 KiB lookup (the
+    // huge map is empty, so isHugeMapped is one empty-hash probe).
+    const bool huge = cfg.thp.enabled && kern->isHugeMapped(vpn);
+    switch (huge ? t.tlb.lookupHuge(hugeBaseOf(vpn)) : t.tlb.lookup(vpn)) {
       case TlbOutcome::L1Hit:
         break;
       case TlbOutcome::StlbHit:
@@ -257,9 +277,12 @@ Engine::access(ThreadContext &t, Addr addr, MemOp op)
       case TlbOutcome::Miss: {
         tlb_miss = true;
         // Page walk: a few cached steps plus some page-table references
-        // that go to DRAM (page tables live on the DRAM node).
+        // that go to DRAM (page tables live on the DRAM node). A walk
+        // that ends at a PMD entry is one level shorter.
         cost += cp.pageWalkBaseCycles;
-        for (unsigned i = 0; i < cp.pageWalkMemRefs; ++i) {
+        const unsigned mem_refs =
+            huge ? cp.pageWalkMemRefsHuge : cp.pageWalkMemRefs;
+        for (unsigned i = 0; i < mem_refs; ++i) {
             cost += phys.dram().access(t.clock() + cost, MemOp::Load,
                                        /*sequential=*/false);
         }
@@ -271,6 +294,12 @@ Engine::access(ThreadContext &t, Addr addr, MemOp op)
             ++t.pageFaults;
         if (tr.hintFault)
             ++t.hintFaults;
+        if (cfg.thp.enabled && !huge && kern->isHugeMapped(vpn)) {
+            // The fault PMD-mapped the range under a 4 KiB lookup:
+            // replace the stale 4 KiB fill with the huge translation.
+            t.tlb.invalidate(vpn);
+            t.tlb.insertHuge(hugeBaseOf(vpn));
+        }
         break;
       }
     }

@@ -28,6 +28,7 @@
 #include "sim/access_observer.h"
 #include "sim/system_config.h"
 #include "sim/thread_context.h"
+#include "thp/khugepaged.h"
 
 namespace memtier {
 
@@ -74,6 +75,9 @@ class Engine : public TlbShootdownClient
 
     /** Invariant checker, or nullptr when checking is off. */
     InvariantChecker *invariantChecker() { return invariants_.get(); }
+
+    /** Collapse daemon, or nullptr when THP is off. */
+    Khugepaged *khugepaged() { return khugepaged_.get(); }
     ///@}
 
     /** Install the sole access observer (nullptr clears them all). */
@@ -223,6 +227,9 @@ class Engine : public TlbShootdownClient
     /** TlbShootdownClient: invalidate @p vpn everywhere. */
     void tlbShootdown(PageNum vpn) override;
 
+    /** TlbShootdownClient: drop the 2 MiB entry at @p base_vpn. */
+    void tlbShootdownHuge(PageNum base_vpn) override;
+
   private:
     void syncClocks();
     void maybeRunServices(Cycles now);
@@ -240,6 +247,7 @@ class Engine : public TlbShootdownClient
     std::unique_ptr<FaultInjector> faults_;
     std::unique_ptr<InvariantChecker> invariants_;
     std::unique_ptr<TieringPolicy> tiering;
+    std::unique_ptr<Khugepaged> khugepaged_;
     SetAssocCache l3;
     std::vector<std::unique_ptr<ThreadContext>> threads;
     std::vector<AccessObserver *> observers;

@@ -24,6 +24,7 @@
 #include "mem/tier_params.h"
 #include "os/kernel.h"
 #include "policy/tunables.h"
+#include "thp/thp_params.h"
 
 namespace memtier {
 
@@ -46,6 +47,13 @@ struct SystemConfig
 
     /** String-keyed tunables forwarded to the policy factory. */
     PolicyTunables policyTunables;
+
+    /**
+     * Transparent huge pages. Off by default: every THP code path is
+     * gated on thp.enabled, keeping 4 KiB-only runs bit-identical. The
+     * MEMTIER_THP environment variable (ON/1) force-enables it.
+     */
+    ThpParams thp;
 
     /** False runs the vanilla-kernel baseline (no scanning/migration). */
     bool autonumaEnabled = true;

@@ -1,0 +1,75 @@
+#include "thp/khugepaged.h"
+
+#include <algorithm>
+
+#include "os/kernel.h"
+
+namespace memtier {
+
+Khugepaged::Khugepaged(Kernel &kernel_, const ThpParams &params)
+    : kernel(kernel_), cfg(params)
+{
+}
+
+void
+Khugepaged::tick(Cycles now)
+{
+    ++stats_.ticks;
+    const auto &vmas = kernel.addressSpace().vmas();
+    if (vmas.empty())
+        return;
+
+    std::uint32_t examined = 0;
+    std::uint32_t collapses = 0;
+    bool wrapped = false;
+
+    while (examined < cfg.khugepagedRangesPerRound &&
+           collapses < cfg.khugepagedMaxCollapses) {
+        // Find the VMA containing the cursor, or the next one after it.
+        const Addr addr = cursor << kPageShift;
+        auto it = vmas.upper_bound(addr);
+        if (it != vmas.begin()) {
+            auto prev = std::prev(it);
+            if (prev->second.end > addr)
+                it = prev;
+        }
+        // Skip page-cache ranges: the kernel never PMD-maps them here.
+        while (it != vmas.end() && it->second.pageCache)
+            ++it;
+        if (it == vmas.end()) {
+            if (wrapped)
+                break;  // Full pass with budget to spare; done.
+            wrapped = true;
+            cursor = 0;
+            continue;
+        }
+        const Vma &vma = it->second;
+
+        // First aligned range at or after the cursor that fits wholly
+        // inside the VMA (collapse never crosses a VMA boundary).
+        const PageNum lo = std::max(cursor, pageOf(vma.start));
+        const PageNum base = pageOf(roundUpHuge(lo << kPageShift));
+        if ((base + kPagesPerHuge) << kPageShift > vma.end) {
+            cursor = pageOf(vma.end);  // No room left; next VMA.
+            continue;
+        }
+
+        ++examined;
+        ++stats_.rangesScanned;
+        switch (kernel.collapseHugePage(base, now)) {
+          case CollapseResult::Collapsed:
+            ++stats_.collapsed;
+            ++collapses;
+            break;
+          case CollapseResult::NotEligible:
+            ++stats_.notEligible;
+            break;
+          case CollapseResult::AllocFailed:
+            ++stats_.allocFailed;
+            break;
+        }
+        cursor = base + kPagesPerHuge;
+    }
+}
+
+}  // namespace memtier

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * khugepaged: the background collapse daemon. Periodically walks the
+ * process VMAs looking for 2 MiB-aligned, fully-populated, same-tier
+ * ranges and asks the kernel to collapse them into PMD mappings,
+ * mirroring Linux's khugepaged scan budget (pages_to_scan) and
+ * per-round collapse budget.
+ */
+
+#ifndef MEMTIER_THP_KHUGEPAGED_H_
+#define MEMTIER_THP_KHUGEPAGED_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+#include "thp/thp_params.h"
+
+namespace memtier {
+
+class Kernel;
+
+/** Cumulative khugepaged activity counters. */
+struct KhugepagedStats
+{
+    std::uint64_t ticks = 0;          ///< Scan rounds executed.
+    std::uint64_t rangesScanned = 0;  ///< 2 MiB ranges examined.
+    std::uint64_t collapsed = 0;      ///< Successful collapses.
+    std::uint64_t notEligible = 0;    ///< Holes/mixed tiers/markers.
+    std::uint64_t allocFailed = 0;    ///< No contiguous 2 MiB frame.
+};
+
+/**
+ * The collapse daemon. Driven from the engine's simulated-time service
+ * clock (one tick per khugepagedPeriod); keeps a round-robin cursor
+ * across VMAs so large address spaces are scanned incrementally, like
+ * the real daemon's mm_slot scan position.
+ */
+class Khugepaged
+{
+  public:
+    /**
+     * @param kernel the kernel whose address space is scanned.
+     * @param params scan/collapse budgets per round.
+     */
+    Khugepaged(Kernel &kernel, const ThpParams &params);
+
+    /** Run one scan round at simulated time @p now. */
+    void tick(Cycles now);
+
+    /** Activity counters. */
+    const KhugepagedStats &stats() const { return stats_; }
+
+  private:
+    Kernel &kernel;
+    ThpParams cfg;
+    PageNum cursor = 0;  ///< Next vpn to examine (round-robin).
+    KhugepagedStats stats_;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_THP_KHUGEPAGED_H_

@@ -63,6 +63,91 @@ TEST(FrameAllocator, CountsStayConsistent)
     EXPECT_EQ(fa.freeFrames(), 8u);
 }
 
+// ------------------------------------------- FrameAllocator, 2 MiB path
+
+TEST(FrameAllocatorHuge, AllocatesAlignedFullBlock)
+{
+    FrameAllocator fa(2 * kPagesPerHuge);
+    const FrameNum base = fa.allocateHuge().value();
+    EXPECT_EQ(base, 0u);
+    EXPECT_TRUE(isHugeBase(base));
+    EXPECT_EQ(fa.usedFrames(), kPagesPerHuge);
+    EXPECT_EQ(fa.hugeAllocs(), 1u);
+    // Singles continue past the carved block.
+    EXPECT_EQ(fa.allocate().value(), kPagesPerHuge);
+}
+
+TEST(FrameAllocatorHuge, SkipsPartiallyUsedBlocks)
+{
+    FrameAllocator fa(2 * kPagesPerHuge);
+    ASSERT_EQ(fa.allocate().value(), 0u);  // Dirties block 0.
+    EXPECT_EQ(fa.allocateHuge().value(), kPagesPerHuge);
+}
+
+TEST(FrameAllocatorHuge, FailsWhenNoBlockIsFree)
+{
+    FrameAllocator fa(kPagesPerHuge);
+    const FrameNum f = fa.allocate().value();
+    EXPECT_FALSE(fa.allocateHuge().has_value());
+    EXPECT_EQ(fa.hugeAllocFails(), 1u);
+    fa.free(f);
+    EXPECT_TRUE(fa.allocateHuge().has_value());
+    EXPECT_EQ(fa.hugeAllocs(), 1u);
+}
+
+TEST(FrameAllocatorHuge, CarveCollectsRecycledFrames)
+{
+    // Frames previously freed into the recycle list must not resurface
+    // after their block is carved into a huge allocation.
+    FrameAllocator fa(2 * kPagesPerHuge);
+    std::vector<FrameNum> singles;
+    for (int i = 0; i < 5; ++i)
+        singles.push_back(fa.allocate().value());
+    for (const FrameNum f : singles)
+        fa.free(f);
+    EXPECT_EQ(fa.allocateHuge().value(), 0u);
+    // The recycled 0..4 are gone; the next single comes from block 1.
+    EXPECT_EQ(fa.allocate().value(), kPagesPerHuge);
+}
+
+TEST(FrameAllocatorHuge, FreeHugeReturnsAllFrames)
+{
+    FrameAllocator fa(kPagesPerHuge);
+    const FrameNum base = fa.allocateHuge().value();
+    fa.freeHuge(base);
+    EXPECT_EQ(fa.usedFrames(), 0u);
+    EXPECT_EQ(fa.freeFrames(), kPagesPerHuge);
+    // The block is whole again and can be re-carved.
+    EXPECT_TRUE(fa.allocateHuge().has_value());
+}
+
+TEST(FrameAllocatorHuge, SingleFrameOrderUnchangedByBookkeeping)
+{
+    // The block-occupancy bookkeeping must not perturb the 4 KiB
+    // allocation order (bump then recycled-LIFO) that the bit-identical
+    // THP-off contract depends on.
+    FrameAllocator fa(16);
+    ASSERT_EQ(fa.allocate().value(), 0u);
+    ASSERT_EQ(fa.allocate().value(), 1u);
+    const FrameNum a = fa.allocate().value();
+    fa.free(1);
+    fa.free(a);
+    EXPECT_EQ(fa.allocate().value(), a);  // LIFO recycle.
+    EXPECT_EQ(fa.allocate().value(), 1u);
+    EXPECT_EQ(fa.allocate().value(), 3u);  // Bump resumes.
+}
+
+TEST(MemoryTierHuge, OwnerAccountingCoversWholeBlock)
+{
+    MemoryTier tier(makeDramParams(2 * kPagesPerHuge * kPageSize));
+    const FrameNum base = tier.allocateHuge(FrameOwner::App).value();
+    EXPECT_EQ(tier.ownerPages(FrameOwner::App), kPagesPerHuge);
+    EXPECT_EQ(tier.usedPages(), kPagesPerHuge);
+    tier.freeHuge(base, FrameOwner::App);
+    EXPECT_EQ(tier.ownerPages(FrameOwner::App), 0u);
+    EXPECT_EQ(tier.usedPages(), 0u);
+}
+
 // ----------------------------------------------------------- TierParams
 
 TEST(TierParams, DramDefaults)

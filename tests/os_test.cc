@@ -117,6 +117,29 @@ TEST(AddressSpace, MbindUpdatesPolicy)
     EXPECT_EQ(space.find(a)->policy.node, MemNode::NVM);
 }
 
+TEST(AddressSpace, HugeAlignmentPlacesVmasOnPmdBoundaries)
+{
+    AddressSpace space;
+    space.setHugeAlignment(true);
+    const Addr a = space.mmap(3 * kPageSize, 0, "a");
+    const Addr b = space.mmap(kHugePageSize + kPageSize, 1, "b");
+    EXPECT_EQ(a % kHugePageSize, 0u);
+    EXPECT_EQ(b % kHugePageSize, 0u);
+    EXPECT_GE(b, a + 3 * kPageSize + kPageSize);  // Guard page kept.
+}
+
+TEST(AddressSpace, DefaultLayoutUnchangedWithoutHugeAlignment)
+{
+    // Regression: the 4 KiB-only layout must stay exactly as it was
+    // before THP existed — base address, page rounding, one guard page.
+    AddressSpace space;
+    EXPECT_FALSE(space.hugeAlignment());
+    const Addr a = space.mmap(3 * kPageSize, 0, "a");
+    const Addr b = space.mmap(100, 1, "b");
+    EXPECT_EQ(a, 0x1'0000'0000ULL);
+    EXPECT_EQ(b, a + 3 * kPageSize + kPageSize);
+}
+
 // ------------------------------------------------------------ MemPolicy
 
 TEST(MemPolicy, SplitAssignsByPageIndex)

@@ -1,0 +1,491 @@
+/**
+ * @file
+ * Tests for the transparent-huge-page subsystem: contiguous 2 MiB frame
+ * allocation, PMD fault allocation, khugepaged collapse, demand and
+ * reclaim splitting, PMD-granularity promotion, the 2 MiB TLB entry
+ * classes, and the end-to-end determinism / invariant guarantees.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "cache/tlb.h"
+#include "exp/runner.h"
+#include "fault/fault_plan.h"
+#include "os/invariants.h"
+#include "os/kernel.h"
+#include "os/physical_memory.h"
+#include "thp/khugepaged.h"
+#include "thp/thp_params.h"
+
+namespace memtier {
+namespace {
+
+/** Records both 4 KiB and 2 MiB shootdowns. */
+class RecordingShootdown : public TlbShootdownClient
+{
+  public:
+    void tlbShootdown(PageNum vpn) override
+    {
+        ++count;
+        last = vpn;
+    }
+
+    void tlbShootdownHuge(PageNum base_vpn) override
+    {
+        ++hugeCount;
+        lastHuge = base_vpn;
+    }
+
+    std::uint64_t count = 0;
+    std::uint64_t hugeCount = 0;
+    PageNum last = 0;
+    PageNum lastHuge = 0;
+};
+
+/**
+ * A THP-enabled machine whose DRAM holds exactly two 2 MiB blocks, so
+ * contiguity effects (fragmentation, demand splits) are easy to force.
+ */
+class ThpKernelTest : public ::testing::Test
+{
+  protected:
+    static KernelParams
+    thpParams(bool fault_alloc)
+    {
+        KernelParams kp;
+        kp.thp.enabled = true;
+        kp.thp.faultAlloc = fault_alloc;
+        return kp;
+    }
+
+    explicit ThpKernelTest(bool fault_alloc = true)
+        : phys(makeDramParams(kDramPages * kPageSize),
+               makeNvmParams(kNvmPages * kPageSize)),
+          kern(phys, thpParams(fault_alloc))
+    {
+        kern.setShootdownClient(&shootdown);
+    }
+
+    /** Touch every page of [start, start+pages) once. */
+    void
+    touchRange(Addr start, std::uint64_t pages, Cycles now = 1000)
+    {
+        for (std::uint64_t i = 0; i < pages; ++i)
+            kern.touchPage(pageOf(start) + i, now + i, MemOp::Store);
+    }
+
+    /** Full invariant sweep; panics (fails the test) on violation. */
+    void
+    checkInvariants(Cycles now = 1'000'000)
+    {
+        InvariantChecker checker(kern, 1);
+        checker.checkNow(now);
+    }
+
+    static constexpr std::uint64_t kDramPages = 2 * kPagesPerHuge;
+    static constexpr std::uint64_t kNvmPages = 8 * kPagesPerHuge;
+
+    PhysicalMemory phys;
+    RecordingShootdown shootdown;
+    Kernel kern;
+};
+
+/** Same machine with fault allocation off: huge pages only collapse. */
+class ThpCollapseTest : public ThpKernelTest
+{
+  protected:
+    ThpCollapseTest() : ThpKernelTest(/*fault_alloc=*/false) {}
+};
+
+// ------------------------------------------------- PMD fault allocation
+
+TEST_F(ThpKernelTest, FirstTouchAllocatesPmdMapping)
+{
+    const Addr a = kern.mmap(0, kHugePageSize, 0, "huge");
+    EXPECT_EQ(a % kHugePageSize, 0u);  // THP mode aligns VMA starts.
+
+    const TouchResult tr = kern.touchPage(pageOf(a), 1000, MemOp::Store);
+    EXPECT_TRUE(tr.pageFault);
+    EXPECT_EQ(tr.node, MemNode::DRAM);
+    EXPECT_EQ(kern.vmstat().pgfault, 1u);
+    EXPECT_EQ(kern.vmstat().thpFaultAlloc, 1u);
+    EXPECT_EQ(kern.hugeMappings(), 1u);
+    EXPECT_EQ(phys.dram().usedPages(), kPagesPerHuge);
+
+    // The one fault populated the whole range: no further faults.
+    for (std::uint64_t i = 0; i < kPagesPerHuge; ++i) {
+        EXPECT_TRUE(kern.isHugeMapped(pageOf(a) + i));
+        const TouchResult t =
+            kern.touchPage(pageOf(a) + i, 2000 + i, MemOp::Load);
+        EXPECT_FALSE(t.pageFault);
+    }
+    EXPECT_EQ(kern.vmstat().pgfault, 1u);
+    checkInvariants();
+}
+
+TEST_F(ThpKernelTest, FallsBackToBasePagesWhenNoContiguousFrame)
+{
+    // Dirty both DRAM blocks: the filler's first touch huge-allocates
+    // block 0, its tail pages land as 4 KiB pages in block 1.
+    const Addr filler = kern.mmap(0, (kPagesPerHuge + 8) * kPageSize,
+                                  0, "filler");
+    touchRange(filler, kPagesPerHuge + 8);
+    ASSERT_EQ(kern.vmstat().thpFaultAlloc, 1u);
+    // Exhaust NVM's blocks too so the fallback has nowhere to go.
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(phys.nvm().allocateHuge(FrameOwner::App).has_value());
+
+    const Addr a = kern.mmap(0, kHugePageSize, 1, "huge");
+    const TouchResult tr = kern.touchPage(pageOf(a), 5000, MemOp::Store);
+    EXPECT_TRUE(tr.pageFault);
+    EXPECT_EQ(kern.vmstat().thpFaultAlloc, 1u);  // Filler's, not ours.
+    EXPECT_EQ(kern.vmstat().thpFaultFallback, 1u);
+    EXPECT_EQ(kern.hugeMappings(), 1u);
+    EXPECT_FALSE(kern.isHugeMapped(pageOf(a)));
+}
+
+TEST_F(ThpKernelTest, MunmapFreesWholePmdMapping)
+{
+    const Addr a = kern.mmap(0, kHugePageSize, 0, "huge");
+    kern.touchPage(pageOf(a), 1000, MemOp::Store);
+    ASSERT_EQ(kern.hugeMappings(), 1u);
+
+    kern.munmap(2000, a);
+    EXPECT_EQ(kern.hugeMappings(), 0u);
+    EXPECT_EQ(kern.vmstat().thpUnmapHuge, 1u);
+    EXPECT_EQ(phys.dram().usedPages(), 0u);
+    EXPECT_GE(shootdown.hugeCount, 1u);
+    checkInvariants();
+}
+
+// ------------------------------------------------------------- Collapse
+
+TEST_F(ThpCollapseTest, CollapseBuildsPmdFromBasePages)
+{
+    const Addr a = kern.mmap(0, kHugePageSize, 0, "region");
+    touchRange(a, kPagesPerHuge);
+    EXPECT_EQ(kern.vmstat().pgfault, kPagesPerHuge);
+    ASSERT_EQ(kern.hugeMappings(), 0u);
+
+    const PageNum base = pageOf(a);
+    EXPECT_EQ(kern.collapseHugePage(base, 5000),
+              CollapseResult::Collapsed);
+    EXPECT_EQ(kern.vmstat().thpCollapseAlloc, 1u);
+    EXPECT_EQ(kern.hugeMappings(), 1u);
+    EXPECT_TRUE(kern.isHugeMapped(base + kPagesPerHuge - 1));
+    // 512 scattered frames were retired for one contiguous block.
+    EXPECT_EQ(phys.dram().usedPages(), kPagesPerHuge);
+    checkInvariants();
+
+    // Collapsing an already-huge range is a no-op.
+    EXPECT_EQ(kern.collapseHugePage(base, 6000),
+              CollapseResult::NotEligible);
+    EXPECT_EQ(kern.vmstat().thpCollapseAlloc, 1u);
+}
+
+TEST_F(ThpCollapseTest, CollapseRequiresFullyPopulatedUnmarkedRange)
+{
+    const Addr a = kern.mmap(0, kHugePageSize, 0, "region");
+    touchRange(a, kPagesPerHuge - 1);  // One hole at the end.
+    const PageNum base = pageOf(a);
+    EXPECT_EQ(kern.collapseHugePage(base, 5000),
+              CollapseResult::NotEligible);
+
+    touchRange(a, kPagesPerHuge);  // Fill the hole...
+    PageMeta *meta = kern.pageMetaMutable(base + 17);
+    ASSERT_NE(meta, nullptr);
+    meta->protNone = true;  // ...but leave a pending scan marker.
+    meta->scanTime = 5500;
+    EXPECT_EQ(kern.collapseHugePage(base, 6000),
+              CollapseResult::NotEligible);
+    EXPECT_EQ(kern.vmstat().thpCollapseAlloc, 0u);
+
+    // Clear the marker: now it collapses.
+    kern.touchPage(base + 17, 6500, MemOp::Load);
+    EXPECT_EQ(kern.collapseHugePage(base, 7000),
+              CollapseResult::Collapsed);
+    checkInvariants();
+}
+
+TEST_F(ThpCollapseTest, CollapseFailsWithoutContiguousFrame)
+{
+    const Addr a = kern.mmap(0, kHugePageSize, 0, "region");
+    touchRange(a, kPagesPerHuge);  // Fills DRAM block 0.
+    const Addr b = kern.mmap(0, 8 * kPageSize, 1, "filler");
+    touchRange(b, 8, 2000);  // Dirties DRAM block 1.
+
+    EXPECT_EQ(kern.collapseHugePage(pageOf(a), 5000),
+              CollapseResult::AllocFailed);
+    EXPECT_EQ(kern.vmstat().thpCollapseFail, 1u);
+    EXPECT_EQ(kern.hugeMappings(), 0u);
+    checkInvariants();
+}
+
+TEST_F(ThpCollapseTest, KhugepagedCollapsesEligibleRanges)
+{
+    ThpParams params;
+    params.enabled = true;
+    Khugepaged daemon(kern, params);
+
+    const Addr a = kern.mmap(0, kHugePageSize, 0, "region");
+    touchRange(a, kPagesPerHuge);
+
+    daemon.tick(10'000);
+    EXPECT_EQ(daemon.stats().collapsed, 1u);
+    EXPECT_GE(daemon.stats().rangesScanned, 1u);
+    EXPECT_EQ(kern.hugeMappings(), 1u);
+    EXPECT_EQ(kern.vmstat().thpCollapseAlloc, 1u);
+    checkInvariants();
+
+    // The next round rescans and finds nothing new to do.
+    daemon.tick(20'000);
+    EXPECT_EQ(daemon.stats().collapsed, 1u);
+    EXPECT_EQ(kern.hugeMappings(), 1u);
+}
+
+// ------------------------------------------------ Split / PMD migration
+
+TEST_F(ThpKernelTest, HugeHintFaultCoversWholeRange)
+{
+    const Addr a = kern.mmap(0, kHugePageSize, 0, "huge");
+    kern.touchPage(pageOf(a), 1000, MemOp::Store);
+    const PageNum base = pageOf(a);
+
+    PageMeta *hm = kern.hugeMetaMutable(base + 3);
+    ASSERT_NE(hm, nullptr);
+    hm->protNone = true;
+    hm->scanTime = 2000;
+    kern.shootdownHuge(base);
+
+    // One hint fault on any subpage clears the marker for all 512.
+    const TouchResult tr = kern.touchPage(base + 200, 3000, MemOp::Load);
+    EXPECT_TRUE(tr.hintFault);
+    EXPECT_EQ(kern.vmstat().numaHintFaults, 1u);
+    EXPECT_FALSE(kern.hugeMetaMutable(base)->protNone);
+    const TouchResult again =
+        kern.touchPage(base + 400, 4000, MemOp::Load);
+    EXPECT_FALSE(again.hintFault);
+    EXPECT_EQ(kern.vmstat().numaHintFaults, 1u);
+}
+
+TEST_F(ThpKernelTest, PromotionMovesAllSubpagesAtOnce)
+{
+    // Occupy DRAM so the huge allocation lands on NVM.
+    const Addr filler = kern.mmap(0, (kPagesPerHuge + 88) * kPageSize,
+                                  0, "filler");
+    touchRange(filler, kPagesPerHuge + 88);
+    const Addr a = kern.mmap(0, kHugePageSize, 1, "huge");
+    kern.touchPage(pageOf(a), 5000, MemOp::Store);
+    const PageNum base = pageOf(a);
+    ASSERT_TRUE(kern.isHugeMapped(base));
+    ASSERT_EQ(kern.nodeOf(base), MemNode::NVM);
+
+    // Free DRAM again and promote through an interior subpage.
+    kern.munmap(6000, filler);
+    const Cycles cost = kern.promotePage(base + 123, 7000);
+    EXPECT_GT(cost, 0u);
+    EXPECT_TRUE(kern.isHugeMapped(base));  // Promoted whole, not split.
+    EXPECT_EQ(kern.vmstat().thpSplitPage, 0u);
+    EXPECT_EQ(kern.vmstat().pgpromoteSuccess, kPagesPerHuge);
+    EXPECT_EQ(kern.vmstat().pgmigrateSuccess, kPagesPerHuge);
+    for (std::uint64_t i = 0; i < kPagesPerHuge; i += 64)
+        EXPECT_EQ(kern.nodeOf(base + i), MemNode::DRAM);
+    EXPECT_EQ(phys.nvm().ownerPages(FrameOwner::App), 0u);
+    checkInvariants();
+}
+
+TEST_F(ThpKernelTest, DemandSplitWhenNoContiguousDramFrame)
+{
+    // As above, but DRAM stays fragmented: the tiering decision then
+    // straddles the huge page, which is demand-split and only the
+    // faulting subpage promoted.
+    const Addr filler = kern.mmap(0, (kPagesPerHuge + 88) * kPageSize,
+                                  0, "filler");
+    touchRange(filler, kPagesPerHuge + 88);
+    const Addr a = kern.mmap(0, kHugePageSize, 1, "huge");
+    kern.touchPage(pageOf(a), 5000, MemOp::Store);
+    const PageNum base = pageOf(a);
+    ASSERT_EQ(kern.nodeOf(base), MemNode::NVM);
+
+    const Cycles cost = kern.promotePage(base + 123, 7000);
+    EXPECT_GT(cost, 0u);
+    EXPECT_FALSE(kern.isHugeMapped(base));
+    EXPECT_EQ(kern.vmstat().thpSplitPage, 1u);
+    EXPECT_EQ(kern.vmstat().pgpromoteSuccess, 1u);
+    EXPECT_EQ(kern.nodeOf(base + 123), MemNode::DRAM);
+    EXPECT_EQ(kern.nodeOf(base), MemNode::NVM);
+    checkInvariants();
+}
+
+TEST_F(ThpCollapseTest, ReclaimSplitsBeforeDemoting)
+{
+    // A cold huge page in DRAM plus hot 4 KiB filler pages: kswapd's
+    // clock picks the huge page, which must be split before any of it
+    // is demoted -- a huge page never spans tiers.
+    const Addr a = kern.mmap(0, kHugePageSize, 0, "region");
+    touchRange(a, kPagesPerHuge, 1000);
+    ASSERT_EQ(kern.collapseHugePage(pageOf(a), 5000),
+              CollapseResult::Collapsed);
+
+    const Addr filler = kern.mmap(0, 480 * kPageSize, 1, "filler");
+    touchRange(filler, 480, 10'000);
+    ASSERT_LT(phys.dram().freePages(),
+              static_cast<std::uint64_t>(0.05 * kDramPages));
+
+    kern.kswapdTick(1'000'000);
+    EXPECT_EQ(kern.vmstat().thpSplitPage, 1u);
+    EXPECT_FALSE(kern.isHugeMapped(pageOf(a)));
+    EXPECT_GT(kern.vmstat().pgdemoteKswapd, 0u);
+    // Every page of the ex-huge range is individually resident now.
+    for (std::uint64_t i = 0; i < kPagesPerHuge; ++i)
+        ASSERT_NE(kern.pageMeta(pageOf(a) + i), nullptr);
+    checkInvariants();
+}
+
+// ------------------------------------------------- 2 MiB TLB entry class
+
+TEST(ThpTlb, HugeEntriesAreSeparateFromBaseEntries)
+{
+    Tlb tlb;
+    // Fill the 4 KiB arrays with unrelated pages.
+    for (PageNum v = 0; v < 4096; ++v)
+        tlb.lookup(v);
+    const std::uint64_t base_misses = tlb.misses();
+
+    // Huge lookups neither hit nor evict the 4 KiB arrays.
+    EXPECT_EQ(tlb.lookupHuge(0), TlbOutcome::Miss);
+    EXPECT_EQ(tlb.lookupHuge(0), TlbOutcome::L1Hit);
+    EXPECT_EQ(tlb.hugeMisses(), 1u);
+    EXPECT_EQ(tlb.hugeL1Hits(), 1u);
+    EXPECT_EQ(tlb.misses(), base_misses);
+
+    tlb.invalidateHuge(0);
+    EXPECT_EQ(tlb.lookupHuge(0), TlbOutcome::Miss);
+}
+
+TEST(ThpTlb, HugeReachCoversManyBasePages)
+{
+    // 64 MiB touched at 2 MiB granularity fits the huge STLB easily;
+    // the same footprint at 4 KiB granularity thrashes the base STLB.
+    Tlb tlb;
+    const unsigned ranges = 32;
+    for (unsigned rep = 0; rep < 2; ++rep) {
+        for (unsigned r = 0; r < ranges; ++r)
+            tlb.lookupHuge(static_cast<PageNum>(r) * kPagesPerHuge);
+    }
+    EXPECT_EQ(tlb.hugeMisses(), ranges);  // Second pass all hits.
+
+    std::uint64_t touched = 0;
+    for (unsigned rep = 0; rep < 2; ++rep) {
+        for (PageNum v = 0; v < ranges * kPagesPerHuge; v += 8) {
+            tlb.lookup(v);
+            ++touched;
+        }
+    }
+    EXPECT_GT(tlb.misses(), touched / 2);  // Base arrays keep missing.
+}
+
+TEST(ThpTlb, HugeBasesDoNotAliasOntoOneSet)
+{
+    // Regression: indexing huge entries by raw base vpn would put every
+    // range (512-aligned, low bits zero) into set 0.
+    Tlb tlb;
+    for (unsigned r = 0; r < 8; ++r)
+        tlb.lookupHuge(static_cast<PageNum>(r) * kPagesPerHuge);
+    for (unsigned r = 0; r < 8; ++r) {
+        EXPECT_EQ(tlb.lookupHuge(static_cast<PageNum>(r) * kPagesPerHuge),
+                  TlbOutcome::L1Hit)
+            << "range " << r << " evicted: huge entries aliased";
+    }
+}
+
+// ----------------------------------------------------------- End-to-end
+
+RunConfig
+thpConfig(bool thp)
+{
+    RunConfig rc;
+    rc.workload.app = App::BFS;
+    rc.workload.kind = GraphKind::Kron;
+    rc.workload.scale = 15;  // Arrays span multiple 2 MiB ranges.
+    rc.workload.trials = 2;
+    rc.sampling = false;
+    rc.sys.dram = makeDramParams(4 * kMiB);
+    rc.sys.nvm = makeNvmParams(16 * kMiB);
+    rc.sys.autonuma.scanPeriod = secondsToCycles(0.0005);
+    rc.sys.autonuma.adjustPeriod = secondsToCycles(0.002);
+    rc.sys.autonuma.rateLimitBytesPerSec = 16 * kMiB;
+    rc.sys.thp.enabled = thp;
+    return rc;
+}
+
+TEST(ThpEndToEnd, ThpRunsReplayBitIdentically)
+{
+    const RunConfig rc = thpConfig(true);
+    const RunResult a = runWorkload(rc);
+    const RunResult b = runWorkload(rc);
+    EXPECT_EQ(std::memcmp(&a.vmstat, &b.vmstat, sizeof(VmStat)), 0);
+    EXPECT_EQ(a.outputChecksum, b.outputChecksum);
+    EXPECT_DOUBLE_EQ(a.totalSeconds, b.totalSeconds);
+    // The run actually exercised the THP machinery.
+    EXPECT_GT(a.vmstat.thpFaultAlloc + a.vmstat.thpCollapseAlloc, 0u);
+}
+
+TEST(ThpEndToEnd, ThpNeverChangesApplicationOutput)
+{
+    if (thpForcedByEnv())
+        GTEST_SKIP() << "MEMTIER_THP=ON removes the THP-off baseline";
+    const RunResult off = runWorkload(thpConfig(false));
+    const RunResult on = runWorkload(thpConfig(true));
+    EXPECT_EQ(off.outputChecksum, on.outputChecksum);
+    EXPECT_EQ(off.vmstat.thpFaultAlloc, 0u);
+    EXPECT_EQ(off.vmstat.thpCollapseAlloc, 0u);
+    EXPECT_GT(on.vmstat.thpFaultAlloc + on.vmstat.thpCollapseAlloc, 0u);
+}
+
+TEST(ThpEndToEnd, ChaosMigrationFailuresKeepInvariantsGreen)
+{
+    // The acceptance scenario: 20% transient migration failures with
+    // THP on; splits, huge promotions and failed migrations interleave
+    // while the extended invariant checker sweeps continuously.
+    RunConfig rc = thpConfig(true);
+    rc.sys.faults = FaultPlan::parseOrDie("migrate:p=0.2,burst=8;seed=7");
+    rc.sys.checkInvariants = true;
+    rc.sys.invariantCheckPeriod = 256;
+    const RunResult r = runWorkload(rc);
+
+    const RunResult clean = runWorkload(thpConfig(true));
+    EXPECT_EQ(r.outputChecksum, clean.outputChecksum);
+    EXPECT_GT(r.faultsInjected, 0u);
+    EXPECT_GT(r.invariantChecksRun, 0u);
+}
+
+TEST(ThpEndToEnd, ThpReducesTlbMissRate)
+{
+    // The paper's TLB-reach argument: PMD mappings shrink the dTLB miss
+    // rate on graph-scale footprints (Table 3's miss-cost column).
+    if (thpForcedByEnv())
+        GTEST_SKIP() << "MEMTIER_THP=ON removes the THP-off baseline";
+    RunConfig off_rc = thpConfig(false);
+    RunConfig on_rc = thpConfig(true);
+    off_rc.sampling = true;
+    on_rc.sampling = true;
+    const RunResult off = runWorkload(off_rc);
+    const RunResult on = runWorkload(on_rc);
+
+    const auto missRate = [](const RunResult &r) {
+        std::uint64_t miss = 0;
+        for (const MemorySample &s : r.samples)
+            miss += s.tlbMiss ? 1 : 0;
+        return static_cast<double>(miss) /
+               static_cast<double>(r.samples.size());
+    };
+    ASSERT_FALSE(off.samples.empty());
+    ASSERT_FALSE(on.samples.empty());
+    EXPECT_LT(missRate(on), missRate(off));
+}
+
+}  // namespace
+}  // namespace memtier
