@@ -11,7 +11,12 @@
 #      pages forced on (MEMTIER_THP=ON) under the invariant checker, so
 #      every run exercises PMD mappings, collapse and splits. Tests
 #      whose golden values need the 4 KiB-only baseline skip
-#      themselves.
+#      themselves;
+#   5. a scalar-path pass: the tier-1 binaries re-run with
+#      MEMTIER_SCALAR_PATH=ON, forcing the element-at-a-time reference
+#      pipeline. The hotpath golden tests pin both paths to the same
+#      captured observables, so this pass plus pass 1 is a full
+#      scalar-vs-batched diff of every golden workload.
 #
 # All builds live in their own build directories so they never disturb
 # an existing developer build/.
@@ -20,19 +25,19 @@ cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/4] tier-1: RelWithDebInfo -Werror build + ctest ==="
+echo "=== [1/5] tier-1: RelWithDebInfo -Werror build + ctest ==="
 cmake -B build-ci -S . -DMEMTIER_WERROR=ON
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [2/4] sanitizers: ASan/UBSan build + ctest ==="
+echo "=== [2/5] sanitizers: ASan/UBSan build + ctest ==="
 cmake -B build-asan -S . -DMEMTIER_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/4] chaos: invariant checker on + fault plan, tier-1 binaries ==="
+echo "=== [3/5] chaos: invariant checker on + fault plan, tier-1 binaries ==="
 # MEMTIER_CHECK_INVARIANTS=ON arms the kernel invariant checker in
 # every Engine (observer-only: results stay bit-identical), and
 # MEMTIER_FAULT_PLAN overrides the chaos-aware tests' default plan.
@@ -46,6 +51,14 @@ echo "=== [4/4] thp: MEMTIER_THP=ON + invariant checker, tier-1 binaries ==="
 # runs continuously. Golden-value tests captured with THP off skip.
 MEMTIER_THP=ON \
 MEMTIER_CHECK_INVARIANTS=ON \
+    ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== [5/5] scalar path: MEMTIER_SCALAR_PATH=ON, tier-1 binaries ==="
+# MEMTIER_SCALAR_PATH=ON forces the element-at-a-time reference path in
+# every Engine. The hotpath golden tests assert exact captured
+# observables in both modes, so any scalar-vs-batched divergence fails
+# here or in pass 1.
+MEMTIER_SCALAR_PATH=ON \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
 echo "ci.sh: all gates passed"

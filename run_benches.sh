@@ -38,6 +38,12 @@ for b in $binaries; do
     echo "=== $name ==="
     if [ "$name" = "micro_tier_latency" ]; then
         "$b" --benchmark_min_time=0.1 2>/dev/null
+    elif [ "$name" = "hotpath_speed" ]; then
+        # Hot-path throughput: forced-scalar vs batched pipeline on the
+        # PageRank sweep. Writes the machine-readable record future PRs
+        # compare against; the binary itself fails when the two paths
+        # stop being bit-identical.
+        "$b" --out=BENCH_hotpath.json 2>/dev/null
     else
         "$b" 2>/dev/null
     fi

@@ -33,12 +33,20 @@ runBc(Engine &eng, SimHeap &heap, const SimCsrGraph &g, int num_sources,
         bcSampleSources(g.host(), num_sources, seed);
 
     SimVector<double> scores = heap.alloc<double>(t0, "bc.scores", n);
-    eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
-        scores.set(t, v, 0.0);
-    });
+    eng.parallelForRanges(
+        n, [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+            scores.fillRange(t, b, e, 0.0);
+        });
 
     BcOutput out;
     std::vector<std::vector<NodeId>> staged(eng.threadCount());
+    // Per-thread host staging for the bulk calls.
+    struct Scratch
+    {
+        std::vector<NodeId> ids;
+        std::vector<NodeId> row;
+    };
+    std::vector<Scratch> scratch(eng.threadCount());
 
     for (const NodeId source : sources) {
         ++out.sourcesProcessed;
@@ -52,11 +60,12 @@ runBc(Engine &eng, SimHeap &heap, const SimCsrGraph &g, int num_sources,
         SimVector<double> delta = heap.alloc<double>(t0, "bc.deltas", n);
         SimVector<NodeId> queue = heap.alloc<NodeId>(t0, "bc.queue", n);
 
-        eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
-            depths.set(t, v, -1);
-            sigma.set(t, v, 0.0);
-            delta.set(t, v, 0.0);
-        });
+        eng.parallelForRanges(
+            n, [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+                depths.fillRange(t, b, e, -1);
+                sigma.fillRange(t, b, e, 0.0);
+                delta.fillRange(t, b, e, 0.0);
+            });
 
         depths.set(t0, static_cast<std::uint64_t>(source), 0);
         sigma.set(t0, static_cast<std::uint64_t>(source), 1.0);
@@ -72,25 +81,37 @@ runBc(Engine &eng, SimHeap &heap, const SimCsrGraph &g, int num_sources,
                 level_bounds[static_cast<std::size_t>(depth)];
             const std::uint64_t end =
                 level_bounds[static_cast<std::size_t>(depth) + 1];
-            eng.parallelFor(end - begin, [&](ThreadContext &t,
-                                             std::uint64_t i) {
-                const NodeId u = queue.get(t, begin + i);
-                const double sigma_u =
-                    sigma.get(t, static_cast<std::uint64_t>(u));
-                g.forNeighbors(t, u, [&](NodeId v) {
-                    const auto vi = static_cast<std::uint64_t>(v);
-                    const std::int32_t dv = depths.get(t, vi);
-                    if (dv == -1) {
-                        depths.set(t, vi, depth + 1);
-                        sigma.set(t, vi, sigma_u);
-                        staged[t.id()].push_back(v);
-                    } else if (dv == depth + 1) {
-                        sigma.update(t, vi, [&](double s) {
-                            return s + sigma_u;
-                        });
+            eng.parallelForRanges(
+                end - begin,
+                [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+                    Scratch &s = scratch[t.id()];
+                    s.ids.resize(e - b);
+                    queue.copyOut(t, begin + b, begin + e,
+                                  s.ids.data());
+                    for (std::uint64_t i = b; i < e; ++i) {
+                        const NodeId u = s.ids[i - b];
+                        const double sigma_u =
+                            sigma.get(t, static_cast<std::uint64_t>(u));
+                        // Bulk row read; the depth/sigma relaxation per
+                        // edge stays element-at-a-time (it depends on
+                        // discoveries by earlier edges).
+                        g.neighborsInto(t, u, s.row);
+                        for (const NodeId v : s.row) {
+                            const auto vi =
+                                static_cast<std::uint64_t>(v);
+                            const std::int32_t dv = depths.get(t, vi);
+                            if (dv == -1) {
+                                depths.set(t, vi, depth + 1);
+                                sigma.set(t, vi, sigma_u);
+                                staged[t.id()].push_back(v);
+                            } else if (dv == depth + 1) {
+                                sigma.update(t, vi, [&](double sv) {
+                                    return sv + sigma_u;
+                                });
+                            }
+                        }
                     }
                 });
-            });
             // Append the discovered level to the queue.
             std::uint64_t pos = end;
             std::vector<NodeId> next;
@@ -98,10 +119,11 @@ runBc(Engine &eng, SimHeap &heap, const SimCsrGraph &g, int num_sources,
                 next.insert(next.end(), s.begin(), s.end());
                 s.clear();
             }
-            eng.parallelFor(next.size(),
-                            [&](ThreadContext &t, std::uint64_t i) {
-                                queue.set(t, pos + i, next[i]);
-                            });
+            eng.parallelForRanges(
+                next.size(),
+                [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+                    queue.putRange(t, pos + b, next.data() + b, e - b);
+                });
             level_bounds.push_back(pos + next.size());
             ++depth;
         }
@@ -112,25 +134,35 @@ runBc(Engine &eng, SimHeap &heap, const SimCsrGraph &g, int num_sources,
                 level_bounds[static_cast<std::size_t>(d)];
             const std::uint64_t end =
                 level_bounds[static_cast<std::size_t>(d) + 1];
-            eng.parallelFor(end - begin, [&](ThreadContext &t,
-                                             std::uint64_t i) {
-                const NodeId u = queue.get(t, begin + i);
-                const auto ui = static_cast<std::uint64_t>(u);
-                const double sigma_u = sigma.get(t, ui);
-                double acc = 0.0;
-                g.forNeighbors(t, u, [&](NodeId v) {
-                    const auto vi = static_cast<std::uint64_t>(v);
-                    if (depths.get(t, vi) == d + 1) {
-                        acc += (sigma_u / sigma.get(t, vi)) *
-                               (1.0 + delta.get(t, vi));
+            eng.parallelForRanges(
+                end - begin,
+                [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+                    Scratch &s = scratch[t.id()];
+                    s.ids.resize(e - b);
+                    queue.copyOut(t, begin + b, begin + e,
+                                  s.ids.data());
+                    for (std::uint64_t i = b; i < e; ++i) {
+                        const NodeId u = s.ids[i - b];
+                        const auto ui = static_cast<std::uint64_t>(u);
+                        const double sigma_u = sigma.get(t, ui);
+                        double acc = 0.0;
+                        g.neighborsInto(t, u, s.row);
+                        for (const NodeId v : s.row) {
+                            const auto vi =
+                                static_cast<std::uint64_t>(v);
+                            if (depths.get(t, vi) == d + 1) {
+                                acc += (sigma_u / sigma.get(t, vi)) *
+                                       (1.0 + delta.get(t, vi));
+                            }
+                        }
+                        delta.set(t, ui, acc);
+                        if (u != source) {
+                            scores.update(t, ui, [&](double sc) {
+                                return sc + acc;
+                            });
+                        }
                     }
                 });
-                delta.set(t, ui, acc);
-                if (u != source) {
-                    scores.update(t, ui,
-                                  [&](double s) { return s + acc; });
-                }
-            });
         }
 
         heap.free(t0, queue);

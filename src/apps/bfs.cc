@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <deque>
+#include <span>
 
 #include "base/logging.h"
 
@@ -45,11 +46,21 @@ runBfs(Engine &eng, SimHeap &heap, const SimCsrGraph &g, NodeId source,
     SimVector<std::uint8_t> next_map =
         heap.alloc<std::uint8_t>(t0, "bfs.next_map", n);
 
-    eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
-        parent.set(t, v, -1);
-        front_map.set(t, v, 0);
-        next_map.set(t, v, 0);
-    });
+    eng.parallelForRanges(
+        n, [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+            parent.fillRange(t, b, e, -1);
+            front_map.fillRange(t, b, e, 0);
+            next_map.fillRange(t, b, e, 0);
+        });
+
+    // Per-thread host staging for the bulk calls.
+    struct Scratch
+    {
+        std::vector<NodeId> ids;
+        std::vector<NodeId> row;
+        std::vector<std::uint8_t> bits;
+    };
+    std::vector<Scratch> scratch(eng.threadCount());
 
     parent.set(t0, static_cast<std::uint64_t>(source), source);
     frontier.set(t0, 0, source);
@@ -77,69 +88,107 @@ runBfs(Engine &eng, SimHeap &heap, const SimCsrGraph &g, NodeId source,
         if (bottom_up) {
             ++out.bottomUpSteps;
             if (frontier_in_queue) {
-                // Convert queue -> bitmap.
-                eng.parallelFor(
+                // Convert queue -> bitmap: bulk-read the queue slice,
+                // scatter the bits.
+                eng.parallelForRanges(
                     frontier_size,
-                    [&](ThreadContext &t, std::uint64_t i) {
-                        const NodeId u = frontier.get(t, i);
-                        front_map.set(
-                            t, static_cast<std::uint64_t>(u), 1);
+                    [&](ThreadContext &t, std::uint64_t b,
+                        std::uint64_t e) {
+                        Scratch &s = scratch[t.id()];
+                        s.ids.resize(e - b);
+                        frontier.copyOut(t, b, e, s.ids.data());
+                        front_map.scatterSet(
+                            t, std::span<const NodeId>(s.ids), 1);
                     });
                 frontier_in_queue = false;
             }
-            eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
-                if (parent.get(t, v) != -1)
-                    return;
-                const NodeId node = static_cast<NodeId>(v);
-                const std::int64_t begin = g.offset(t, node);
-                const std::int64_t end =
-                    g.offset(t, node + 1);
-                for (std::int64_t e = begin; e < end; ++e) {
-                    const NodeId u = g.neighbor(t, e);
-                    if (front_map.get(
-                            t, static_cast<std::uint64_t>(u)) != 0) {
-                        parent.set(t, v, u);
-                        next_map.set(t, v, 1);
-                        staged[t.id()].push_back(node);
-                        break;
+            eng.parallelForRanges(
+                n, [&](ThreadContext &t, std::uint64_t b,
+                       std::uint64_t e) {
+                    // Bulk-read the parent slice; each vertex writes
+                    // only its own slot, so the snapshot stays fresh
+                    // for the whole subrange. The per-edge scan stays
+                    // element-at-a-time: its early break makes the
+                    // access count data-dependent, which a bulk row
+                    // read would change.
+                    Scratch &s = scratch[t.id()];
+                    s.ids.resize(e - b);
+                    parent.copyOut(t, b, e, s.ids.data());
+                    for (std::uint64_t v = b; v < e; ++v) {
+                        if (s.ids[v - b] != -1)
+                            continue;
+                        const NodeId node = static_cast<NodeId>(v);
+                        const auto [begin, end] = g.offsetPair(t, node);
+                        for (std::int64_t ed = begin; ed < end; ++ed) {
+                            const NodeId u = g.neighbor(t, ed);
+                            if (front_map.get(
+                                    t,
+                                    static_cast<std::uint64_t>(u)) !=
+                                0) {
+                                parent.set(t, v, u);
+                                next_map.set(t, v, 1);
+                                staged[t.id()].push_back(node);
+                                break;
+                            }
+                        }
                     }
-                }
-            });
+                });
             // Swap maps; clear the consumed one.
             std::swap(front_map, next_map);
-            eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
-                next_map.set(t, v, 0);
-            });
+            eng.parallelForRanges(
+                n, [&](ThreadContext &t, std::uint64_t b,
+                       std::uint64_t e) {
+                    next_map.fillRange(t, b, e, 0);
+                });
         } else {
             if (!frontier_in_queue) {
-                // Convert bitmap -> queue (scan all vertices).
-                std::uint64_t q = 0;
-                std::vector<NodeId> collected;
-                eng.parallelFor(
-                    n, [&](ThreadContext &t, std::uint64_t v) {
-                        if (front_map.get(t, v) != 0) {
-                            staged[t.id()].push_back(
-                                static_cast<NodeId>(v));
-                            front_map.set(t, v, 0);
+                // Convert bitmap -> queue: bulk-scan the map, clear the
+                // set bits with a scatter, bulk-write the queue.
+                eng.parallelForRanges(
+                    n, [&](ThreadContext &t, std::uint64_t b,
+                           std::uint64_t e) {
+                        Scratch &s = scratch[t.id()];
+                        s.bits.resize(e - b);
+                        front_map.copyOut(t, b, e, s.bits.data());
+                        s.ids.clear();
+                        for (std::uint64_t v = b; v < e; ++v) {
+                            if (s.bits[v - b] != 0) {
+                                staged[t.id()].push_back(
+                                    static_cast<NodeId>(v));
+                                s.ids.push_back(
+                                    static_cast<NodeId>(v));
+                            }
                         }
+                        front_map.scatterSet(
+                            t, std::span<const NodeId>(s.ids), 0);
                     });
-                collected = flatten(staged);
-                for (const NodeId v : collected) {
-                    frontier.set(t0, q++, v);
-                }
-                frontier_size = q;
+                const std::vector<NodeId> collected = flatten(staged);
+                frontier.putRange(t0, 0, collected.data(),
+                                  collected.size());
+                frontier_size = collected.size();
                 frontier_in_queue = true;
             }
-            eng.parallelFor(
-                frontier_size, [&](ThreadContext &t, std::uint64_t i) {
-                    const NodeId u = frontier.get(t, i);
-                    g.forNeighbors(t, u, [&](NodeId v) {
-                        const auto vi = static_cast<std::uint64_t>(v);
-                        if (parent.get(t, vi) == -1) {
-                            parent.set(t, vi, u);
-                            staged[t.id()].push_back(v);
+            eng.parallelForRanges(
+                frontier_size,
+                [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+                    Scratch &s = scratch[t.id()];
+                    s.ids.resize(e - b);
+                    frontier.copyOut(t, b, e, s.ids.data());
+                    for (std::uint64_t i = b; i < e; ++i) {
+                        const NodeId u = s.ids[i - b];
+                        // Bulk row read; the parent check-and-claim
+                        // per edge stays element-at-a-time (it is
+                        // data-dependent on earlier claims).
+                        g.neighborsInto(t, u, s.row);
+                        for (const NodeId v : s.row) {
+                            const auto vi =
+                                static_cast<std::uint64_t>(v);
+                            if (parent.get(t, vi) == -1) {
+                                parent.set(t, vi, u);
+                                staged[t.id()].push_back(v);
+                            }
                         }
-                    });
+                    }
                 });
         }
 
@@ -154,11 +203,12 @@ runBfs(Engine &eng, SimHeap &heap, const SimCsrGraph &g, NodeId source,
             frontier_in_queue = false;
             // front_map already holds the next frontier.
         } else {
-            // Write the next frontier queue (timed stores).
-            eng.parallelFor(next.size(),
-                            [&](ThreadContext &t, std::uint64_t i) {
-                                frontier.set(t, i, next[i]);
-                            });
+            // Write the next frontier queue (timed bulk stores).
+            eng.parallelForRanges(
+                next.size(),
+                [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+                    frontier.putRange(t, b, next.data() + b, e - b);
+                });
             frontier_size = next.size();
             frontier_in_queue = true;
         }

@@ -2,6 +2,7 @@
 
 #include <deque>
 #include <unordered_set>
+#include <vector>
 
 #include "base/logging.h"
 
@@ -14,9 +15,15 @@ runCc(Engine &eng, SimHeap &heap, const SimCsrGraph &g)
     const auto n = static_cast<std::uint64_t>(g.numNodes());
 
     SimVector<NodeId> comp = heap.alloc<NodeId>(t0, "cc.comp", n);
-    eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
-        comp.set(t, v, static_cast<NodeId>(v));
-    });
+    eng.parallelForRanges(
+        n, [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+            comp.generate(t, b, e, [](std::uint64_t v) {
+                return static_cast<NodeId>(v);
+            });
+        });
+
+    // Per-thread host staging for the bulk row reads.
+    std::vector<std::vector<NodeId>> rows(eng.threadCount());
 
     CcOutput out;
     bool change = true;
@@ -26,25 +33,36 @@ runCc(Engine &eng, SimHeap &heap, const SimCsrGraph &g)
 
         // Hooking: for every edge (u, v), attach the root of the larger
         // label to the smaller one when the larger endpoint is a root.
-        eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t ui) {
-            const NodeId u = static_cast<NodeId>(ui);
-            g.forNeighbors(t, u, [&](NodeId v) {
-                const NodeId comp_u = comp.get(t, ui);
-                const NodeId comp_v =
-                    comp.get(t, static_cast<std::uint64_t>(v));
-                if (comp_u < comp_v) {
-                    const NodeId root = comp.get(
-                        t, static_cast<std::uint64_t>(comp_v));
-                    if (root == comp_v) {
-                        comp.set(t, static_cast<std::uint64_t>(comp_v),
-                                 comp_u);
-                        change = true;
+        // The adjacency row is read in bulk; the label work stays
+        // element-at-a-time because every comp access depends on the
+        // hooks performed just before it (including the comp_u reload
+        // per edge, which must see hooks by earlier edges).
+        eng.parallelForRanges(
+            n, [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+                std::vector<NodeId> &row = rows[t.id()];
+                for (std::uint64_t ui = b; ui < e; ++ui) {
+                    g.neighborsInto(t, static_cast<NodeId>(ui), row);
+                    for (const NodeId v : row) {
+                        const NodeId comp_u = comp.get(t, ui);
+                        const NodeId comp_v =
+                            comp.get(t, static_cast<std::uint64_t>(v));
+                        if (comp_u < comp_v) {
+                            const NodeId root = comp.get(
+                                t, static_cast<std::uint64_t>(comp_v));
+                            if (root == comp_v) {
+                                comp.set(
+                                    t,
+                                    static_cast<std::uint64_t>(comp_v),
+                                    comp_u);
+                                change = true;
+                            }
+                        }
                     }
                 }
             });
-        });
 
-        // Pointer jumping: compress label chains.
+        // Pointer jumping: compress label chains (a data-dependent
+        // chase, kept element-at-a-time).
         eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
             NodeId label = comp.get(t, v);
             while (label !=

@@ -2,6 +2,8 @@
 
 #include <limits>
 #include <queue>
+#include <span>
+#include <vector>
 
 #include "base/logging.h"
 
@@ -24,34 +26,50 @@ runSssp(Engine &eng, SimHeap &heap, const SimCsrGraph &g, NodeId source)
         heap.alloc<std::int64_t>(t0, "sssp.dist", n);
     SimVector<std::uint8_t> in_next =
         heap.alloc<std::uint8_t>(t0, "sssp.in_next", n);
-    eng.parallelFor(n, [&](ThreadContext &t, std::uint64_t v) {
-        dist.set(t, v, kInf);
-        in_next.set(t, v, 0);
-    });
+    eng.parallelForRanges(
+        n, [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+            dist.fillRange(t, b, e, kInf);
+            in_next.fillRange(t, b, e, 0);
+        });
     dist.set(t0, static_cast<std::uint64_t>(source), 0);
 
     SsspOutput out;
     std::vector<NodeId> frontier{source};
     std::vector<std::vector<NodeId>> staged(eng.threadCount());
+    // Per-thread host staging for the bulk row/weight reads.
+    struct Scratch
+    {
+        std::vector<NodeId> row;
+        std::vector<std::int32_t> wts;
+    };
+    std::vector<Scratch> scratch(eng.threadCount());
 
     while (!frontier.empty()) {
         ++out.rounds;
-        eng.parallelFor(
-            frontier.size(), [&](ThreadContext &t, std::uint64_t i) {
-                const NodeId u = frontier[i];
-                const auto ui = static_cast<std::uint64_t>(u);
-                const std::int64_t du = dist.get(t, ui);
-                const std::int64_t begin = g.offset(t, u);
-                const std::int64_t end = g.offset(t, u + 1);
-                for (std::int64_t e = begin; e < end; ++e) {
-                    const NodeId v = g.neighbor(t, e);
-                    const std::int64_t w = g.weightOf(t, e);
-                    const auto vi = static_cast<std::uint64_t>(v);
-                    if (du + w < dist.get(t, vi)) {
-                        dist.set(t, vi, du + w);
-                        if (in_next.get(t, vi) == 0) {
-                            in_next.set(t, vi, 1);
-                            staged[t.id()].push_back(v);
+        eng.parallelForRanges(
+            frontier.size(),
+            [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+                Scratch &s = scratch[t.id()];
+                for (std::uint64_t i = b; i < e; ++i) {
+                    const NodeId u = frontier[i];
+                    const auto ui = static_cast<std::uint64_t>(u);
+                    const std::int64_t du = dist.get(t, ui);
+                    // Bulk adjacency-row and weight-row reads; the
+                    // distance relaxation per edge stays element-at-a-
+                    // time (it depends on earlier relaxations).
+                    const auto [begin, end] = g.neighborsInto(t, u,
+                                                              s.row);
+                    g.weightsInto(t, begin, end, s.wts);
+                    for (std::size_t k = 0; k < s.row.size(); ++k) {
+                        const NodeId v = s.row[k];
+                        const std::int64_t w = s.wts[k];
+                        const auto vi = static_cast<std::uint64_t>(v);
+                        if (du + w < dist.get(t, vi)) {
+                            dist.set(t, vi, du + w);
+                            if (in_next.get(t, vi) == 0) {
+                                in_next.set(t, vi, 1);
+                                staged[t.id()].push_back(v);
+                            }
                         }
                     }
                 }
@@ -61,13 +79,14 @@ runSssp(Engine &eng, SimHeap &heap, const SimCsrGraph &g, NodeId source)
             frontier.insert(frontier.end(), s.begin(), s.end());
             s.clear();
         }
-        eng.parallelFor(frontier.size(),
-                        [&](ThreadContext &t, std::uint64_t i) {
-                            in_next.set(
-                                t,
-                                static_cast<std::uint64_t>(frontier[i]),
-                                0);
-                        });
+        eng.parallelForRanges(
+            frontier.size(),
+            [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+                in_next.scatterSet(
+                    t,
+                    std::span<const NodeId>(frontier.data() + b, e - b),
+                    0);
+            });
     }
 
     out.dist.resize(n);

@@ -29,6 +29,8 @@ LineFillBuffer::add(Addr line, Cycles ready)
 {
     entries[nextSlot] = Entry{line, ready, true};
     nextSlot = (nextSlot + 1) % kEntries;
+    if (ready > max_ready)
+        max_ready = ready;
 }
 
 }  // namespace memtier

@@ -44,11 +44,47 @@ class LineFillBuffer
      */
     bool recentlyFilled(Addr line, Cycles now, Cycles window) const;
 
+    /**
+     * Batch-path fast reject: true when no entry can satisfy inFlight
+     * or recentlyFilled at @p now with residency @p window, because
+     * every recorded fill completed more than @p window cycles ago.
+     * One compare against the running max-ready watermark instead of a
+     * buffer scan; conservative (quiet implies both scans miss), so
+     * using it cannot change attribution.
+     */
+    bool
+    quietAt(Cycles now, Cycles window) const
+    {
+        return now >= max_ready + window;
+    }
+
+    /**
+     * Collect, in buffer order, the ready times of entries tracking
+     * @p line. The batched tail loop scans once per same-line run and
+     * then evaluates inFlight/recentlyFilled arithmetically against the
+     * collected times -- valid because tails never add() entries, so
+     * the buffer cannot change mid-run.
+     * @return number of matching entries written to @p out.
+     */
+    std::size_t
+    matchesInto(Addr line, Cycles (&out)[kEntries]) const
+    {
+        std::size_t n = 0;
+        for (const auto &e : entries) {
+            if (e.valid && e.line == line)
+                out[n++] = e.ready;
+        }
+        return n;
+    }
+
     /** Number of LFB hits observed. */
     std::uint64_t hits() const { return hit_count; }
 
     /** Count a hit (called by the access path). */
     void countHit() { ++hit_count; }
+
+    /** Count @p n hits at once (batched access path). */
+    void countHits(std::uint64_t n) { hit_count += n; }
 
   private:
     struct Entry
@@ -61,6 +97,7 @@ class LineFillBuffer
     std::array<Entry, kEntries> entries{};
     std::size_t nextSlot = 0;
     std::uint64_t hit_count = 0;
+    Cycles max_ready = 0;  ///< Largest ready time ever recorded.
 };
 
 }  // namespace memtier

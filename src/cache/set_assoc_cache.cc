@@ -26,10 +26,10 @@ SetAssocCache::access(Addr line, bool is_write)
     ++tick;
     for (unsigned w = 0; w < assoc; ++w) {
         Way &way = ways[base + w];
-        if (way.valid && way.tag == line) {
+        if (way.matches(line)) {
             way.lastUse = tick;
             if (is_write)
-                way.dirty = true;
+                way.meta |= Way::kDirty;
             ++hit_count;
             return true;
         }
@@ -48,7 +48,7 @@ SetAssocCache::insert(Addr line, bool dirty)
     std::size_t victim = base;
     for (unsigned w = 0; w < assoc; ++w) {
         Way &way = ways[base + w];
-        if (!way.valid) {
+        if (!way.valid()) {
             victim = base + w;
             break;
         }
@@ -58,18 +58,35 @@ SetAssocCache::insert(Addr line, bool dirty)
 
     CacheEviction evicted;
     Way &slot = ways[victim];
-    if (slot.valid) {
+    if (slot.valid()) {
         evicted.valid = true;
-        evicted.line = slot.tag;
-        evicted.dirty = slot.dirty;
-        if (slot.dirty)
+        evicted.line = slot.tag();
+        evicted.dirty = slot.dirty();
+        if (slot.dirty())
             ++writeback_count;
     }
-    slot.tag = line;
-    slot.valid = true;
-    slot.dirty = dirty;
+    slot.meta = Way::key(line) | (dirty ? Way::kDirty : 0);
     slot.lastUse = tick;
     return evicted;
+}
+
+void
+SetAssocCache::accessRepeats(Addr line, std::uint64_t count,
+                             bool any_write)
+{
+    const std::size_t base = setIndex(line) * assoc;
+    tick += count;
+    for (unsigned w = 0; w < assoc; ++w) {
+        Way &way = ways[base + w];
+        if (way.matches(line)) {
+            way.lastUse = tick;
+            if (any_write)
+                way.meta |= Way::kDirty;
+            hit_count += count;
+            return;
+        }
+    }
+    MEMTIER_ASSERT(false, "repeat accounting for a non-resident line");
 }
 
 void
@@ -78,9 +95,8 @@ SetAssocCache::invalidate(Addr line)
     const std::size_t base = setIndex(line) * assoc;
     for (unsigned w = 0; w < assoc; ++w) {
         Way &way = ways[base + w];
-        if (way.valid && way.tag == line) {
-            way.valid = false;
-            way.dirty = false;
+        if (way.matches(line)) {
+            way.meta = 0;
             return;
         }
     }
@@ -98,8 +114,7 @@ SetAssocCache::contains(Addr line) const
 {
     const std::size_t base = setIndex(line) * assoc;
     for (unsigned w = 0; w < assoc; ++w) {
-        const Way &way = ways[base + w];
-        if (way.valid && way.tag == line)
+        if (ways[base + w].matches(line))
             return true;
     }
     return false;

@@ -55,6 +55,16 @@ class SetAssocCache
      */
     CacheEviction insert(Addr line, bool dirty);
 
+    /**
+     * Batch accounting for @p count back-to-back accesses of @p line
+     * that are guaranteed hits (the line was just filled or hit and
+     * nothing evicted it in between). Equivalent to @p count access()
+     * calls: the tick advances by @p count, the way's recency moves to
+     * the final tick, the dirty bit absorbs @p any_write, and the hit
+     * counter grows by @p count -- one way scan instead of @p count.
+     */
+    void accessRepeats(Addr line, std::uint64_t count, bool any_write);
+
     /** Remove @p line if present (no writeback signalling). */
     void invalidate(Addr line);
 
@@ -71,12 +81,29 @@ class SetAssocCache
     std::uint64_t sizeBytes() const { return num_sets * assoc * kLineSize; }
 
   private:
+    /**
+     * One way, packed to 16 bytes so a set scan touches at most two
+     * host cache lines: the tag shares a word with the valid and dirty
+     * bits (line indices are at most 58 bits wide, so the shift loses
+     * nothing).
+     */
     struct Way
     {
-        Addr tag = 0;
+        static constexpr std::uint64_t kValid = 1;
+        static constexpr std::uint64_t kDirty = 2;
+
+        std::uint64_t meta = 0;  ///< (tag << 2) | dirty << 1 | valid.
         std::uint64_t lastUse = 0;
-        bool valid = false;
-        bool dirty = false;
+
+        static std::uint64_t key(Addr line) { return (line << 2) | kValid; }
+        bool valid() const { return meta & kValid; }
+        bool dirty() const { return meta & kDirty; }
+        Addr tag() const { return meta >> 2; }
+        /** True when valid with tag @p line, regardless of dirtiness. */
+        bool matches(Addr line) const
+        {
+            return (meta & ~kDirty) == key(line);
+        }
     };
 
     std::size_t setIndex(Addr line) const { return line & (num_sets - 1); }

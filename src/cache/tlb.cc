@@ -117,6 +117,26 @@ Tlb::lookupHuge(PageNum base_vpn)
 }
 
 void
+Tlb::repeatHits(PageNum vpn, std::uint64_t count)
+{
+    tick += count;
+    const bool found = l1.lookup(vpn, tick);
+    MEMTIER_ASSERT(found, "TLB repeat accounting for a non-resident vpn");
+    l1_hits += count;
+}
+
+void
+Tlb::repeatHitsHuge(PageNum base_vpn, std::uint64_t count)
+{
+    const PageNum key = base_vpn >> kPagesPerHugeShift;
+    tick += count;
+    const bool found = l1Huge.lookup(key, tick);
+    MEMTIER_ASSERT(found,
+                   "TLB repeat accounting for a non-resident huge range");
+    huge_l1_hits += count;
+}
+
+void
 Tlb::insertHuge(PageNum base_vpn)
 {
     const PageNum key = base_vpn >> kPagesPerHugeShift;

@@ -73,6 +73,19 @@ class Tlb
      *  (used when a fault upgraded a range under a 4 KiB lookup). */
     void insertHuge(PageNum base_vpn);
 
+    /**
+     * Batch accounting for @p count back-to-back lookups of @p vpn that
+     * are guaranteed L1 hits (the entry was just filled or hit and no
+     * shootdown intervened). Equivalent to @p count lookup() calls:
+     * the tick advances by @p count, the entry's recency moves to the
+     * final tick, and the L1 hit counter grows by @p count -- one way
+     * scan instead of @p count.
+     */
+    void repeatHits(PageNum vpn, std::uint64_t count);
+
+    /** Batch accounting for guaranteed 2 MiB-class L1 hits. */
+    void repeatHitsHuge(PageNum base_vpn, std::uint64_t count);
+
     /** Drop any cached translation of @p vpn (PTE changed). */
     void invalidate(PageNum vpn);
 

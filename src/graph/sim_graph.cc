@@ -30,8 +30,7 @@ streamInto(Engine &eng, SimFile &file, ThreadContext &t,
                                     (count - copied) * sizeof(T));
         file.read(t, file_offset + bytes_done, chunk_bytes);
         const std::uint64_t chunk_elems = chunk_bytes / sizeof(T);
-        for (std::uint64_t i = 0; i < chunk_elems; ++i)
-            dst.set(t, copied + i, values[copied + i]);
+        dst.putRange(t, copied, values + copied, chunk_elems);
         copied += chunk_elems;
     }
     (void)eng;

@@ -10,6 +10,8 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "graph/graph.h"
 #include "runtime/sim_heap.h"
@@ -64,6 +66,53 @@ class SimCsrGraph
             index.get(t, static_cast<std::uint64_t>(u) + 1);
         for (std::int64_t e = begin; e < end; ++e)
             fn(neighbor(t, e));
+    }
+
+    /**
+     * Timed bulk row read: loads the offset pair of @p u as one batch
+     * and the whole adjacency row as batched loads into @p row (the
+     * engine coalesces the same-line runs of the sequential edge
+     * addresses). Same loads as @ref forNeighbors, issued in bulk.
+     * @return the row's CSR range [begin, end).
+     */
+    std::pair<std::int64_t, std::int64_t>
+    neighborsInto(ThreadContext &t, NodeId u,
+                  std::vector<NodeId> &row) const
+    {
+        std::int64_t offs[2];
+        index.copyOut(t, static_cast<std::uint64_t>(u),
+                      static_cast<std::uint64_t>(u) + 2, offs);
+        row.resize(static_cast<std::size_t>(offs[1] - offs[0]));
+        adjacency.copyOut(t, static_cast<std::uint64_t>(offs[0]),
+                          static_cast<std::uint64_t>(offs[1]),
+                          row.data());
+        return {offs[0], offs[1]};
+    }
+
+    /**
+     * Timed bulk read of the offset pair of @p u (degree probes that
+     * don't need the adjacency row).
+     */
+    std::pair<std::int64_t, std::int64_t>
+    offsetPair(ThreadContext &t, NodeId u) const
+    {
+        std::int64_t offs[2];
+        index.copyOut(t, static_cast<std::uint64_t>(u),
+                      static_cast<std::uint64_t>(u) + 2, offs);
+        return {offs[0], offs[1]};
+    }
+
+    /**
+     * Timed bulk read of the edge weights for CSR range
+     * [@p begin, @p end) into @p out.
+     */
+    void
+    weightsInto(ThreadContext &t, std::int64_t begin, std::int64_t end,
+                std::vector<std::int32_t> &out) const
+    {
+        out.resize(static_cast<std::size_t>(end - begin));
+        weights.copyOut(t, static_cast<std::uint64_t>(begin),
+                        static_cast<std::uint64_t>(end), out.data());
     }
 
     /** Host mirror, for untimed validation. */

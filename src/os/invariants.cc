@@ -231,6 +231,9 @@ InvariantChecker::checkNow(Cycles now)
                             s.thpSplitPage, s.thpUnmapHuge,
                             k.pt.hugeSize()));
     }
+
+    if (auditor_)
+        auditor_(now);
 }
 
 }  // namespace memtier

@@ -91,6 +91,11 @@ Kernel::allocFrame(MemNode node, FrameOwner owner, Cycles now)
 void
 Kernel::shootdown(PageNum vpn)
 {
+    // Every remap funnels through a shootdown (migration, demotion,
+    // exchange, collapse/split, munmap, scanner marking), so bumping the
+    // epoch here covers all of them. Over-bumping is safe: it only costs
+    // software translation caches a refill.
+    ++xlatEpoch;
     if (shootdownClient)
         shootdownClient->tlbShootdown(vpn);
 }
@@ -98,6 +103,7 @@ Kernel::shootdown(PageNum vpn)
 void
 Kernel::shootdownHuge(PageNum base_vpn)
 {
+    ++xlatEpoch;
     if (shootdownClient)
         shootdownClient->tlbShootdownHuge(base_vpn);
 }
@@ -437,6 +443,27 @@ Kernel::pageMeta(PageNum vpn) const
 {
     const PageMeta *meta = pt.find(vpn);
     return meta != nullptr ? meta : pt.findHuge(vpn);
+}
+
+Translation
+Kernel::translate(PageNum vpn) const
+{
+    Translation tr;
+    tr.epoch = xlatEpoch;
+    if (const PageMeta *hm = pt.findHuge(vpn);
+        hm != nullptr && hm->present) {
+        tr.frame = hm->frame + (vpn - hugeBaseOf(vpn));
+        tr.node = hm->node;
+        tr.present = true;
+        tr.huge = true;
+        return tr;
+    }
+    if (const PageMeta *m = pt.find(vpn); m != nullptr && m->present) {
+        tr.frame = m->frame;
+        tr.node = m->node;
+        tr.present = true;
+    }
+    return tr;
 }
 
 // -- Page cache -------------------------------------------------------

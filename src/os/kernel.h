@@ -99,6 +99,21 @@ enum class CollapseResult : std::uint8_t {
     AllocFailed,    ///< No contiguous 2 MiB frame (fragmentation).
 };
 
+/**
+ * Result of the side-effect-free translation fast path. @ref epoch is
+ * the global translation epoch the result was read under: a consumer
+ * caching the result may reuse it only while the kernel's epoch still
+ * equals it (any remap in between bumps the epoch).
+ */
+struct Translation
+{
+    FrameNum frame = 0;            ///< Physical frame (4 KiB granular).
+    MemNode node = MemNode::DRAM;  ///< Residence tier.
+    std::uint64_t epoch = 0;       ///< Epoch the translation is valid for.
+    bool present = false;          ///< False when unmapped/not faulted in.
+    bool huge = false;             ///< Covered by a PMD mapping.
+};
+
 /** Result of resolving one page touch (TLB-miss path). */
 struct TouchResult
 {
@@ -164,6 +179,21 @@ class Kernel
 
     /** Residence of a present page (no fault handling, no recency). */
     MemNode nodeOf(PageNum vpn) const;
+
+    /**
+     * Monotonic counter bumped on every remap: migration, demotion,
+     * exchange, THP collapse/split, munmap -- anything that issues a
+     * TLB shootdown. Software translation caches key their entries on
+     * this value; an entry tagged with an older epoch must be dropped.
+     */
+    std::uint64_t translationEpoch() const { return xlatEpoch; }
+
+    /**
+     * Side-effect-free translation of @p vpn: no fault handling, no
+     * recency stamp, no policy callbacks. The batched access path uses
+     * this to validate per-thread translation micro-caches.
+     */
+    Translation translate(PageNum vpn) const;
 
     /** Page metadata, or nullptr when unmapped (for introspection). */
     const PageMeta *pageMeta(PageNum vpn) const;
@@ -373,6 +403,9 @@ class Kernel
 
     CircuitBreaker breaker;
     bool breakerOpenNotified = false;
+
+    /** Global translation epoch; see translationEpoch(). */
+    std::uint64_t xlatEpoch = 0;
 
     ObjectId nextFileId = -2;  ///< Page-cache "objects" get negative ids.
 };

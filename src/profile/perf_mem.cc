@@ -21,6 +21,12 @@ PerfMemSampler::nextGap()
 void
 PerfMemSampler::onAccess(const AccessRecord &record)
 {
+    sample(record);
+}
+
+void
+PerfMemSampler::sample(const AccessRecord &record)
+{
     if (record.op == MemOp::Store && !cfg.recordStores)
         return;
     if (record.op == MemOp::Load)

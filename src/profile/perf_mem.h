@@ -41,6 +41,17 @@ class PerfMemSampler : public AccessObserver
     /** AccessObserver: maybe record this access. */
     void onAccess(const AccessRecord &record) override;
 
+    /**
+     * AccessObserver: consume a whole batch with one virtual dispatch;
+     * per element only the non-virtual sampling filter runs.
+     */
+    void
+    onBatch(const AccessRecord *records, std::size_t count) override
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            sample(records[i]);
+    }
+
     /** Collected samples in completion order per thread interleaving. */
     const std::vector<MemorySample> &samples() const { return store; }
 
@@ -51,6 +62,9 @@ class PerfMemSampler : public AccessObserver
     std::uint64_t loadsSeen() const { return loads_seen; }
 
   private:
+    /** Sampling filter shared by the scalar and batch entry points. */
+    void sample(const AccessRecord &record);
+
     SamplerParams cfg;
     Rng rng;
     std::vector<std::uint32_t> countdown;  ///< Per thread.

@@ -10,7 +10,10 @@
 #ifndef MEMTIER_RUNTIME_SIM_VECTOR_H_
 #define MEMTIER_RUNTIME_SIM_VECTOR_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <cstring>
+#include <span>
 #include <type_traits>
 
 #include "base/logging.h"
@@ -37,6 +40,14 @@ class SimVector
                   "element size must be 1, 2, 4 or 8 bytes");
 
   public:
+    /**
+     * Elements per accessBatch issued by the bulk operations. Chunking
+     * bounds the request scratch buffer; batch boundaries are free to
+     * move because the batched path is bit-identical to per-element
+     * issue regardless of where a batch starts or ends.
+     */
+    static constexpr std::uint64_t kBulkChunk = 4096;
+
     /** Empty (invalid) handle. */
     SimVector() = default;
 
@@ -92,6 +103,198 @@ class SimVector
         eng->load(t, addrOf(i));
         hostPtr[i] = fn(hostPtr[i]);
         eng->store(t, addrOf(i));
+    }
+
+    // -- Bulk operations ----------------------------------------------
+    //
+    // Each builds one request list in the thread's scratch buffer and
+    // issues a single Engine::accessBatch per chunk, so the engine can
+    // coalesce same-line runs and deliver observer records batch-at-a-
+    // time. The timed access sequence is exactly the per-element loop's
+    // (same addresses, same ops, same order); only the host-side
+    // dispatch is amortized.
+
+    /**
+     * Timed loads of [@p begin, @p end); calls @p fn(i, value) for each
+     * element after its chunk's accesses are issued. @p fn must not
+     * itself mutate this vector's elements.
+     */
+    template <typename Fn>
+    void
+    forEach(ThreadContext &t, std::uint64_t begin, std::uint64_t end,
+            Fn &&fn) const
+    {
+        MEMTIER_ASSERT(begin <= end && end <= n,
+                       "SimVector forEach out of range");
+        for (std::uint64_t c = begin; c < end;) {
+            const std::uint64_t stop = std::min(end, c + kBulkChunk);
+            issueRange(t, c, stop, MemOp::Load);
+            for (std::uint64_t i = c; i < stop; ++i)
+                fn(i, hostPtr[i]);
+            c = stop;
+        }
+    }
+
+    /** Timed loads of [@p begin, @p end) copied into @p dst. */
+    void
+    copyOut(ThreadContext &t, std::uint64_t begin, std::uint64_t end,
+            T *dst) const
+    {
+        MEMTIER_ASSERT(begin <= end && end <= n,
+                       "SimVector copyOut out of range");
+        for (std::uint64_t c = begin; c < end;) {
+            const std::uint64_t stop = std::min(end, c + kBulkChunk);
+            issueRange(t, c, stop, MemOp::Load);
+            c = stop;
+        }
+        if (end > begin)
+            std::memcpy(dst, hostPtr + begin, (end - begin) * sizeof(T));
+    }
+
+    /** Timed stores of @p count elements from @p src at @p begin. */
+    void
+    putRange(ThreadContext &t, std::uint64_t begin, const T *src,
+             std::uint64_t count) const
+    {
+        MEMTIER_ASSERT(begin + count <= n,
+                       "SimVector putRange out of range");
+        for (std::uint64_t c = begin; c < begin + count;) {
+            const std::uint64_t stop =
+                std::min(begin + count, c + kBulkChunk);
+            issueRange(t, c, stop, MemOp::Store);
+            c = stop;
+        }
+        if (count > 0)
+            std::memcpy(hostPtr + begin, src, count * sizeof(T));
+    }
+
+    /**
+     * Timed stores of [@p begin, @p end) with per-element values from
+     * @p gen(i), issued as batches.
+     */
+    template <typename Gen>
+    void
+    generate(ThreadContext &t, std::uint64_t begin, std::uint64_t end,
+             Gen &&gen) const
+    {
+        MEMTIER_ASSERT(begin <= end && end <= n,
+                       "SimVector generate out of range");
+        for (std::uint64_t c = begin; c < end;) {
+            const std::uint64_t stop = std::min(end, c + kBulkChunk);
+            issueRange(t, c, stop, MemOp::Store);
+            for (std::uint64_t i = c; i < stop; ++i)
+                hostPtr[i] = gen(i);
+            c = stop;
+        }
+    }
+
+    /** Timed stores filling [@p begin, @p end) with @p value. */
+    void
+    fillRange(ThreadContext &t, std::uint64_t begin, std::uint64_t end,
+              T value) const
+    {
+        MEMTIER_ASSERT(begin <= end && end <= n,
+                       "SimVector fillRange out of range");
+        for (std::uint64_t c = begin; c < end;) {
+            const std::uint64_t stop = std::min(end, c + kBulkChunk);
+            issueRange(t, c, stop, MemOp::Store);
+            c = stop;
+        }
+        std::fill(hostPtr + begin, hostPtr + end, value);
+    }
+
+    /**
+     * Timed gather: load index elements [@p begin, @p end) of @p idx,
+     * then load this vector at each of those positions, writing the
+     * values to @p dst in index order.
+     */
+    template <typename I>
+    void
+    gatherFrom(ThreadContext &t, const SimVector<I> &idx,
+               std::uint64_t begin, std::uint64_t end, T *dst) const
+    {
+        for (std::uint64_t c = begin; c < end;) {
+            const std::uint64_t stop = std::min(end, c + kBulkChunk);
+            idx.issueRange(t, c, stop, MemOp::Load);
+            auto &addrs = t.addrScratch;
+            addrs.clear();
+            for (std::uint64_t k = c; k < stop; ++k) {
+                const auto i = static_cast<std::uint64_t>(idx.raw(k));
+                MEMTIER_ASSERT(i < n, "SimVector gather out of range");
+                addrs.push_back(addrOf(i));
+            }
+            eng->accessMany(t, std::span<const Addr>(addrs),
+                            MemOp::Load);
+            for (std::uint64_t k = c; k < stop; ++k)
+                dst[k - begin] =
+                    hostPtr[static_cast<std::uint64_t>(idx.raw(k))];
+            c = stop;
+        }
+    }
+
+    /**
+     * Timed gather with host-resident indices: load this vector at each
+     * position in @p indices, writing values to @p dst in order.
+     */
+    template <typename I>
+    void
+    gather(ThreadContext &t, std::span<const I> indices, T *dst) const
+    {
+        for (std::size_t c = 0; c < indices.size();) {
+            const std::size_t stop =
+                std::min(indices.size(),
+                         c + static_cast<std::size_t>(kBulkChunk));
+            auto &addrs = t.addrScratch;
+            addrs.clear();
+            for (std::size_t k = c; k < stop; ++k) {
+                const auto i = static_cast<std::uint64_t>(indices[k]);
+                MEMTIER_ASSERT(i < n, "SimVector gather out of range");
+                addrs.push_back(addrOf(i));
+            }
+            eng->accessMany(t, std::span<const Addr>(addrs),
+                            MemOp::Load);
+            for (std::size_t k = c; k < stop; ++k)
+                dst[k] = hostPtr[static_cast<std::uint64_t>(indices[k])];
+            c = stop;
+        }
+    }
+
+    /** Timed scatter: store @p value at each position in @p indices. */
+    template <typename I>
+    void
+    scatterSet(ThreadContext &t, std::span<const I> indices, T value) const
+    {
+        for (std::size_t c = 0; c < indices.size();) {
+            const std::size_t stop =
+                std::min(indices.size(),
+                         c + static_cast<std::size_t>(kBulkChunk));
+            auto &addrs = t.addrScratch;
+            addrs.clear();
+            for (std::size_t k = c; k < stop; ++k) {
+                const auto i = static_cast<std::uint64_t>(indices[k]);
+                MEMTIER_ASSERT(i < n, "SimVector scatter out of range");
+                addrs.push_back(addrOf(i));
+            }
+            eng->accessMany(t, std::span<const Addr>(addrs),
+                            MemOp::Store);
+            for (std::size_t k = c; k < stop; ++k)
+                hostPtr[static_cast<std::uint64_t>(indices[k])] = value;
+            c = stop;
+        }
+    }
+
+    /**
+     * Issue the timed accesses for [@p begin, @p end) as one batch
+     * without touching host values (building block for the bulk ops;
+     * public so composite structures like SimCsrGraph can reuse it).
+     */
+    void
+    issueRange(ThreadContext &t, std::uint64_t begin, std::uint64_t end,
+               MemOp op) const
+    {
+        if (end > begin)
+            eng->accessRange(t, addrOf(begin), end - begin,
+                             static_cast<std::uint32_t>(sizeof(T)), op);
     }
 
     /**

@@ -8,9 +8,18 @@
 #ifndef MEMTIER_SIM_ACCESS_OBSERVER_H_
 #define MEMTIER_SIM_ACCESS_OBSERVER_H_
 
+#include <cstddef>
+
 #include "base/types.h"
 
 namespace memtier {
+
+/** One memory operation submitted to Engine::accessBatch. */
+struct AccessRequest
+{
+    Addr addr = 0;
+    MemOp op = MemOp::Load;
+};
 
 /** One completed memory operation as the observer sees it. */
 struct AccessRecord
@@ -32,6 +41,22 @@ class AccessObserver
 
     /** Called after each memory operation completes. */
     virtual void onAccess(const AccessRecord &record) = 0;
+
+    /**
+     * Batch delivery contract: the engine completes every operation of
+     * an accessBatch call, then delivers the records once, in issue
+     * order. Observers only see completed batches -- state an observer
+     * accumulates lags the simulation by at most one batch relative to
+     * periodic services that fire mid-batch. The default loops over
+     * onAccess so existing observers keep working unchanged; observers
+     * on the hot path override this to skip per-record virtual dispatch.
+     */
+    virtual void
+    onBatch(const AccessRecord *records, std::size_t count)
+    {
+        for (std::size_t i = 0; i < count; ++i)
+            onAccess(records[i]);
+    }
 };
 
 }  // namespace memtier

@@ -20,6 +20,17 @@ invariantsForcedByEnv()
     return value == "ON" || value == "on" || value == "1";
 }
 
+/** MEMTIER_SCALAR_PATH=ON/1 forces the reference scalar access path. */
+bool
+scalarForcedByEnv()
+{
+    const char *env = std::getenv("MEMTIER_SCALAR_PATH");
+    if (env == nullptr)
+        return false;
+    const std::string value(env);
+    return value == "ON" || value == "on" || value == "1";
+}
+
 }  // namespace
 
 Engine::Engine(const SystemConfig &config)
@@ -29,6 +40,8 @@ Engine::Engine(const SystemConfig &config)
 {
     if (thpForcedByEnv())
         cfg.thp.enabled = true;
+    if (scalarForcedByEnv())
+        cfg.scalarPath = true;
     KernelParams kp = cfg.kernel;
     kp.thp = cfg.thp;
     // The vanilla baseline has no demotion path; tiering kernels keep
@@ -82,6 +95,15 @@ Engine::Engine(const SystemConfig &config)
                    ? tiering->scanPeriod()
                    : cfg.autonuma.scanPeriod;
     nextTimeline = cfg.timelinePeriod;
+    recomputeNextServiceDue();
+
+    // The checker audits the per-thread translation micro-caches
+    // against the page table on every sweep: a valid entry carrying the
+    // current epoch must agree with what the kernel would translate.
+    if (invariants_) {
+        invariants_->setAuditor(
+            [this](Cycles now) { auditTranslationCaches(now); });
+    }
 }
 
 Engine::~Engine() = default;
@@ -159,6 +181,18 @@ Engine::maybeRunServices(Cycles now)
         points.push_back(p);
         nextTimeline += cfg.timelinePeriod;
     }
+    recomputeNextServiceDue();
+}
+
+void
+Engine::recomputeNextServiceDue()
+{
+    Cycles due = std::min(nextKswapd, nextTimeline);
+    if (tiering && tiering->scanPeriod() > 0)
+        due = std::min(due, nextScan);
+    for (const Service &svc : services)
+        due = std::min(due, svc.next);
+    nextServiceDue_ = due;
 }
 
 void
@@ -249,12 +283,21 @@ Engine::memoryAccess(ThreadContext &t, Addr addr, MemNode node, MemOp op,
     return lat;
 }
 
-Cycles
-Engine::access(ThreadContext &t, Addr addr, MemOp op)
+void
+Engine::accessPrologue(ThreadContext &t, bool assists)
 {
     t.advance(cfg.issueCycles);
-    maybeRunServices(t.clock());
+    // The batched path only enters maybeRunServices when a deadline is
+    // actually due; a skipped call could at most have refreshed
+    // serviceClock, which nothing else observes. The forced scalar path
+    // keeps the unconditional legacy call.
+    if (!assists || t.clock() >= nextServiceDue_)
+        maybeRunServices(t.clock());
+}
 
+Engine::AccessOutcome
+Engine::accessCore(ThreadContext &t, Addr addr, MemOp op, bool assists)
+{
     const PageNum vpn = pageOf(addr);
     const Addr line = lineOf(addr);
     const CacheParams &cp = cfg.cache;
@@ -265,9 +308,22 @@ Engine::access(ThreadContext &t, Addr addr, MemOp op)
     bool node_known = false;
 
     // PMD-mapped ranges translate through the 2 MiB TLB entry class;
-    // with THP off the branch reduces to the legacy 4 KiB lookup (the
-    // huge map is empty, so isHugeMapped is one empty-hash probe).
-    const bool huge = cfg.thp.enabled && kern->isHugeMapped(vpn);
+    // with THP off the branch reduces to the legacy 4 KiB lookup. The
+    // micro-cache elides the huge-map probe on the batched path: an
+    // entry tagged with the current epoch is guaranteed to agree with
+    // the page table, since every remap bumps the epoch. With THP off
+    // the consult is deferred to the full-miss branch (its only other
+    // use) -- safe because no epoch bump can intervene: touchPage only
+    // runs on the TLB-miss path, which resolves the node by itself.
+    const bool thp_on = cfg.thp.enabled;
+    std::uint64_t epoch0 = 0;
+    const TranslationMicroCache::Entry *xe = nullptr;
+    bool huge = false;
+    if (thp_on) {
+        epoch0 = kern->translationEpoch();
+        xe = assists ? t.xlat.lookup(vpn, epoch0) : nullptr;
+        huge = xe != nullptr ? xe->huge : kern->isHugeMapped(vpn);
+    }
     switch (huge ? t.tlb.lookupHuge(hugeBaseOf(vpn)) : t.tlb.lookup(vpn)) {
       case TlbOutcome::L1Hit:
         break;
@@ -299,6 +355,7 @@ Engine::access(ThreadContext &t, Addr addr, MemOp op)
             // replace the stale 4 KiB fill with the huge translation.
             t.tlb.invalidate(vpn);
             t.tlb.insertHuge(hugeBaseOf(vpn));
+            huge = true;
         }
         break;
       }
@@ -307,12 +364,18 @@ Engine::access(ThreadContext &t, Addr addr, MemOp op)
     MemLevel level;
     if (t.l1.access(line, op == MemOp::Store)) {
         // An L1 hit within the fill window of an outstanding miss is
-        // attributed to the line-fill buffer, as PEBS does.
-        if (auto rem = t.lfb.inFlight(line, t.clock() + cost)) {
+        // attributed to the line-fill buffer, as PEBS does. When every
+        // recorded fill is stale past the residency window, the batched
+        // path skips both buffer scans outright.
+        const Cycles ref = t.clock() + cost;
+        if (assists && t.lfb.quietAt(ref, cp.lfbResidencyCycles)) {
+            level = MemLevel::L1;
+            cost += cp.l1Latency;
+        } else if (auto rem = t.lfb.inFlight(line, ref)) {
             level = MemLevel::LFB;
             cost += std::min<Cycles>(*rem, cp.l3Latency);
             t.lfb.countHit();
-        } else if (t.lfb.recentlyFilled(line, t.clock() + cost,
+        } else if (t.lfb.recentlyFilled(line, ref,
                                         cp.lfbResidencyCycles)) {
             level = MemLevel::LFB;
             cost += cp.l1Latency;
@@ -330,14 +393,32 @@ Engine::access(ThreadContext &t, Addr addr, MemOp op)
         cost += cp.l3Latency;
         fillOnMiss(t, line, op == MemOp::Store, MemLevel::L3);
     } else {
-        if (!node_known)
-            node = kern->nodeOf(vpn);
+        if (!node_known) {
+            if (assists && !thp_on) {
+                epoch0 = kern->translationEpoch();
+                xe = t.xlat.lookup(vpn, epoch0);
+            }
+            node = xe != nullptr ? xe->node : kern->nodeOf(vpn);
+            node_known = true;
+        }
         cost += cp.l3Latency;
         cost += memoryAccess(t, addr, node, op, t.clock() + cost);
         level = node == MemNode::DRAM ? MemLevel::DRAM : MemLevel::NVM;
         fillOnMiss(t, line, op == MemOp::Store,
                    node == MemNode::DRAM ? MemLevel::DRAM : MemLevel::NVM);
         t.lfb.add(line, t.clock() + cost);
+    }
+
+    if (assists && node_known) {
+        // Cache the resolved translation. touchPage may have remapped
+        // (epoch bump); its returned node is post-mutation, but the
+        // hugeness read at lookup time could be stale, so refresh it
+        // when the epoch moved under the element.
+        const std::uint64_t epoch = kern->translationEpoch();
+        const bool huge_now =
+            thp_on ? (epoch == epoch0 ? huge : kern->isHugeMapped(vpn))
+                   : false;
+        t.xlat.insert(vpn, epoch, node, huge_now);
     }
 
     t.advance(cost);
@@ -347,19 +428,581 @@ Engine::access(ThreadContext &t, Addr addr, MemOp op)
     else
         ++t.stores;
 
-    if (!observers.empty()) {
-        AccessRecord rec;
-        rec.tid = t.id();
-        rec.vaddr = addr;
-        rec.op = op;
-        rec.level = level;
-        rec.latency = cost + cfg.issueCycles;
-        rec.tlbMiss = tlb_miss;
-        rec.time = t.clock();
-        for (AccessObserver *obs : observers)
-            obs->onAccess(rec);
+    AccessOutcome out;
+    out.cost = cost;
+    out.level = level;
+    out.tlbMiss = tlb_miss;
+    out.huge = huge;
+    return out;
+}
+
+Cycles
+Engine::accessBatch(ThreadContext &t, std::span<const AccessRequest> reqs)
+{
+    const bool record = !observers.empty();
+    if (record)
+        recScratch_.clear();
+    const bool assists = !cfg.scalarPath;
+    const CacheParams &cp = cfg.cache;
+    Cycles total = 0;
+
+    std::size_t i = 0;
+    bool prologue_done = false;
+    while (i < reqs.size()) {
+        const Addr head_addr = reqs[i].addr;
+        const Addr line = lineOf(head_addr);
+
+        // Coalesce the same-line run starting here. The forced scalar
+        // path keeps runs at one element, so every element takes the
+        // full head machinery below.
+        std::size_t run_end = i + 1;
+        if (assists) {
+            while (run_end < reqs.size() &&
+                   lineOf(reqs[run_end].addr) == line)
+                ++run_end;
+        }
+
+        // Head element: full scalar-equivalent processing. Runs of one
+        // (every element on the forced scalar path, and the random
+        // elements of gathers and scatters on the batched path) skip
+        // the epoch bookkeeping -- it only guards tail processing.
+        if (!prologue_done)
+            accessPrologue(t, assists);
+        prologue_done = false;
+        const bool has_tails = run_end != i + 1;
+        const std::uint64_t head_epoch =
+            has_tails ? kern->translationEpoch() : 0;
+        const AccessOutcome head =
+            accessCore(t, head_addr, reqs[i].op, assists);
+        total += head.cost;
+        if (record) {
+            AccessRecord rec;
+            rec.tid = t.id();
+            rec.vaddr = head_addr;
+            rec.op = reqs[i].op;
+            rec.level = head.level;
+            rec.latency = head.cost + cfg.issueCycles;
+            rec.tlbMiss = head.tlbMiss;
+            rec.time = t.clock();
+            recScratch_.push_back(rec);
+        }
+        ++i;
+        if (!has_tails)
+            continue;
+        if (kern->translationEpoch() != head_epoch) {
+            // The head's touchPage remapped something -- possibly the
+            // very translation it just filled (hint-fault promotion).
+            // Reprocess the rest of the run as fresh heads.
+            continue;
+        }
+
+        // Tail elements: the head left the line resident and most
+        // recently used in L1 and the translation resident in the TLB,
+        // and no shootdown intervened (the epoch is unchanged), so each
+        // remaining same-line access is a guaranteed TLB-L1 + cache-L1
+        // hit. Per element only the LFB attribution can vary; the TLB,
+        // L1 and LFB hit-counter updates are settled in bulk after the
+        // run with the batch-accounting entry points.
+        const PageNum vpn = pageOf(head_addr);
+        const Cycles run_delta = cfg.issueCycles + cp.l1Latency;
+
+        // Hot one-shot case: the LFB is quiet (every recorded fill's
+        // residency window closed before even the first tail's
+        // post-issue clock, so each tail is a plain L1 hit) and the
+        // whole run finishes before the next service deadline. The run
+        // then collapses to one clock jump plus bulk accounting.
+        if (!record &&
+            t.lfb.quietAt(t.clock() + cfg.issueCycles,
+                          cp.lfbResidencyCycles) &&
+            t.clock() + (run_end - i) * run_delta < nextServiceDue_) {
+            const std::uint64_t m = run_end - i;
+            std::uint64_t st = 0;
+            for (std::size_t k = i; k < run_end; ++k)
+                if (reqs[k].op == MemOp::Store)
+                    ++st;
+            t.advance(m * run_delta);
+            total += m * cp.l1Latency;
+            if (head.huge)
+                t.tlb.repeatHitsHuge(hugeBaseOf(vpn), m);
+            else
+                t.tlb.repeatHits(vpn, m);
+            t.l1.accessRepeats(line, m, st > 0);
+            level_counts[static_cast<int>(MemLevel::L1)] += m;
+            t.loads += m - st;
+            t.stores += st;
+            i = run_end;
+            continue;
+        }
+        std::uint64_t repeats = 0;
+        std::uint64_t lfb_hits = 0;
+        bool any_write = false;
+        const auto flushRun = [&]() {
+            if (repeats == 0)
+                return;
+            if (head.huge)
+                t.tlb.repeatHitsHuge(hugeBaseOf(vpn), repeats);
+            else
+                t.tlb.repeatHits(vpn, repeats);
+            t.l1.accessRepeats(line, repeats, any_write);
+            if (lfb_hits > 0)
+                t.lfb.countHits(lfb_hits);
+            repeats = 0;
+            lfb_hits = 0;
+            any_write = false;
+        };
+        // The LFB cannot change during the tails (only head misses
+        // add() entries), so one scan per run captures every entry that
+        // could ever attribute a tail to the LFB; per-tail attribution
+        // is then arithmetic over those ready times, bit-identical to
+        // the per-element quietAt/inFlight/recentlyFilled cascade.
+        Cycles match_ready[LineFillBuffer::kEntries];
+        const std::size_t nmatch = t.lfb.matchesInto(line, match_ready);
+        Cycles match_max_ready = 0;
+        Cycles match_end = 0;
+        for (std::size_t k = 0; k < nmatch; ++k) {
+            match_max_ready =
+                std::max<Cycles>(match_max_ready, match_ready[k]);
+            match_end = std::max<Cycles>(match_end,
+                                         match_ready[k] +
+                                             cp.lfbResidencyCycles);
+        }
+        const Cycles delta = cfg.issueCycles + cp.l1Latency;
+        while (i < run_end) {
+            // Constant-cost phases: once this tail's post-issue clock
+            // reaches every matching entry's ready time, no fill is in
+            // flight for it or any later tail, so each remaining
+            // element costs exactly l1Latency; attribution is LFB while
+            // the residency window is open (post-issue clock below
+            // match_end -- monotone once every ready time has passed)
+            // and L1 after. Collapse the largest prefix whose
+            // per-element service check cannot fire into one bulk step;
+            // a prefix boundary falls back to the per-element step
+            // below, which runs the service and re-enters here.
+            if (!record && delta > 0 &&
+                (nmatch == 0 ||
+                 t.clock() + cfg.issueCycles >= match_max_ready)) {
+                std::uint64_t safe = 0;
+                if (t.clock() + cfg.issueCycles < nextServiceDue_) {
+                    const Cycles room =
+                        nextServiceDue_ - t.clock() - cfg.issueCycles;
+                    safe = std::min<std::uint64_t>(
+                        run_end - i, (room - 1) / delta + 1);
+                }
+                if (safe > 0) {
+                    // Tails still inside the residency window are LFB
+                    // hits; the rest are plain L1 hits. Same cost.
+                    std::uint64_t lfb_n = 0;
+                    const Cycles base = t.clock() + cfg.issueCycles;
+                    if (nmatch > 0 && base < match_end)
+                        lfb_n = std::min<std::uint64_t>(
+                            safe, (match_end - base - 1) / delta + 1);
+                    std::uint64_t st = 0;
+                    for (std::size_t k = i; k < i + safe; ++k)
+                        if (reqs[k].op == MemOp::Store)
+                            ++st;
+                    t.advance(safe * delta);
+                    total += safe * cp.l1Latency;
+                    repeats += safe;
+                    lfb_hits += lfb_n;
+                    any_write = any_write || st > 0;
+                    level_counts[static_cast<int>(MemLevel::LFB)] +=
+                        lfb_n;
+                    level_counts[static_cast<int>(MemLevel::L1)] +=
+                        safe - lfb_n;
+                    t.loads += safe - st;
+                    t.stores += st;
+                    i += safe;
+                    continue;
+                }
+            }
+            const MemOp op = reqs[i].op;
+            t.advance(cfg.issueCycles);
+            const Cycles now = t.clock();
+            if (now >= nextServiceDue_) {
+                // Settle the accumulated accounting first: a service
+                // may shoot down the very entries it covers, and the
+                // scalar order puts those hits before the service.
+                flushRun();
+                maybeRunServices(now);
+                if (kern->translationEpoch() != head_epoch) {
+                    // A service remapped pages; this element's issue
+                    // and service work is done, so the outer loop must
+                    // not repeat the prologue for it.
+                    prologue_done = true;
+                    break;
+                }
+            }
+            MemLevel level;
+            Cycles cost;
+            Cycles rem = 0;
+            bool in_flight = false;
+            bool recent = false;
+            for (std::size_t k = 0; k < nmatch; ++k) {
+                if (now < match_ready[k]) {
+                    if (!in_flight) {
+                        in_flight = true;
+                        rem = match_ready[k] - now;
+                    }
+                } else if (now <
+                           match_ready[k] + cp.lfbResidencyCycles) {
+                    recent = true;
+                }
+            }
+            if (in_flight) {
+                level = MemLevel::LFB;
+                cost = std::min<Cycles>(rem, cp.l3Latency);
+                ++lfb_hits;
+            } else if (recent) {
+                level = MemLevel::LFB;
+                cost = cp.l1Latency;
+                ++lfb_hits;
+            } else {
+                level = MemLevel::L1;
+                cost = cp.l1Latency;
+            }
+            t.advance(cost);
+            total += cost;
+            ++repeats;
+            any_write = any_write || op == MemOp::Store;
+            ++level_counts[static_cast<int>(level)];
+            if (op == MemOp::Load)
+                ++t.loads;
+            else
+                ++t.stores;
+            if (record) {
+                AccessRecord rec;
+                rec.tid = t.id();
+                rec.vaddr = reqs[i].addr;
+                rec.op = op;
+                rec.level = level;
+                rec.latency = cost + cfg.issueCycles;
+                rec.tlbMiss = false;
+                rec.time = t.clock();
+                recScratch_.push_back(rec);
+            }
+            ++i;
+        }
+        flushRun();
     }
-    return cost;
+
+    if (record) {
+        for (AccessObserver *obs : observers)
+            obs->onBatch(recScratch_.data(), recScratch_.size());
+    }
+    return total;
+}
+
+Cycles
+Engine::accessRange(ThreadContext &t, Addr base, std::uint64_t count,
+                    std::uint32_t stride, MemOp op)
+{
+    MEMTIER_ASSERT(stride > 0, "accessRange needs a positive stride");
+    if (!observers.empty()) {
+        // Observer records are staged per element; materialize chunks
+        // and reuse the batch path so staging and onBatch delivery live
+        // in one place. Chunk size matches the runtime's bulk-op chunk,
+        // keeping batch boundaries (and thus observer batch framing)
+        // identical to a materialized issue of the same range.
+        constexpr std::uint64_t kChunk = 4096;
+        Cycles total = 0;
+        auto &reqs = t.reqScratch;
+        for (std::uint64_t c = 0; c < count;) {
+            const std::uint64_t stop =
+                std::min<std::uint64_t>(count, c + kChunk);
+            reqs.clear();
+            reqs.reserve(stop - c);
+            for (std::uint64_t k = c; k < stop; ++k)
+                reqs.push_back({base + k * stride, op});
+            total += accessBatch(t, std::span<const AccessRequest>(reqs));
+            c = stop;
+        }
+        return total;
+    }
+
+    Cycles total = 0;
+    if (cfg.scalarPath) {
+        // Reference semantics: the legacy element-at-a-time loop.
+        for (std::uint64_t k = 0; k < count; ++k) {
+            accessPrologue(t, false);
+            total += accessCore(t, base + k * stride, op, false).cost;
+        }
+        return total;
+    }
+
+    const bool is_store = op == MemOp::Store;
+    std::uint64_t k = 0;
+    bool prologue_done = false;
+    while (k < count) {
+        const Addr addr = base + k * stride;
+        const Addr line = lineOf(addr);
+        // Elements share the head's line while their address stays
+        // below the next line boundary; the run length follows from the
+        // stride, no per-element scan needed.
+        const Addr line_end = (line + 1) << kLineShift;
+        const std::uint64_t run = std::min<std::uint64_t>(
+            count - k, (line_end - addr + stride - 1) / stride);
+
+        if (!prologue_done)
+            accessPrologue(t, true);
+        prologue_done = false;
+        const std::uint64_t head_epoch =
+            run > 1 ? kern->translationEpoch() : 0;
+        const AccessOutcome head = accessCore(t, addr, op, true);
+        total += head.cost;
+        ++k;
+        if (run == 1)
+            continue;
+        if (kern->translationEpoch() != head_epoch) {
+            // The head's touchPage remapped something; reprocess the
+            // rest of the run as fresh heads.
+            continue;
+        }
+
+        std::uint64_t consumed = 0;
+        total += tailRun(t, line, pageOf(addr), head.huge, head_epoch,
+                         run - 1, is_store, consumed, prologue_done);
+        k += consumed;
+    }
+    return total;
+}
+
+Cycles
+Engine::tailRun(ThreadContext &t, Addr line, PageNum vpn, bool huge,
+                std::uint64_t head_epoch, std::uint64_t m, bool is_store,
+                std::uint64_t &consumed, bool &prologue_next)
+{
+    const CacheParams &cp = cfg.cache;
+    const Cycles delta = cfg.issueCycles + cp.l1Latency;
+    Cycles total = 0;
+    consumed = 0;
+    prologue_next = false;
+
+    // Hot one-shot case, as in accessBatch: quiet LFB and the whole
+    // run ahead of the next service deadline collapse the tails to
+    // one clock jump plus bulk accounting.
+    if (delta > 0 &&
+        t.lfb.quietAt(t.clock() + cfg.issueCycles,
+                      cp.lfbResidencyCycles) &&
+        t.clock() + m * delta < nextServiceDue_) {
+        t.advance(m * delta);
+        total += m * cp.l1Latency;
+        if (huge)
+            t.tlb.repeatHitsHuge(hugeBaseOf(vpn), m);
+        else
+            t.tlb.repeatHits(vpn, m);
+        t.l1.accessRepeats(line, m, is_store);
+        level_counts[static_cast<int>(MemLevel::L1)] += m;
+        if (is_store)
+            t.stores += m;
+        else
+            t.loads += m;
+        consumed = m;
+        return total;
+    }
+
+    // General tail machinery, mirroring accessBatch for a uniform
+    // op: one LFB scan per run, constant-cost phases in bulk,
+    // per-element steps only across service deadlines or while a
+    // fill is genuinely in flight.
+    std::uint64_t repeats = 0;
+    std::uint64_t lfb_hits = 0;
+    const auto flushRun = [&]() {
+        if (repeats == 0)
+            return;
+        if (huge)
+            t.tlb.repeatHitsHuge(hugeBaseOf(vpn), repeats);
+        else
+            t.tlb.repeatHits(vpn, repeats);
+        t.l1.accessRepeats(line, repeats, is_store);
+        if (lfb_hits > 0)
+            t.lfb.countHits(lfb_hits);
+        repeats = 0;
+        lfb_hits = 0;
+    };
+    Cycles match_ready[LineFillBuffer::kEntries];
+    const std::size_t nmatch = t.lfb.matchesInto(line, match_ready);
+    Cycles match_max_ready = 0;
+    Cycles match_end = 0;
+    for (std::size_t j = 0; j < nmatch; ++j) {
+        match_max_ready =
+            std::max<Cycles>(match_max_ready, match_ready[j]);
+        match_end = std::max<Cycles>(match_end,
+                                     match_ready[j] +
+                                         cp.lfbResidencyCycles);
+    }
+    while (consumed < m) {
+        if (delta > 0 &&
+            (nmatch == 0 ||
+             t.clock() + cfg.issueCycles >= match_max_ready)) {
+            std::uint64_t safe = 0;
+            if (t.clock() + cfg.issueCycles < nextServiceDue_) {
+                const Cycles room =
+                    nextServiceDue_ - t.clock() - cfg.issueCycles;
+                safe = std::min<std::uint64_t>(m - consumed,
+                                               (room - 1) / delta + 1);
+            }
+            if (safe > 0) {
+                std::uint64_t lfb_n = 0;
+                const Cycles at = t.clock() + cfg.issueCycles;
+                if (nmatch > 0 && at < match_end)
+                    lfb_n = std::min<std::uint64_t>(
+                        safe, (match_end - at - 1) / delta + 1);
+                t.advance(safe * delta);
+                total += safe * cp.l1Latency;
+                repeats += safe;
+                lfb_hits += lfb_n;
+                level_counts[static_cast<int>(MemLevel::LFB)] += lfb_n;
+                level_counts[static_cast<int>(MemLevel::L1)] +=
+                    safe - lfb_n;
+                if (is_store)
+                    t.stores += safe;
+                else
+                    t.loads += safe;
+                consumed += safe;
+                continue;
+            }
+        }
+        t.advance(cfg.issueCycles);
+        const Cycles now = t.clock();
+        if (now >= nextServiceDue_) {
+            flushRun();
+            maybeRunServices(now);
+            if (kern->translationEpoch() != head_epoch) {
+                prologue_next = true;
+                break;
+            }
+        }
+        MemLevel level;
+        Cycles cost;
+        Cycles rem = 0;
+        bool in_flight = false;
+        bool recent = false;
+        for (std::size_t j = 0; j < nmatch; ++j) {
+            if (now < match_ready[j]) {
+                if (!in_flight) {
+                    in_flight = true;
+                    rem = match_ready[j] - now;
+                }
+            } else if (now < match_ready[j] + cp.lfbResidencyCycles) {
+                recent = true;
+            }
+        }
+        if (in_flight) {
+            level = MemLevel::LFB;
+            cost = std::min<Cycles>(rem, cp.l3Latency);
+            ++lfb_hits;
+        } else if (recent) {
+            level = MemLevel::LFB;
+            cost = cp.l1Latency;
+            ++lfb_hits;
+        } else {
+            level = MemLevel::L1;
+            cost = cp.l1Latency;
+        }
+        t.advance(cost);
+        total += cost;
+        ++repeats;
+        ++level_counts[static_cast<int>(level)];
+        if (is_store)
+            ++t.stores;
+        else
+            ++t.loads;
+        ++consumed;
+    }
+    flushRun();
+    return total;
+}
+
+Cycles
+Engine::accessMany(ThreadContext &t, std::span<const Addr> addrs, MemOp op)
+{
+    if (!observers.empty()) {
+        // Materialize requests and reuse the batch path so staging and
+        // onBatch delivery live in one place; chunking matches the
+        // runtime's bulk-op chunk so observer batch framing equals a
+        // materialized issue of the same addresses.
+        constexpr std::size_t kChunk = 4096;
+        Cycles total = 0;
+        auto &reqs = t.reqScratch;
+        for (std::size_t c = 0; c < addrs.size();) {
+            const std::size_t stop =
+                std::min(addrs.size(), c + kChunk);
+            reqs.clear();
+            reqs.reserve(stop - c);
+            for (std::size_t k = c; k < stop; ++k)
+                reqs.push_back({addrs[k], op});
+            total += accessBatch(t, std::span<const AccessRequest>(reqs));
+            c = stop;
+        }
+        return total;
+    }
+
+    Cycles total = 0;
+    if (cfg.scalarPath) {
+        // Reference semantics: the legacy element-at-a-time loop.
+        for (const Addr addr : addrs) {
+            accessPrologue(t, false);
+            total += accessCore(t, addr, op, false).cost;
+        }
+        return total;
+    }
+
+    const bool is_store = op == MemOp::Store;
+    std::size_t i = 0;
+    bool prologue_done = false;
+    while (i < addrs.size()) {
+        const Addr addr = addrs[i];
+        const Addr line = lineOf(addr);
+        std::size_t run_end = i + 1;
+        while (run_end < addrs.size() && lineOf(addrs[run_end]) == line)
+            ++run_end;
+
+        if (!prologue_done)
+            accessPrologue(t, true);
+        prologue_done = false;
+        const bool has_tails = run_end != i + 1;
+        const std::uint64_t head_epoch =
+            has_tails ? kern->translationEpoch() : 0;
+        const AccessOutcome head = accessCore(t, addr, op, true);
+        total += head.cost;
+        ++i;
+        if (!has_tails)
+            continue;
+        if (kern->translationEpoch() != head_epoch) {
+            // The head's touchPage remapped something; reprocess the
+            // rest of the run as fresh heads.
+            continue;
+        }
+
+        std::uint64_t consumed = 0;
+        total += tailRun(t, line, pageOf(addr), head.huge, head_epoch,
+                         run_end - i, is_store, consumed, prologue_done);
+        i += consumed;
+    }
+    return total;
+}
+
+void
+Engine::auditTranslationCaches(Cycles now) const
+{
+    const std::uint64_t epoch = kern->translationEpoch();
+    for (const auto &t : threads) {
+        for (const auto &e : t->xlat.entries()) {
+            if (!e.valid || e.epoch != epoch)
+                continue;  // Stale entries are rejected on lookup.
+            const Translation tr = kern->translate(e.vpn);
+            if (!tr.present || tr.node != e.node || tr.huge != e.huge) {
+                fatal("translation micro-cache divergence at cycle %llu: "
+                      "thread %u vpn %llu cached {node=%d huge=%d} but "
+                      "page table says {present=%d node=%d huge=%d}",
+                      static_cast<unsigned long long>(now), t->id(),
+                      static_cast<unsigned long long>(e.vpn),
+                      static_cast<int>(e.node), e.huge ? 1 : 0,
+                      tr.present ? 1 : 0, static_cast<int>(tr.node),
+                      tr.huge ? 1 : 0);
+            }
+        }
+    }
 }
 
 Addr

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -100,16 +101,66 @@ class Engine : public TlbShootdownClient
     addPeriodicService(Cycles period, std::function<void(Cycles)> fn)
     {
         services.push_back({period, period, std::move(fn)});
+        recomputeNextServiceDue();
     }
 
     // -- Timed memory operations --------------------------------------
 
     /**
+     * Execute a batch of memory operations on thread @p t in issue
+     * order, advancing its clock by the modelled latencies.
+     *
+     * Semantically identical to issuing the requests one at a time (the
+     * golden tests diff the two paths bit for bit); the batch form
+     * coalesces same-line runs so the per-element host work collapses
+     * to the LFB attribution, validates translations through the
+     * per-thread epoch micro-cache, and delivers observer records once
+     * per batch (AccessObserver::onBatch). SystemConfig::scalarPath or
+     * MEMTIER_SCALAR_PATH=ON forces the reference element-at-a-time
+     * machinery instead.
+     *
+     * @return the summed latency charged (excluding issue cycles).
+     */
+    Cycles accessBatch(ThreadContext &t,
+                       std::span<const AccessRequest> reqs);
+
+    /**
+     * Execute @p count same-op accesses at @p base, @p base + @p stride,
+     * ... on thread @p t -- the contiguous-range form of accessBatch.
+     * The addresses are synthesized on the fly, so neither path
+     * materializes a request list: the batched pipeline walks line runs
+     * arithmetically and the forced scalar reference runs the legacy
+     * element-at-a-time loop. With observers attached the range falls
+     * back to materialized accessBatch chunks so record staging and
+     * batch delivery stay in one place.
+     *
+     * @return the summed latency charged (excluding issue cycles).
+     */
+    Cycles accessRange(ThreadContext &t, Addr base, std::uint64_t count,
+                       std::uint32_t stride, MemOp op);
+
+    /**
+     * Execute one same-op access per address in @p addrs, in order --
+     * the uniform-op form of accessBatch used by gathers and scatters.
+     * Halves the staging traffic of a materialized request list and
+     * lets the batch machinery skip per-element op reads.
+     *
+     * @return the summed latency charged (excluding issue cycles).
+     */
+    Cycles accessMany(ThreadContext &t, std::span<const Addr> addrs,
+                      MemOp op);
+
+    /**
      * Execute one memory operation on thread @p t, advancing its clock
-     * by the modelled latency.
+     * by the modelled latency. Thin wrapper over a batch of one.
      * @return the latency charged.
      */
-    Cycles access(ThreadContext &t, Addr addr, MemOp op);
+    Cycles
+    access(ThreadContext &t, Addr addr, MemOp op)
+    {
+        const AccessRequest req{addr, op};
+        return accessBatch(t, std::span<const AccessRequest>(&req, 1));
+    }
 
     /** Timed load convenience. */
     Cycles load(ThreadContext &t, Addr addr)
@@ -147,17 +198,23 @@ class Engine : public TlbShootdownClient
     // -- Parallel execution --------------------------------------------
 
     /**
-     * Run @p body(ctx, i) for i in [0, n) across all logical threads
-     * with a static block partition, interleaving threads by earliest
-     * clock (deterministic), and barrier at the end.
+     * Run @p body(ctx, begin, end) over grain-sized subranges of
+     * [0, n) across all logical threads with a static block partition,
+     * interleaving threads by earliest clock (deterministic), and
+     * barrier at the end. The range form lets the body issue one
+     * accessBatch per subrange instead of per element; the scheduling
+     * decisions are identical to the element form because a grain-sized
+     * run always executed uninterrupted between clock comparisons.
      *
      * @param n iteration count.
-     * @param body callable (ThreadContext &, std::uint64_t index).
+     * @param body callable (ThreadContext &, uint64_t begin,
+     *        uint64_t end) covering indices [begin, end).
      * @param grain consecutive iterations executed per scheduling step.
      */
-    template <typename Body>
+    template <typename RangeBody>
     void
-    parallelFor(std::uint64_t n, Body &&body, std::uint64_t grain = 16)
+    parallelForRanges(std::uint64_t n, RangeBody &&body,
+                      std::uint64_t grain = 16)
     {
         if (n == 0)
             return;
@@ -198,13 +255,31 @@ class Engine : public TlbShootdownClient
             Range &r = ranges[best];
             ThreadContext &ctx = *threads[best];
             const std::uint64_t stop = std::min(r.end, r.next + grain);
-            for (; r.next < stop; ++r.next)
-                body(ctx, r.next);
+            body(ctx, r.next, stop);
+            r.next = stop;
             if (r.next >= r.end)
                 --remaining;
         }
         barrier();
         activeThreads = 1;
+    }
+
+    /**
+     * Run @p body(ctx, i) for i in [0, n); element-at-a-time form of
+     * @ref parallelForRanges with identical scheduling.
+     */
+    template <typename Body>
+    void
+    parallelFor(std::uint64_t n, Body &&body, std::uint64_t grain = 16)
+    {
+        parallelForRanges(
+            n,
+            [&](ThreadContext &ctx, std::uint64_t begin,
+                std::uint64_t end) {
+                for (std::uint64_t i = begin; i < end; ++i)
+                    body(ctx, i);
+            },
+            grain);
     }
 
     /** Synchronize every thread clock to the global maximum. */
@@ -231,8 +306,38 @@ class Engine : public TlbShootdownClient
     void tlbShootdownHuge(PageNum base_vpn) override;
 
   private:
+    /** Per-element outcome of the shared access core. */
+    struct AccessOutcome
+    {
+        Cycles cost = 0;
+        MemLevel level = MemLevel::L1;
+        bool tlbMiss = false;
+        bool huge = false;  ///< Translated through the 2 MiB class.
+    };
+
     void syncClocks();
     void maybeRunServices(Cycles now);
+    void recomputeNextServiceDue();
+    void accessPrologue(ThreadContext &t, bool assists);
+    AccessOutcome accessCore(ThreadContext &t, Addr addr, MemOp op,
+                             bool assists);
+
+    /**
+     * Process @p m uniform-op tail accesses of @p line after a head
+     * that left the line resident in L1 and @p vpn in the TLB: the
+     * one-shot quiet-LFB collapse plus the general bulk machinery
+     * shared by accessRange and accessMany. Sets @p consumed to the
+     * number of tails settled (short on an epoch break) and
+     * @p prologue_next when a mid-run service already covered the next
+     * element's issue-side prologue.
+     *
+     * @return the summed latency charged (excluding issue cycles).
+     */
+    Cycles tailRun(ThreadContext &t, Addr line, PageNum vpn, bool huge,
+                   std::uint64_t head_epoch, std::uint64_t m,
+                   bool is_store, std::uint64_t &consumed,
+                   bool &prologue_next);
+    void auditTranslationCaches(Cycles now) const;
     void fillOnMiss(ThreadContext &t, Addr line, bool dirty,
                     MemLevel from);
     void pushVictim(ThreadContext &t, SetAssocCache &lower,
@@ -265,8 +370,21 @@ class Engine : public TlbShootdownClient
     Cycles nextKswapd;
     Cycles nextScan;
     Cycles nextTimeline;
+
+    /**
+     * Earliest pending service deadline (min of nextKswapd, nextScan,
+     * the registered services and nextTimeline). The batched path only
+     * enters maybeRunServices once a thread clock crosses it; the
+     * skipped calls could at most have refreshed serviceClock, which is
+     * unobservable outside the early-return guard.
+     */
+    Cycles nextServiceDue_ = 0;
+
     std::uint32_t activeThreads = 1;
     std::vector<TimelinePoint> points;
+
+    /** Record staging for batch-at-a-time observer delivery. */
+    std::vector<AccessRecord> recScratch_;
 
     std::uint64_t level_counts[kNumMemLevels] = {};
 };

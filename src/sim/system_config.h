@@ -104,6 +104,17 @@ struct SystemConfig
 
     /** Kernel events between invariant sweeps. */
     std::uint64_t invariantCheckPeriod = 4096;
+
+    /**
+     * Force the reference scalar access path: accessBatch degenerates
+     * to element-at-a-time processing with no run coalescing, no
+     * translation micro-cache and no bulk fill accounting. The results
+     * are bit-identical either way (the golden tests assert it); this
+     * knob exists to prove that and to baseline the batched path's
+     * host-side speedup. The MEMTIER_SCALAR_PATH environment variable
+     * (ON/1) force-enables it.
+     */
+    bool scalarPath = false;
 };
 
 }  // namespace memtier

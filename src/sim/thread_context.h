@@ -8,12 +8,15 @@
 #define MEMTIER_SIM_THREAD_CONTEXT_H_
 
 #include <cstdint>
+#include <vector>
 
 #include "base/types.h"
 #include "cache/cache_params.h"
 #include "cache/line_fill_buffer.h"
 #include "cache/set_assoc_cache.h"
 #include "cache/tlb.h"
+#include "sim/access_observer.h"
+#include "sim/translation_cache.h"
 
 namespace memtier {
 
@@ -46,10 +49,32 @@ class ThreadContext
     SetAssocCache l1;
     SetAssocCache l2;
     LineFillBuffer lfb;
+
+    /** Epoch-validated translation micro-cache (batched path only). */
+    TranslationMicroCache xlat;
     ///@}
 
-    /** Last memory-serviced address, for stream detection. */
+    /**
+     * Last memory-serviced address, for stream detection.
+     *
+     * Known limitation of the scalar path: this is a single global
+     * cursor, so two interleaved array scans (e.g. the offsets and
+     * adjacency arrays of a CSR traversal) keep resetting it and defeat
+     * sequential detection even though each array individually streams.
+     * The batched path fixes this structurally: the bulk SimVector API
+     * groups requests per array, so each same-page run presents its
+     * accesses contiguously and the cursor sees the stream intact.
+     */
     Addr lastMemAddr = ~Addr{0};
+
+    /** Reusable request buffer for the bulk SimVector operations. */
+    std::vector<AccessRequest> reqScratch;
+
+    /**
+     * Reusable address buffer for the uniform-op bulk operations
+     * (gather/scatter), issued through Engine::accessMany.
+     */
+    std::vector<Addr> addrScratch;
 
     /** @name Per-thread counters. */
     ///@{

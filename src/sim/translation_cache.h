@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Per-thread software translation micro-cache for the batched access
+ * path. A direct-mapped array of {vpn, node, huge} results tagged with
+ * the kernel's translation epoch: a lookup only hits when the stored
+ * epoch equals the kernel's current one, so any remap since the fill
+ * (migration, demotion, exchange, THP collapse/split, munmap -- all
+ * bump the epoch) invalidates every cached entry at once without a
+ * walk over the cache.
+ *
+ * The cache elides only *pure* kernel queries (isHugeMapped, nodeOf)
+ * from the hot path; it never short-circuits touchPage, whose side
+ * effects (fault handling, recency stamping) the simulation depends
+ * on. Consequently enabling it cannot change simulated state, which is
+ * what keeps the batched path bit-identical to the scalar one.
+ */
+
+#ifndef MEMTIER_SIM_TRANSLATION_CACHE_H_
+#define MEMTIER_SIM_TRANSLATION_CACHE_H_
+
+#include <array>
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** Direct-mapped, epoch-validated translation result cache. */
+class TranslationMicroCache
+{
+  public:
+    /** Cached result of one translation. */
+    struct Entry
+    {
+        PageNum vpn = 0;
+        std::uint64_t epoch = 0;
+        MemNode node = MemNode::DRAM;
+        bool huge = false;
+        bool valid = false;
+    };
+
+    /** Slots; power of two, sized to cover a few MiB of working set. */
+    static constexpr std::size_t kEntries = 512;
+
+    /**
+     * Find the cached translation of @p vpn, or nullptr when absent or
+     * tagged with an epoch other than @p current_epoch.
+     */
+    const Entry *
+    lookup(PageNum vpn, std::uint64_t current_epoch) const
+    {
+        const Entry &e = entries_[vpn & (kEntries - 1)];
+        if (e.valid && e.vpn == vpn && e.epoch == current_epoch)
+            return &e;
+        return nullptr;
+    }
+
+    /** Cache a translation result read under @p epoch. */
+    void
+    insert(PageNum vpn, std::uint64_t epoch, MemNode node, bool huge)
+    {
+        entries_[vpn & (kEntries - 1)] = Entry{vpn, epoch, node, huge,
+                                               true};
+    }
+
+    /** Drop every entry (tests; epoch validation makes this optional). */
+    void
+    clear()
+    {
+        for (Entry &e : entries_)
+            e.valid = false;
+    }
+
+    /** All slots, for the invariant checker's audit sweep. */
+    const std::array<Entry, kEntries> &entries() const { return entries_; }
+
+  private:
+    std::array<Entry, kEntries> entries_{};
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_SIM_TRANSLATION_CACHE_H_

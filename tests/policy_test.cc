@@ -344,9 +344,15 @@ TEST_F(PolicyKernelTest, VetoedDemotionLeavesPageTableConsistent)
 // ------------------------------------------- AutoNUMA regression golden
 //
 // The exact VmStat deltas and output checksum this workload produced on
-// the pre-registry seed tree (captured from a seed build). The
-// registry path must reproduce them bit for bit -- any drift means the
-// refactor changed AutoNUMA behaviour.
+// the pre-registry seed tree, recaptured when the batched access
+// pipeline restructured the apps' issue order and again when PageRank's
+// gather phase moved to per-range bulk reads (which drop the duplicate
+// per-vertex offset loads, shifting fault and migration timing; the
+// page-fault count and output checksum were unchanged by both
+// recaptures). The registry path must reproduce them bit for bit -- any
+// drift means a refactor changed AutoNUMA behaviour.
+// The hotpath golden tests separately assert that the batched and
+// forced-scalar paths both produce exactly these numbers.
 
 RunConfig
 goldenConfig()
@@ -369,20 +375,20 @@ void
 expectGolden(const RunResult &r)
 {
     EXPECT_EQ(r.vmstat.pgfault, 249u);
-    EXPECT_EQ(r.vmstat.numaHintFaults, 1991u);
-    EXPECT_EQ(r.vmstat.pgpromoteSuccess, 865u);
-    EXPECT_EQ(r.vmstat.pgpromoteDemoted, 684u);
-    EXPECT_EQ(r.vmstat.pgdemoteKswapd, 203u);
-    EXPECT_EQ(r.vmstat.pgdemoteDirect, 704u);
+    EXPECT_EQ(r.vmstat.numaHintFaults, 1984u);
+    EXPECT_EQ(r.vmstat.pgpromoteSuccess, 805u);
+    EXPECT_EQ(r.vmstat.pgpromoteDemoted, 631u);
+    EXPECT_EQ(r.vmstat.pgdemoteKswapd, 213u);
+    EXPECT_EQ(r.vmstat.pgdemoteDirect, 640u);
     EXPECT_EQ(r.vmstat.pgdemoteVetoed, 0u);
     EXPECT_EQ(r.vmstat.pgexchangeSuccess, 0u);
     EXPECT_EQ(r.vmstat.pgexchangeThrash, 0u);
-    EXPECT_EQ(r.vmstat.pgmigrateSuccess, 1772u);
-    EXPECT_EQ(r.vmstat.promoteCandidates, 865u);
+    EXPECT_EQ(r.vmstat.pgmigrateSuccess, 1658u);
+    EXPECT_EQ(r.vmstat.promoteCandidates, 805u);
     EXPECT_EQ(r.vmstat.promoteRateLimited, 0u);
     EXPECT_EQ(r.vmstat.pageCacheDrops, 0u);
     EXPECT_EQ(r.outputChecksum, 0xb5d59696c650f8d5ull);
-    EXPECT_DOUBLE_EQ(r.totalSeconds, 0.010918201923076923);
+    EXPECT_DOUBLE_EQ(r.totalSeconds, 0.010627439615384615);
 }
 
 // The goldens were captured with 4 KiB pages only; MEMTIER_THP=ON
