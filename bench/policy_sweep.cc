@@ -40,8 +40,10 @@ usage()
            "  --thp            map anonymous memory with 2 MiB PMD "
            "entries\n"
            "  --tunable K=Vs   one sweep axis; comma-separated values\n"
-           "  --workload A:K   app {bc,bfs,cc,pr,sssp} : "
+           "  --workload A:K   app {bc,bfs,cc,pr,sssp,kv,lsm} : "
            "graph {kron,urand}\n"
+           "                   (kv/lsm: kron = zipfian keys, urand = "
+           "uniform)\n"
            "  --out=PATH       CSV output path "
            "(default results/sweep_<policy>.csv)\n"
            "  --faults PLAN    fault-injection plan applied to every "
@@ -85,7 +87,9 @@ parseApp(const std::string &s)
     if (s == "cc") return App::CC;
     if (s == "pr") return App::PR;
     if (s == "sssp") return App::SSSP;
-    fatal("unknown app '%s' (expected bc, bfs, cc, pr or sssp)",
+    if (s == "kv") return App::KV;
+    if (s == "lsm") return App::LSM;
+    fatal("unknown app '%s' (expected bc, bfs, cc, pr, sssp, kv or lsm)",
           s.c_str());
 }
 

@@ -4,19 +4,27 @@
 #   1. tier-1 verify: warnings-as-errors build + the full test suite;
 #   2. an ASan/UBSan build of the test suite, to catch memory and UB
 #      bugs the functional tests would miss;
-#   3. a chaos pass: the tier-1 binaries re-run with the kernel
+#   3. a serving smoke pass: a short data-serving tail sweep (KV + LSM,
+#      two policies) run under the ASan/UBSan build, so the open-loop
+#      driver, the stores and the latency histograms get a sanitizer
+#      pass on every change;
+#   4. a chaos pass: the tier-1 binaries re-run with the kernel
 #      invariant checker forced on and a moderate fault-injection plan
 #      pushed into the chaos-aware tests;
-#   4. a THP pass: the tier-1 binaries re-run with transparent huge
+#   5. a THP pass: the tier-1 binaries re-run with transparent huge
 #      pages forced on (MEMTIER_THP=ON) under the invariant checker, so
 #      every run exercises PMD mappings, collapse and splits. Tests
 #      whose golden values need the 4 KiB-only baseline skip
 #      themselves;
-#   5. a scalar-path pass: the tier-1 binaries re-run with
+#   6. a scalar-path pass: the tier-1 binaries re-run with
 #      MEMTIER_SCALAR_PATH=ON, forcing the element-at-a-time reference
 #      pipeline. The hotpath golden tests pin both paths to the same
 #      captured observables, so this pass plus pass 1 is a full
-#      scalar-vs-batched diff of every golden workload.
+#      scalar-vs-batched diff of every golden workload;
+#   7. a perf-regression gate: bench/hotpath_speed re-run at its
+#      committed parameters and compared against the checked-in
+#      BENCH_hotpath.json; the gate fails when batched throughput drops
+#      below 80% of the recorded baseline.
 #
 # All builds live in their own build directories so they never disturb
 # an existing developer build/.
@@ -25,19 +33,28 @@ cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/5] tier-1: RelWithDebInfo -Werror build + ctest ==="
+echo "=== [1/7] tier-1: RelWithDebInfo -Werror build + ctest ==="
 cmake -B build-ci -S . -DMEMTIER_WERROR=ON
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [2/5] sanitizers: ASan/UBSan build + ctest ==="
+echo "=== [2/7] sanitizers: ASan/UBSan build + ctest ==="
 cmake -B build-asan -S . -DMEMTIER_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/5] chaos: invariant checker on + fault plan, tier-1 binaries ==="
+echo "=== [3/7] serving smoke: short tail sweep under ASan/UBSan ==="
+# One trial, two policies, THP off: small enough to stay fast under
+# the sanitizers, big enough to drive the generator, both stores, the
+# LSM flush/compaction path and the phase histograms end to end.
+./build-asan/bench/serving_tail --trials=1 \
+    --policies=autonuma,dram-only --no-thp \
+    --out=build-asan/BENCH_serving_smoke.json \
+    --csv=build-asan/serving_smoke.csv
+
+echo "=== [4/7] chaos: invariant checker on + fault plan, tier-1 binaries ==="
 # MEMTIER_CHECK_INVARIANTS=ON arms the kernel invariant checker in
 # every Engine (observer-only: results stay bit-identical), and
 # MEMTIER_FAULT_PLAN overrides the chaos-aware tests' default plan.
@@ -45,7 +62,7 @@ MEMTIER_CHECK_INVARIANTS=ON \
 MEMTIER_FAULT_PLAN="migrate:p=0.1,burst=6;alloc:p=0.03;seed=97" \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [4/4] thp: MEMTIER_THP=ON + invariant checker, tier-1 binaries ==="
+echo "=== [5/7] thp: MEMTIER_THP=ON + invariant checker, tier-1 binaries ==="
 # MEMTIER_THP=ON force-enables the THP model in every Engine; the
 # extended invariant sweep (PMD/PTE consistency, THP counter identity)
 # runs continuously. Golden-value tests captured with THP off skip.
@@ -53,12 +70,32 @@ MEMTIER_THP=ON \
 MEMTIER_CHECK_INVARIANTS=ON \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [5/5] scalar path: MEMTIER_SCALAR_PATH=ON, tier-1 binaries ==="
+echo "=== [6/7] scalar path: MEMTIER_SCALAR_PATH=ON, tier-1 binaries ==="
 # MEMTIER_SCALAR_PATH=ON forces the element-at-a-time reference path in
 # every Engine. The hotpath golden tests assert exact captured
 # observables in both modes, so any scalar-vs-batched divergence fails
 # here or in pass 1.
 MEMTIER_SCALAR_PATH=ON \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+
+echo "=== [7/7] perf gate: hotpath throughput vs committed baseline ==="
+# Re-measure the batched hot path at the baseline's parameters and
+# fail on a >20% throughput regression. The bench itself also fails
+# when the scalar and batched paths stop being bit-identical, so this
+# gate checks correctness and speed in one run.
+./build-ci/bench/hotpath_speed --out=build-ci/BENCH_hotpath_ci.json \
+    > /dev/null
+python3 - BENCH_hotpath.json build-ci/BENCH_hotpath_ci.json <<'EOF'
+import json, sys
+base = json.load(open(sys.argv[1]))["batched_accesses_per_sec"]
+now = json.load(open(sys.argv[2]))["batched_accesses_per_sec"]
+ratio = now / base
+print(f"perf gate: baseline {base:.3e} acc/s, now {now:.3e} acc/s "
+      f"({ratio:.2f}x)")
+if ratio < 0.8:
+    sys.exit("perf gate FAILED: batched hot path regressed >20% "
+             "vs BENCH_hotpath.json (refresh the baseline via "
+             "run_benches.sh if the change is intentional)")
+EOF
 
 echo "ci.sh: all gates passed"

@@ -44,6 +44,12 @@ for b in $binaries; do
         # compare against; the binary itself fails when the two paths
         # stop being bit-identical.
         "$b" --out=BENCH_hotpath.json 2>/dev/null
+    elif [ "$name" = "serving_tail" ]; then
+        # Data-serving tail latency: KV + LSM under the registry
+        # policies, THP off and on. Writes the machine-readable record
+        # make_experiments_md.py renders into EXPERIMENTS.md.
+        "$b" --out=BENCH_serving.json --csv=results/serving_tail.csv \
+            2>/dev/null
     else
         "$b" 2>/dev/null
     fi
@@ -80,4 +86,15 @@ echo "--- policy_sweep --thp ---"
 ./build/bench/policy_sweep --policy=autonuma --thp \
     --tunable scan_period_ms=0.5 --workload pr:kron \
     --out=results/sweep_autonuma_thp.csv 2>/dev/null
+echo
+
+# Serving chaos: the tail sweep re-run under lossy migration with the
+# invariant checker armed. The checksum column of the CSV must match
+# the fault-free run above — the tail moves, the answers must not.
+echo "=== serving_chaos ==="
+MEMTIER_CHECK_INVARIANTS=1 ./build/bench/serving_tail \
+    --policies=autonuma,exchange --no-thp \
+    --faults "migrate:p=0.2,burst=4;seed=7" \
+    --out=results/serving_chaos.json \
+    --csv=results/serving_chaos.csv 2>/dev/null
 echo

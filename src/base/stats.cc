@@ -120,6 +120,132 @@ Histogram::bucketLow(std::size_t i) const
     return lo + width * static_cast<double>(i);
 }
 
+LatencyHistogram::LatencyHistogram() : counts(kNumBuckets, 0) {}
+
+std::size_t
+LatencyHistogram::bucketIndex(std::uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<std::size_t>(value);
+    // 2^e <= value < 2^(e+1) with e >= kSubBucketShift; the octave's
+    // linear sub-bucket is the kSubBucketShift bits under the MSB.
+    const unsigned e = 63u - static_cast<unsigned>(
+        __builtin_clzll(static_cast<unsigned long long>(value)));
+    const unsigned octave = e - kSubBucketShift;
+    const std::uint64_t sub = (value >> octave) - kSubBuckets;
+    return static_cast<std::size_t>(
+        kSubBuckets * (octave + 1) + sub);
+}
+
+std::uint64_t
+LatencyHistogram::bucketLow(std::size_t i)
+{
+    if (i < kSubBuckets)
+        return i;
+    const unsigned octave =
+        static_cast<unsigned>(i / kSubBuckets) - 1;
+    const std::uint64_t sub = i % kSubBuckets;
+    return (kSubBuckets + sub) << octave;
+}
+
+std::uint64_t
+LatencyHistogram::bucketWidth(std::size_t i)
+{
+    if (i < kSubBuckets)
+        return 1;
+    const unsigned octave =
+        static_cast<unsigned>(i / kSubBuckets) - 1;
+    return 1ULL << octave;
+}
+
+void
+LatencyHistogram::add(std::uint64_t value)
+{
+    if (n == 0) {
+        lo = hi = value;
+    } else {
+        lo = std::min(lo, value);
+        hi = std::max(hi, value);
+    }
+    ++n;
+    total += value;
+    ++counts[bucketIndex(value)];
+}
+
+void
+LatencyHistogram::merge(const LatencyHistogram &other)
+{
+    if (other.n == 0)
+        return;
+    if (n == 0) {
+        lo = other.lo;
+        hi = other.hi;
+    } else {
+        lo = std::min(lo, other.lo);
+        hi = std::max(hi, other.hi);
+    }
+    n += other.n;
+    total += other.total;
+    for (std::size_t i = 0; i < kNumBuckets; ++i)
+        counts[i] += other.counts[i];
+}
+
+double
+LatencyHistogram::mean() const
+{
+    return n ? static_cast<double>(total) / static_cast<double>(n) : 0.0;
+}
+
+double
+LatencyHistogram::percentile(double q) const
+{
+    if (n == 0)
+        return 0.0;
+    if (q <= 0.0)
+        return static_cast<double>(lo);
+    if (q >= 1.0)
+        return static_cast<double>(hi);
+    // Rank convention matches PercentileSummary: q * (n - 1), so the
+    // two types agree exactly on streams that land in unit buckets.
+    const double rank = q * static_cast<double>(n - 1);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kNumBuckets; ++i) {
+        if (counts[i] == 0)
+            continue;
+        const double below = static_cast<double>(cum);
+        cum += counts[i];
+        if (rank < static_cast<double>(cum)) {
+            // Interpolate inside the bucket by rank position.
+            const double frac =
+                (rank - below) / static_cast<double>(counts[i]);
+            double v = static_cast<double>(bucketLow(i)) +
+                       frac * static_cast<double>(bucketWidth(i) - 1);
+            v = std::max(v, static_cast<double>(lo));
+            v = std::min(v, static_cast<double>(hi));
+            return v;
+        }
+    }
+    return static_cast<double>(hi);
+}
+
+std::uint64_t
+LatencyHistogram::countAtOrAbove(std::uint64_t threshold) const
+{
+    std::uint64_t out = 0;
+    for (std::size_t i = bucketIndex(threshold); i < kNumBuckets; ++i)
+        out += counts[i];
+    return out;
+}
+
+double
+LatencyHistogram::violationFraction(std::uint64_t threshold) const
+{
+    if (n == 0)
+        return 0.0;
+    return static_cast<double>(countAtOrAbove(threshold)) /
+           static_cast<double>(n);
+}
+
 void
 TimeSeries::add(double time, double value)
 {

@@ -133,6 +133,91 @@ class Histogram
 };
 
 /**
+ * Log-bucketed latency histogram: geometric octaves subdivided into
+ * 2^kSubBucketShift linear sub-buckets (HdrHistogram-style), so the
+ * relative quantization error is bounded by 2^-kSubBucketShift (~3%)
+ * at every magnitude while the footprint stays a fixed ~15 KiB.
+ *
+ * Designed for the serving tier's tail-latency reporting: recording is
+ * O(1) with no allocation, histograms from different phases or threads
+ * merge exactly (bucket layouts are identical by construction), and
+ * every query is a pure function of the recorded multiset -- the same
+ * request stream always yields bit-identical percentiles.
+ */
+class LatencyHistogram
+{
+  public:
+    /** log2 of the linear sub-buckets per octave. */
+    static constexpr unsigned kSubBucketShift = 5;
+
+    /** Sub-buckets per octave (also the count of exact unit buckets). */
+    static constexpr std::uint64_t kSubBuckets = 1ULL << kSubBucketShift;
+
+    /** Total bucket count covering the full uint64 range. */
+    static constexpr std::size_t kNumBuckets =
+        static_cast<std::size_t>((64 - kSubBucketShift + 1) *
+                                 kSubBuckets);
+
+    LatencyHistogram();
+
+    /** Record one latency observation (any unit; cycles by convention). */
+    void add(std::uint64_t value);
+
+    /** Fold @p other into this histogram (exact: same bucket layout). */
+    void merge(const LatencyHistogram &other);
+
+    /** Number of observations. */
+    std::uint64_t count() const { return n; }
+
+    /** Exact sum of all observations. */
+    std::uint64_t sum() const { return total; }
+
+    /** Exact mean (0 when empty). */
+    double mean() const;
+
+    /** Exact minimum observation (0 when empty). */
+    std::uint64_t min() const { return n ? lo : 0; }
+
+    /** Exact maximum observation (0 when empty). */
+    std::uint64_t max() const { return n ? hi : 0; }
+
+    /**
+     * Value at quantile @p q in [0, 1]: linear interpolation inside the
+     * covering bucket, clamped to the exact observed [min, max]. The
+     * result is within one bucket width (<= ~3% relative) of the exact
+     * order statistic; values below kSubBuckets are exact.
+     */
+    double percentile(double q) const;
+
+    /**
+     * Observations in buckets at or above the bucket containing
+     * @p threshold -- the SLO-violation counter. Resolution is one
+     * bucket (~3%): observations quantized into the threshold's bucket
+     * count as violations.
+     */
+    std::uint64_t countAtOrAbove(std::uint64_t threshold) const;
+
+    /** countAtOrAbove as a fraction of count (0 when empty). */
+    double violationFraction(std::uint64_t threshold) const;
+
+    /** Bucket index recording @p value (exposed for tests). */
+    static std::size_t bucketIndex(std::uint64_t value);
+
+    /** Inclusive lower bound of bucket @p i (exposed for tests). */
+    static std::uint64_t bucketLow(std::size_t i);
+
+    /** Width of bucket @p i in value units (exposed for tests). */
+    static std::uint64_t bucketWidth(std::size_t i);
+
+  private:
+    std::vector<std::uint64_t> counts;
+    std::uint64_t n = 0;
+    std::uint64_t total = 0;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+};
+
+/**
  * A (time, value) series sampled at irregular instants, used for the
  * Figure 9/10 style timelines (memory usage, counters, CPU utilization).
  */

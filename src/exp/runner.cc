@@ -1,5 +1,6 @@
 #include "exp/runner.h"
 
+#include <algorithm>
 #include <functional>
 
 #include "apps/bc.h"
@@ -51,6 +52,10 @@ bfsSources(const CsrGraph &g, int trials, std::uint64_t seed)
 }
 
 }  // namespace
+
+/** Graph path of runWorkload: load, run, free. @return load seconds. */
+static double runGraphWorkload(const RunConfig &config, Engine &eng,
+                               SimHeap &heap, std::uint64_t *checksum);
 
 const char *
 modeName(Mode mode)
@@ -144,68 +149,24 @@ runWorkload(const RunConfig &config, const PlacementPlan *plan)
     }
 
     const WorkloadSpec &w = config.workload;
-    const CsrGraph &host =
-        w.app == App::SSSP
-            ? weightedDatasetGraph(w.kind, w.scale, w.degree, w.seed)
-            : datasetGraph(w.kind, w.scale, w.degree, w.seed);
-    ThreadContext &t0 = eng.thread(0);
-
-    // Input-reading phase (Figure 9's low-CPU prefix).
-    SimCsrGraph g = SimCsrGraph::load(eng, heap, t0, host, w.name());
-    const double load_sec = cyclesToSeconds(eng.globalTime());
-
     RunResult out;
     out.workloadName = w.name();
     out.mode = config.mode;
 
-    switch (w.app) {
-      case App::BC: {
-        BcOutput bc = runBc(eng, heap, g, w.trials, w.seed);
-        out.outputChecksum = digest(bc.scores);
-        break;
-      }
-      case App::BFS: {
-        std::vector<NodeId> reached;
-        for (const NodeId s : bfsSources(host, w.trials, w.seed)) {
-            BfsOutput bfs = runBfs(eng, heap, g, s);
-            reached.push_back(static_cast<NodeId>(bfs.reached));
-        }
-        out.outputChecksum = digest(reached);
-        break;
-      }
-      case App::CC: {
-        std::vector<NodeId> comps;
-        for (int i = 0; i < w.trials; ++i) {
-            CcOutput cc = runCc(eng, heap, g);
-            comps.push_back(static_cast<NodeId>(cc.numComponents));
-        }
-        out.outputChecksum = digest(comps);
-        break;
-      }
-      case App::PR: {
-        PageRankOutput pr = runPageRank(eng, heap, g, w.trials);
-        out.outputChecksum = digest(pr.rank);
-        break;
-      }
-      case App::SSSP: {
-        std::vector<std::int64_t> sums;
-        for (const NodeId s : bfsSources(host, w.trials, w.seed)) {
-            SsspOutput sp = runSssp(eng, heap, g, s);
-            std::int64_t sum = 0;
-            for (const std::int64_t d : sp.dist)
-                sum += d > 0 ? d : 0;
-            sums.push_back(sum);
-        }
-        out.outputChecksum = digest(sums);
-        break;
-      }
+    if (isServingApp(w.app)) {
+        // Serving apps have no graph: the prefill is their
+        // input-reading phase, the request replay their compute phase.
+        out.serving = runServing(eng, heap, servingSpecFor(w));
+        out.hasServing = true;
+        out.outputChecksum = out.serving.checksum;
+        out.loadSeconds = out.serving.prefillSeconds;
+    } else {
+        out.loadSeconds =
+            runGraphWorkload(config, eng, heap, &out.outputChecksum);
     }
 
-    g.free(heap, t0);
-
     out.totalSeconds = cyclesToSeconds(eng.globalTime());
-    out.loadSeconds = load_sec;
-    out.computeSeconds = out.totalSeconds - load_sec;
+    out.computeSeconds = out.totalSeconds - out.loadSeconds;
     out.samples = sampler.takeSamples();
     out.tracker = std::move(tracker);
     out.timeline = eng.timeline();
@@ -231,6 +192,94 @@ runWorkload(const RunConfig &config, const PlacementPlan *plan)
         out.invariantChecksRun = eng.invariantChecker()->checksRun();
     }
     return out;
+}
+
+static double
+runGraphWorkload(const RunConfig &config, Engine &eng, SimHeap &heap,
+                 std::uint64_t *checksum)
+{
+    const WorkloadSpec &w = config.workload;
+    const CsrGraph &host =
+        w.app == App::SSSP
+            ? weightedDatasetGraph(w.kind, w.scale, w.degree, w.seed)
+            : datasetGraph(w.kind, w.scale, w.degree, w.seed);
+    ThreadContext &t0 = eng.thread(0);
+
+    // Input-reading phase (Figure 9's low-CPU prefix).
+    SimCsrGraph g = SimCsrGraph::load(eng, heap, t0, host, w.name());
+    const double load_sec = cyclesToSeconds(eng.globalTime());
+
+    switch (w.app) {
+      case App::BC: {
+        BcOutput bc = runBc(eng, heap, g, w.trials, w.seed);
+        *checksum = digest(bc.scores);
+        break;
+      }
+      case App::BFS: {
+        std::vector<NodeId> reached;
+        for (const NodeId s : bfsSources(host, w.trials, w.seed)) {
+            BfsOutput bfs = runBfs(eng, heap, g, s);
+            reached.push_back(static_cast<NodeId>(bfs.reached));
+        }
+        *checksum = digest(reached);
+        break;
+      }
+      case App::CC: {
+        std::vector<NodeId> comps;
+        for (int i = 0; i < w.trials; ++i) {
+            CcOutput cc = runCc(eng, heap, g);
+            comps.push_back(static_cast<NodeId>(cc.numComponents));
+        }
+        *checksum = digest(comps);
+        break;
+      }
+      case App::PR: {
+        PageRankOutput pr = runPageRank(eng, heap, g, w.trials);
+        *checksum = digest(pr.rank);
+        break;
+      }
+      case App::SSSP: {
+        std::vector<std::int64_t> sums;
+        for (const NodeId s : bfsSources(host, w.trials, w.seed)) {
+            SsspOutput sp = runSssp(eng, heap, g, s);
+            std::int64_t sum = 0;
+            for (const std::int64_t d : sp.dist)
+                sum += d > 0 ? d : 0;
+            sums.push_back(sum);
+        }
+        *checksum = digest(sums);
+        break;
+      }
+      case App::KV:
+      case App::LSM:
+        MEMTIER_ASSERT(false, "serving apps do not run the graph path");
+        break;
+    }
+
+    g.free(heap, t0);
+    return load_sec;
+}
+
+ServingSpec
+servingSpecFor(const WorkloadSpec &w)
+{
+    MEMTIER_ASSERT(isServingApp(w.app), "not a serving workload");
+    ServingSpec spec;
+    spec.app = w.app == App::KV ? ServeApp::KV : ServeApp::LSM;
+    spec.gen.numKeys = 1ULL << w.scale;
+    spec.gen.requests = static_cast<std::uint64_t>(w.trials) * 5000;
+    spec.gen.zipfTheta = w.kind == GraphKind::Kron ? 0.99 : 0.0;
+    spec.gen.seed = w.seed;
+    // Size the KV store to its keyspace: a half-full table plus one
+    // arena slot per key (live keys never exceed the keyspace).
+    spec.kv.tableSlots = spec.gen.numKeys * 2;
+    spec.kv.arenaSlots = spec.gen.numKeys;
+    // Scale the memtable with the keyspace so small workloads still
+    // exercise rotation, flush and compaction (the default memtable
+    // would swallow a 2^10 keyspace without ever filling).
+    spec.lsm.memtableSlots =
+        std::max<std::uint64_t>(256, spec.gen.numKeys / 8);
+    return spec;
 }
 
 PlacementPlan

@@ -18,6 +18,7 @@
 #include "profile/analysis.h"
 #include "profile/mmap_tracker.h"
 #include "profile/perf_mem.h"
+#include "serve/serve_driver.h"
 #include "sim/engine.h"
 
 namespace memtier {
@@ -94,6 +95,10 @@ struct RunResult
 
     /** Invariant sweeps completed (0 when checking was off). */
     std::uint64_t invariantChecksRun = 0;
+
+    /** Latency report of the serving apps (valid when hasServing). */
+    ServingReport serving;
+    bool hasServing = false;
 };
 
 /**
@@ -105,6 +110,14 @@ struct RunResult
  */
 RunResult runWorkload(const RunConfig &config,
                       const PlacementPlan *plan = nullptr);
+
+/**
+ * Serving scenario derived from a KV/LSM WorkloadSpec: scale is log2
+ * keys, kind picks zipfian vs. uniform popularity, and trials scales
+ * the request count (5000 requests per trial). Exposed so benches and
+ * tests size stores consistently.
+ */
+ServingSpec servingSpecFor(const WorkloadSpec &w);
 
 /**
  * Build the object-level plan from a profiling run (the paper's

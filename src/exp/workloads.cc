@@ -17,8 +17,16 @@ appName(App app)
       case App::CC: return "cc";
       case App::PR: return "pr";
       case App::SSSP: return "sssp";
+      case App::KV: return "kv";
+      case App::LSM: return "lsm";
     }
     return "?";
+}
+
+bool
+isServingApp(App app)
+{
+    return app == App::KV || app == App::LSM;
 }
 
 const char *
@@ -30,6 +38,11 @@ graphKindName(GraphKind kind)
 std::string
 WorkloadSpec::name() const
 {
+    if (isServingApp(app)) {
+        // For serving apps the kind is the key-popularity shape.
+        return std::string(appName(app)) +
+               (kind == GraphKind::Kron ? "_zipf" : "_unif");
+    }
     return std::string(appName(app)) + "_" + graphKindName(kind);
 }
 
@@ -51,6 +64,8 @@ paperWorkloads(int scale)
               case App::CC: w.trials = 1; break;
               case App::PR: w.trials = 5; break;
               case App::SSSP: w.trials = 2; break;
+              case App::KV:
+              case App::LSM: w.trials = 4; break;
             }
             out.push_back(w);
         }

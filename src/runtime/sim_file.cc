@@ -15,8 +15,17 @@ SimFile::SimFile(Engine &engine, const std::string &name,
 }
 
 void
+SimFile::close(ThreadContext &t)
+{
+    MEMTIER_ASSERT(open(), "double close of SimFile");
+    eng.sysMunmap(t, baseAddr);
+    baseAddr = 0;
+}
+
+void
 SimFile::read(ThreadContext &t, std::uint64_t offset, std::uint64_t len)
 {
+    MEMTIER_ASSERT(open(), "read of a closed SimFile");
     MEMTIER_ASSERT(offset + len <= bytes, "read past end of file");
     const Addr start = baseAddr + offset;
     const Addr end = start + len;

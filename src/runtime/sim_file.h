@@ -35,6 +35,16 @@ class SimFile
      */
     void read(ThreadContext &t, std::uint64_t offset, std::uint64_t len);
 
+    /**
+     * Timed unlink: munmap the page-cache range, releasing every cached
+     * page (the LSM store deletes SSTs this way after compaction). The
+     * file must not be read afterwards.
+     */
+    void close(ThreadContext &t);
+
+    /** True until close() releases the page-cache range. */
+    bool open() const { return baseAddr != 0; }
+
     /** File size in bytes. */
     std::uint64_t size() const { return bytes; }
 

@@ -1,0 +1,169 @@
+#include "serve/kv_store.h"
+
+#include "base/logging.h"
+
+namespace memtier {
+
+namespace {
+
+/** SplitMix64 finalizer: the table's hash function. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+}  // namespace
+
+SimKvStore::SimKvStore(Engine &engine, SimHeap &heap, ThreadContext &t,
+                       const KvParams &params)
+    : eng(engine), heap_(heap), p(params)
+{
+    MEMTIER_ASSERT((p.tableSlots & (p.tableSlots - 1)) == 0,
+                   "table capacity must be a power of two");
+    MEMTIER_ASSERT(p.valueWords > 0, "values must be non-empty");
+    table = heap_.alloc<std::uint64_t>(t, "kv.table", p.tableSlots);
+    slotRef = heap_.alloc<std::uint64_t>(t, "kv.slotref", p.tableSlots);
+    arena = heap_.alloc<std::uint64_t>(t, "kv.arena",
+                                       p.arenaSlots * p.valueWords);
+    table.fillRange(t, 0, p.tableSlots, kEmpty);
+    // LIFO free list: the most recently freed slot is reused first,
+    // concentrating allocation churn on a hot arena prefix.
+    freeSlots.reserve(p.arenaSlots);
+    for (std::uint64_t s = p.arenaSlots; s > 0; --s)
+        freeSlots.push_back(static_cast<std::uint32_t>(s - 1));
+    scratch.resize(p.valueWords);
+}
+
+void
+SimKvStore::freeStorage(ThreadContext &t)
+{
+    heap_.free(t, table);
+    heap_.free(t, slotRef);
+    heap_.free(t, arena);
+}
+
+std::uint64_t
+SimKvStore::slotOf(std::uint64_t key) const
+{
+    return mix(key) & (p.tableSlots - 1);
+}
+
+std::uint64_t
+SimKvStore::probe(ThreadContext &t, std::uint64_t key, bool for_insert)
+{
+    MEMTIER_ASSERT(key + 2 > key, "key collides with slot sentinels");
+    const std::uint64_t mask = p.tableSlots - 1;
+    std::uint64_t slot = slotOf(key);
+    std::uint64_t first_free = ~std::uint64_t{0};
+    for (std::uint64_t i = 0; i <= mask; ++i, slot = (slot + 1) & mask) {
+        ++probes;
+        const std::uint64_t enc = table.get(t, slot);
+        if (enc == key + 2)
+            return slot;
+        if (enc == kTombstone) {
+            if (first_free == ~std::uint64_t{0})
+                first_free = slot;
+            continue;
+        }
+        if (enc == kEmpty) {
+            if (!for_insert)
+                return ~std::uint64_t{0};
+            return first_free != ~std::uint64_t{0} ? first_free : slot;
+        }
+    }
+    MEMTIER_ASSERT(for_insert && first_free != ~std::uint64_t{0},
+                   "kv table is full");
+    return first_free;
+}
+
+std::uint64_t
+SimKvStore::valueDigest(std::uint64_t key, std::uint64_t value,
+                        std::uint32_t value_words)
+{
+    std::uint64_t h = 0;
+    for (std::uint32_t w = 0; w < value_words; ++w)
+        h += mix(key + value + w) * 0x9e3779b97f4a7c15ULL;
+    return h;
+}
+
+SimKvStore::GetResult
+SimKvStore::get(ThreadContext &t, std::uint64_t key)
+{
+    GetResult out;
+    const std::uint64_t slot = probe(t, key, /*for_insert=*/false);
+    if (slot == ~std::uint64_t{0} || table.raw(slot) != key + 2)
+        return out;
+    const std::uint64_t aslot = slotRef.get(t, slot);
+    const std::uint64_t base = aslot * p.valueWords;
+    arena.copyOut(t, base, base + p.valueWords, scratch.data());
+    out.found = true;
+    std::uint64_t h = 0;
+    for (std::uint32_t w = 0; w < p.valueWords; ++w)
+        h += scratch[w] * 0x9e3779b97f4a7c15ULL;
+    out.value = h;
+    return out;
+}
+
+void
+SimKvStore::set(ThreadContext &t, std::uint64_t key, std::uint64_t value)
+{
+    const std::uint64_t slot = probe(t, key, /*for_insert=*/true);
+    const std::uint64_t prev = table.raw(slot);
+    std::uint64_t aslot;
+    if (prev == key + 2) {
+        aslot = slotRef.get(t, slot);  // Overwrite in place.
+    } else {
+        MEMTIER_ASSERT(!freeSlots.empty(), "kv arena exhausted");
+        aslot = freeSlots.back();
+        freeSlots.pop_back();
+        if (prev == kTombstone)
+            --tombstones;
+        table.set(t, slot, key + 2);
+        slotRef.set(t, slot, aslot);
+        ++live;
+    }
+    const std::uint64_t base = aslot * p.valueWords;
+    arena.generate(t, base, base + p.valueWords,
+                   [&](std::uint64_t i) {
+                       return mix(key + value + (i - base));
+                   });
+}
+
+bool
+SimKvStore::del(ThreadContext &t, std::uint64_t key)
+{
+    const std::uint64_t slot = probe(t, key, /*for_insert=*/false);
+    if (slot == ~std::uint64_t{0} || table.raw(slot) != key + 2)
+        return false;
+    const std::uint64_t aslot = slotRef.get(t, slot);
+    table.set(t, slot, kTombstone);
+    freeSlots.push_back(static_cast<std::uint32_t>(aslot));
+    --live;
+    ++tombstones;
+    return true;
+}
+
+std::uint64_t
+SimKvStore::scan(ThreadContext &t, std::uint64_t key, std::uint32_t n)
+{
+    const std::uint64_t mask = p.tableSlots - 1;
+    std::uint64_t slot = slotOf(key);
+    std::uint64_t h = 0;
+    for (std::uint32_t i = 0; i < n; ++i, slot = (slot + 1) & mask) {
+        const std::uint64_t enc = table.get(t, slot);
+        if (enc == kEmpty || enc == kTombstone)
+            continue;
+        const std::uint64_t aslot = slotRef.get(t, slot);
+        const std::uint64_t first =
+            arena.get(t, aslot * p.valueWords);
+        h += (enc - 2) * 0x9e3779b97f4a7c15ULL + first;
+    }
+    return h;
+}
+
+}  // namespace memtier

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * SimKvStore: a Redis-style in-memory key-value store running on the
+ * simulated tiered memory -- an open-addressed hash table plus a
+ * value arena, both SimHeap objects, so every probe and value copy is
+ * a timed access through the batched engine pipeline and the tiering
+ * policy sees the natural hot split (table + hot values vs. the cold
+ * arena tail).
+ */
+
+#ifndef MEMTIER_SERVE_KV_STORE_H_
+#define MEMTIER_SERVE_KV_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/sim_heap.h"
+#include "runtime/sim_vector.h"
+#include "serve/serve_params.h"
+#include "sim/engine.h"
+#include "sim/thread_context.h"
+
+namespace memtier {
+
+/** The in-memory KV application. */
+class SimKvStore
+{
+  public:
+    /** Result of a GET. */
+    struct GetResult
+    {
+        bool found = false;
+        std::uint64_t value = 0;  ///< Digest of the value words.
+    };
+
+    /**
+     * Allocate the table and arena (timed mmaps + initialization on
+     * @p t). Keys are arbitrary uint64s; capacity is fixed for the
+     * store's lifetime.
+     */
+    SimKvStore(Engine &engine, SimHeap &heap, ThreadContext &t,
+               const KvParams &params);
+
+    /** Release the store's simulated allocations. */
+    void freeStorage(ThreadContext &t);
+
+    /** Timed point lookup. */
+    GetResult get(ThreadContext &t, std::uint64_t key);
+
+    /**
+     * Timed upsert: writes all value words derived from (key, value)
+     * into the key's arena slot, allocating one on first insert.
+     */
+    void set(ThreadContext &t, std::uint64_t key, std::uint64_t value);
+
+    /** Timed delete. @return true when the key was live. */
+    bool del(ThreadContext &t, std::uint64_t key);
+
+    /**
+     * Timed scan: walk @p n table slots starting at @p key's natural
+     * slot, reading the first value word of every live entry.
+     * @return digest of the visited values.
+     */
+    std::uint64_t scan(ThreadContext &t, std::uint64_t key,
+                       std::uint32_t n);
+
+    /** Live keys. */
+    std::uint64_t liveKeys() const { return live; }
+
+    /** Table probes issued so far (load-factor health metric). */
+    std::uint64_t totalProbes() const { return probes; }
+
+    /** Digest of @p value's words as GET returns it (for models). */
+    static std::uint64_t valueDigest(std::uint64_t key,
+                                     std::uint64_t value,
+                                     std::uint32_t value_words);
+
+  private:
+    // Slot encoding in the key table: 0 empty, 1 tombstone, else
+    // key + 2 (keys near UINT64_MAX are rejected by the assert below).
+    static constexpr std::uint64_t kEmpty = 0;
+    static constexpr std::uint64_t kTombstone = 1;
+
+    std::uint64_t slotOf(std::uint64_t key) const;
+
+    /** Probe to @p key's slot. @return slot index, or the first free
+     *  slot when @p for_insert and the key is absent; ~0 on miss. */
+    std::uint64_t probe(ThreadContext &t, std::uint64_t key,
+                        bool for_insert);
+
+    Engine &eng;
+    SimHeap &heap_;
+    KvParams p;
+
+    SimVector<std::uint64_t> table;    ///< Encoded keys.
+    SimVector<std::uint64_t> slotRef;  ///< Table slot -> arena slot.
+    SimVector<std::uint64_t> arena;    ///< arenaSlots * valueWords words.
+
+    std::vector<std::uint32_t> freeSlots;  ///< Arena free list (host).
+    std::vector<std::uint64_t> scratch;    ///< Value staging (host).
+    std::uint64_t live = 0;
+    std::uint64_t tombstones = 0;
+    std::uint64_t probes = 0;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_SERVE_KV_STORE_H_

@@ -1,0 +1,441 @@
+#include "serve/lsm_store.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "base/logging.h"
+
+namespace memtier {
+
+namespace {
+
+/** SplitMix64 finalizer: the memtable's hash function. */
+std::uint64_t
+mix(std::uint64_t x)
+{
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+// SST layout: 16-byte entries (key word, value word) in 4 KiB blocks.
+constexpr std::uint64_t kBlockBytes = 4096;
+constexpr std::uint64_t kEntryBytes = 16;
+constexpr std::uint64_t kEntriesPerBlock = kBlockBytes / kEntryBytes;
+constexpr std::uint64_t kWordsPerBlock = kBlockBytes / 8;
+
+}  // namespace
+
+SimLsmStore::SimLsmStore(Engine &engine, SimHeap &heap, ThreadContext &t,
+                         const LsmParams &params)
+    : eng(engine), heap_(heap), p(params)
+{
+    MEMTIER_ASSERT((p.memtableSlots & (p.memtableSlots - 1)) == 0,
+                   "memtable capacity must be a power of two");
+    MEMTIER_ASSERT(p.memtableFillLimit > 0.0 && p.memtableFillLimit < 1.0,
+                   "memtable fill limit must be in (0, 1)");
+    MEMTIER_ASSERT(p.blockCacheBlocks > 0, "block cache must be non-empty");
+    allocMemtable(t, &mem);
+    cacheArena = heap_.alloc<std::uint64_t>(
+        t, "lsm.blockcache", p.blockCacheBlocks * kWordsPerBlock);
+    freeCacheSlots.reserve(p.blockCacheBlocks);
+    for (std::uint64_t s = p.blockCacheBlocks; s > 0; --s)
+        freeCacheSlots.push_back(s - 1);
+}
+
+void
+SimLsmStore::freeStorage(ThreadContext &t)
+{
+    freeMemtable(t, &mem);
+    for (auto &m : immutables)
+        freeMemtable(t, &m);
+    immutables.clear();
+    for (auto &sst : l0) {
+        purgeCache(sst.get());
+        sst->file->close(t);
+    }
+    l0.clear();
+    if (l1) {
+        purgeCache(l1.get());
+        l1->file->close(t);
+        l1.reset();
+    }
+    heap_.free(t, cacheArena);
+}
+
+std::uint64_t
+SimLsmStore::memSlotOf(std::uint64_t key) const
+{
+    return mix(key) & (p.memtableSlots - 1);
+}
+
+void
+SimLsmStore::allocMemtable(ThreadContext &t, Memtable *m)
+{
+    m->keys = heap_.alloc<std::uint64_t>(t, "lsm.mem.keys",
+                                         p.memtableSlots);
+    m->vals = heap_.alloc<std::uint64_t>(t, "lsm.mem.vals",
+                                         p.memtableSlots);
+    m->keys.fillRange(t, 0, p.memtableSlots, 0);
+    m->entries = 0;
+}
+
+void
+SimLsmStore::freeMemtable(ThreadContext &t, Memtable *m)
+{
+    heap_.free(t, m->keys);
+    heap_.free(t, m->vals);
+    m->entries = 0;
+}
+
+bool
+SimLsmStore::memtableGet(ThreadContext &t, const Memtable &m,
+                         std::uint64_t key, std::uint64_t *value)
+{
+    const std::uint64_t mask = p.memtableSlots - 1;
+    std::uint64_t slot = memSlotOf(key);
+    for (std::uint64_t i = 0; i <= mask; ++i, slot = (slot + 1) & mask) {
+        const std::uint64_t enc = m.keys.get(t, slot);
+        if (enc == key + 1) {
+            *value = m.vals.get(t, slot);
+            return true;
+        }
+        if (enc == 0)
+            return false;
+    }
+    return false;
+}
+
+void
+SimLsmStore::put(ThreadContext &t, std::uint64_t key, std::uint64_t value)
+{
+    MEMTIER_ASSERT(value != kTombstone,
+                   "the tombstone sentinel is not a valid value");
+    MEMTIER_ASSERT(key + 1 != 0, "key collides with the empty sentinel");
+    const std::uint64_t mask = p.memtableSlots - 1;
+    std::uint64_t slot = memSlotOf(key);
+    for (std::uint64_t i = 0; i <= mask; ++i, slot = (slot + 1) & mask) {
+        const std::uint64_t enc = mem.keys.get(t, slot);
+        if (enc == key + 1) {
+            mem.vals.set(t, slot, value);
+            return;
+        }
+        if (enc == 0) {
+            mem.keys.set(t, slot, key + 1);
+            mem.vals.set(t, slot, value);
+            ++mem.entries;
+            if (static_cast<double>(mem.entries) >=
+                p.memtableFillLimit *
+                    static_cast<double>(p.memtableSlots)) {
+                rotateMemtable(t);
+            }
+            return;
+        }
+    }
+    MEMTIER_ASSERT(false, "lsm memtable is full");
+}
+
+void
+SimLsmStore::del(ThreadContext &t, std::uint64_t key)
+{
+    // A delete is an upsert of the tombstone; it shadows older versions
+    // down the tree and is dropped when compaction reaches the bottom.
+    MEMTIER_ASSERT(key + 1 != 0, "key collides with the empty sentinel");
+    const std::uint64_t mask = p.memtableSlots - 1;
+    std::uint64_t slot = memSlotOf(key);
+    for (std::uint64_t i = 0; i <= mask; ++i, slot = (slot + 1) & mask) {
+        const std::uint64_t enc = mem.keys.get(t, slot);
+        if (enc == key + 1) {
+            mem.vals.set(t, slot, kTombstone);
+            return;
+        }
+        if (enc == 0) {
+            mem.keys.set(t, slot, key + 1);
+            mem.vals.set(t, slot, kTombstone);
+            ++mem.entries;
+            if (static_cast<double>(mem.entries) >=
+                p.memtableFillLimit *
+                    static_cast<double>(p.memtableSlots)) {
+                rotateMemtable(t);
+            }
+            return;
+        }
+    }
+    MEMTIER_ASSERT(false, "lsm memtable is full");
+}
+
+SimLsmStore::GetResult
+SimLsmStore::get(ThreadContext &t, std::uint64_t key)
+{
+    GetResult out;
+    std::uint64_t v = 0;
+    bool found = memtableGet(t, mem, key, &v);
+    if (!found) {
+        for (auto it = immutables.rbegin();
+             !found && it != immutables.rend(); ++it)
+            found = memtableGet(t, *it, key, &v);
+    }
+    if (!found) {
+        for (auto it = l0.rbegin(); !found && it != l0.rend(); ++it)
+            found = sstGet(t, **it, key, &v);
+    }
+    if (!found && l1)
+        found = sstGet(t, *l1, key, &v);
+    if (found && v != kTombstone) {
+        out.found = true;
+        out.value = v;
+    }
+    return out;
+}
+
+std::uint64_t
+SimLsmStore::scan(ThreadContext &t, std::uint64_t key, std::uint32_t n)
+{
+    if (!l1)
+        return 0;
+    const auto &ks = l1->keys;
+    std::uint64_t i = static_cast<std::uint64_t>(
+        std::lower_bound(ks.begin(), ks.end(), key) - ks.begin());
+    std::uint64_t h = 0;
+    for (std::uint32_t read = 0; read < n && i < ks.size(); ++read, ++i) {
+        readSstEntry(t, *l1, i);
+        if (l1->vals[i] != kTombstone)
+            h += ks[i] * 0x9e3779b97f4a7c15ULL + l1->vals[i];
+    }
+    return h;
+}
+
+void
+SimLsmStore::rotateMemtable(ThreadContext &t)
+{
+    immutables.push_back(std::move(mem));
+    allocMemtable(t, &mem);
+    while (immutables.size() > p.maxImmutables)
+        flushOldestImmutable(t);
+}
+
+void
+SimLsmStore::flushOldestImmutable(ThreadContext &t)
+{
+    MEMTIER_ASSERT(!immutables.empty(), "no immutable memtable to flush");
+    Memtable &m = immutables.front();
+
+    // Timed sweep of the memtable, then a host-side sort: the flush
+    // reads every slot once and emits one sorted run.
+    std::vector<std::uint64_t> encs(p.memtableSlots);
+    std::vector<std::uint64_t> vals(p.memtableSlots);
+    m.keys.copyOut(t, 0, p.memtableSlots, encs.data());
+    m.vals.copyOut(t, 0, p.memtableSlots, vals.data());
+
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> entries;
+    entries.reserve(m.entries);
+    for (std::uint64_t s = 0; s < p.memtableSlots; ++s) {
+        if (encs[s] != 0)
+            entries.emplace_back(encs[s] - 1, vals[s]);
+    }
+    std::sort(entries.begin(), entries.end());
+
+    std::vector<std::uint64_t> keys_out, vals_out;
+    keys_out.reserve(entries.size());
+    vals_out.reserve(entries.size());
+    for (const auto &[k, v] : entries) {
+        keys_out.push_back(k);
+        vals_out.push_back(v);
+    }
+
+    freeMemtable(t, &m);
+    immutables.pop_front();
+
+    if (auto sst = buildSst(t, std::move(keys_out), std::move(vals_out)))
+        l0.push_back(std::move(sst));
+    ++st.flushes;
+    maybeCompact(t);
+}
+
+void
+SimLsmStore::maybeCompact(ThreadContext &t)
+{
+    if (l0.size() < p.l0CompactionThreshold)
+        return;
+
+    // Full-merge compaction of every L0 run plus L1 into a single L1
+    // run. Insert oldest-first so newer versions overwrite; this is the
+    // bottom level, so tombstones are dropped from the output.
+    std::map<std::uint64_t, std::uint64_t> merged;
+    if (l1) {
+        l1->file->read(t, 0, l1->file->size());
+        for (std::size_t i = 0; i < l1->keys.size(); ++i)
+            merged[l1->keys[i]] = l1->vals[i];
+    }
+    for (auto &sst : l0) {  // Front is oldest.
+        sst->file->read(t, 0, sst->file->size());
+        for (std::size_t i = 0; i < sst->keys.size(); ++i)
+            merged[sst->keys[i]] = sst->vals[i];
+    }
+
+    std::vector<std::uint64_t> keys_out, vals_out;
+    keys_out.reserve(merged.size());
+    vals_out.reserve(merged.size());
+    for (const auto &[k, v] : merged) {
+        if (v != kTombstone) {
+            keys_out.push_back(k);
+            vals_out.push_back(v);
+        }
+    }
+
+    for (auto &sst : l0) {
+        purgeCache(sst.get());
+        sst->file->close(t);
+    }
+    l0.clear();
+    if (l1) {
+        purgeCache(l1.get());
+        l1->file->close(t);
+        l1.reset();
+    }
+    l1 = buildSst(t, std::move(keys_out), std::move(vals_out));
+    ++st.compactions;
+}
+
+void
+SimLsmStore::flushAll(ThreadContext &t)
+{
+    if (mem.entries > 0) {
+        immutables.push_back(std::move(mem));
+        allocMemtable(t, &mem);
+    }
+    while (!immutables.empty())
+        flushOldestImmutable(t);
+    if (!l0.empty()) {
+        // Force the L0 -> L1 merge regardless of the threshold.
+        const std::uint32_t saved = p.l0CompactionThreshold;
+        p.l0CompactionThreshold = 1;
+        maybeCompact(t);
+        p.l0CompactionThreshold = saved;
+    }
+}
+
+const std::vector<std::uint64_t> &
+SimLsmStore::l1Keys() const
+{
+    MEMTIER_ASSERT(l1 != nullptr, "no L1 SST");
+    return l1->keys;
+}
+
+std::unique_ptr<SimLsmStore::Sst>
+SimLsmStore::buildSst(ThreadContext &t, std::vector<std::uint64_t> keys,
+                      std::vector<std::uint64_t> vals)
+{
+    if (keys.empty())
+        return nullptr;
+    auto sst = std::make_unique<Sst>();
+    sst->minKey = keys.front();
+    sst->maxKey = keys.back();
+    sst->keys = std::move(keys);
+    sst->vals = std::move(vals);
+    const std::uint64_t bytes = sst->keys.size() * kEntryBytes;
+    sst->file = std::make_unique<SimFile>(
+        eng, "lsm.sst." + std::to_string(nextSstId++), bytes);
+    // Writing the SST streams it through the page cache, so a fresh run
+    // starts cached (and the write-back traffic is charged here).
+    sst->file->read(t, 0, bytes);
+    return sst;
+}
+
+void
+SimLsmStore::purgeCache(const Sst *sst)
+{
+    for (auto it = cacheIndex.begin(); it != cacheIndex.end();) {
+        if (it->first.sst == sst) {
+            freeCacheSlots.push_back(it->second.first);
+            cacheLru.erase(it->second.second);
+            it = cacheIndex.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+void
+SimLsmStore::readSstEntry(ThreadContext &t, Sst &sst, std::uint64_t index)
+{
+    MEMTIER_ASSERT(index < sst.keys.size(), "SST read out of range");
+    const std::uint64_t block = index / kEntriesPerBlock;
+    const CacheKey ck{&sst, block};
+    ++st.sstProbes;
+
+    std::uint64_t slot;
+    const auto it = cacheIndex.find(ck);
+    if (it != cacheIndex.end()) {
+        ++st.blockCacheHits;
+        slot = it->second.first;
+        cacheLru.splice(cacheLru.begin(), cacheLru, it->second.second);
+        it->second.second = cacheLru.begin();
+    } else {
+        ++st.blockCacheMisses;
+        if (freeCacheSlots.empty()) {
+            const CacheKey victim = cacheLru.back();
+            cacheLru.pop_back();
+            const auto vit = cacheIndex.find(victim);
+            MEMTIER_ASSERT(vit != cacheIndex.end(),
+                           "LRU/index out of sync");
+            slot = vit->second.first;
+            cacheIndex.erase(vit);
+        } else {
+            slot = freeCacheSlots.back();
+            freeCacheSlots.pop_back();
+        }
+        const std::uint64_t off = block * kBlockBytes;
+        const std::uint64_t len =
+            std::min(kBlockBytes, sst.file->size() - off);
+        sst.file->read(t, off, len);
+        // Install the block: timed stores of its words into the arena.
+        const std::uint64_t wbase = slot * kWordsPerBlock;
+        const std::uint64_t first = block * kEntriesPerBlock;
+        cacheArena.generate(
+            t, wbase, wbase + (len + 7) / 8, [&](std::uint64_t i) {
+                const std::uint64_t w = i - wbase;
+                const std::uint64_t e = first + w / 2;
+                if (e >= sst.keys.size())
+                    return std::uint64_t{0};
+                return (w & 1) ? sst.vals[e] : sst.keys[e];
+            });
+        cacheLru.push_front(ck);
+        cacheIndex[ck] = {slot, cacheLru.begin()};
+    }
+
+    // The point read itself: the entry's two words from the cache.
+    const std::uint64_t wpos =
+        slot * kWordsPerBlock + (index % kEntriesPerBlock) * 2;
+    cacheArena.get(t, wpos);
+    cacheArena.get(t, wpos + 1);
+}
+
+bool
+SimLsmStore::sstGet(ThreadContext &t, Sst &sst, std::uint64_t key,
+                    std::uint64_t *value)
+{
+    // The fence check is free (an in-memory index block).
+    if (key < sst.minKey || key > sst.maxKey)
+        return false;
+    std::uint64_t lo = 0;
+    std::uint64_t hi = sst.keys.size();
+    while (lo < hi) {
+        const std::uint64_t mid = lo + (hi - lo) / 2;
+        readSstEntry(t, sst, mid);
+        if (sst.keys[mid] < key)
+            lo = mid + 1;
+        else
+            hi = mid;
+    }
+    if (lo < sst.keys.size() && sst.keys[lo] == key) {
+        readSstEntry(t, sst, lo);
+        *value = sst.vals[lo];
+        return true;
+    }
+    return false;
+}
+
+}  // namespace memtier

@@ -1,0 +1,178 @@
+/**
+ * @file
+ * SimLsmStore: a LevelDB-style log-structured merge store on the
+ * simulated tiered memory. The mutable and immutable memtables are
+ * SimHeap hash regions (hot, allocation-churning), the SSTs are
+ * SimFiles read through the simulated page cache, and point reads are
+ * fronted by a block cache living in a SimHeap arena -- giving the
+ * tiering policy the natural hot (memtable + block cache) vs. cold
+ * (SST levels) split that the serving tier exists to stress.
+ */
+
+#ifndef MEMTIER_SERVE_LSM_STORE_H_
+#define MEMTIER_SERVE_LSM_STORE_H_
+
+#include <cstdint>
+#include <deque>
+#include <list>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "runtime/sim_file.h"
+#include "runtime/sim_heap.h"
+#include "runtime/sim_vector.h"
+#include "serve/serve_params.h"
+#include "sim/engine.h"
+#include "sim/thread_context.h"
+
+namespace memtier {
+
+/** The LSM application. */
+class SimLsmStore
+{
+  public:
+    /** Result of a GET. */
+    struct GetResult
+    {
+        bool found = false;
+        std::uint64_t value = 0;
+    };
+
+    /** Counters exposed for reports and invariant tests. */
+    struct Stats
+    {
+        std::uint64_t flushes = 0;
+        std::uint64_t compactions = 0;
+        std::uint64_t blockCacheHits = 0;
+        std::uint64_t blockCacheMisses = 0;
+        std::uint64_t sstProbes = 0;
+    };
+
+    SimLsmStore(Engine &engine, SimHeap &heap, ThreadContext &t,
+                const LsmParams &params);
+
+    /** Release every simulated allocation and close open SSTs. */
+    void freeStorage(ThreadContext &t);
+
+    /** Timed upsert. @p value must not be the tombstone sentinel. */
+    void put(ThreadContext &t, std::uint64_t key, std::uint64_t value);
+
+    /** Timed delete (writes a tombstone). */
+    void del(ThreadContext &t, std::uint64_t key);
+
+    /** Timed point lookup: memtables, then L0 newest-first, then L1. */
+    GetResult get(ThreadContext &t, std::uint64_t key);
+
+    /**
+     * Timed range scan: read up to @p n entries with key >= @p key from
+     * L1 through the block cache, merging nothing (an approximation of
+     * the iterator; memtable contents are not folded in).
+     * @return digest of the visited entries.
+     */
+    std::uint64_t scan(ThreadContext &t, std::uint64_t key,
+                       std::uint32_t n);
+
+    /**
+     * Rotate and flush every memtable and compact L0 into L1 (shutdown
+     * / test barrier; makes L1 the single authoritative sorted run).
+     */
+    void flushAll(ThreadContext &t);
+
+    const Stats &stats() const { return st; }
+
+    /** Entries in the mutable memtable. */
+    std::uint64_t mutableEntries() const { return mem.entries; }
+
+    /** Immutable memtables waiting to flush. */
+    std::size_t immutableCount() const { return immutables.size(); }
+
+    /** L0 SST count. */
+    std::size_t l0Count() const { return l0.size(); }
+
+    /** True when L1 holds an SST. */
+    bool hasL1() const { return l1 != nullptr; }
+
+    /** Host-side view of an SST's sorted keys (invariant tests). */
+    const std::vector<std::uint64_t> &l1Keys() const;
+
+    /** Tombstone sentinel value (never a valid user value). */
+    static constexpr std::uint64_t kTombstone = ~std::uint64_t{0};
+
+  private:
+    /** One memtable: an open-addressed hash region on the SimHeap. */
+    struct Memtable
+    {
+        SimVector<std::uint64_t> keys;  ///< 0 empty, else key + 1.
+        SimVector<std::uint64_t> vals;
+        std::uint64_t entries = 0;
+    };
+
+    /** One sorted-run SST: a SimFile plus the host-side truth. */
+    struct Sst
+    {
+        std::unique_ptr<SimFile> file;
+        std::vector<std::uint64_t> keys;  ///< Strictly ascending.
+        std::vector<std::uint64_t> vals;
+        std::uint64_t minKey = 0;
+        std::uint64_t maxKey = 0;
+    };
+
+    std::uint64_t memSlotOf(std::uint64_t key) const;
+    void allocMemtable(ThreadContext &t, Memtable *m);
+    void freeMemtable(ThreadContext &t, Memtable *m);
+    bool memtableGet(ThreadContext &t, const Memtable &m,
+                     std::uint64_t key, std::uint64_t *value);
+    void rotateMemtable(ThreadContext &t);
+    void flushOldestImmutable(ThreadContext &t);
+    void maybeCompact(ThreadContext &t);
+
+    /**
+     * Timed read of entry @p index of @p sst through the block cache:
+     * a cached block costs arena loads; a miss reads the SimFile block
+     * (page cache + disk) and installs it in the cache arena.
+     */
+    void readSstEntry(ThreadContext &t, Sst &sst, std::uint64_t index);
+
+    /** Binary search of @p sst, charging block reads per probe. */
+    bool sstGet(ThreadContext &t, Sst &sst, std::uint64_t key,
+                std::uint64_t *value);
+
+    std::unique_ptr<Sst> buildSst(ThreadContext &t,
+                                  std::vector<std::uint64_t> keys,
+                                  std::vector<std::uint64_t> vals);
+
+    Engine &eng;
+    SimHeap &heap_;
+    LsmParams p;
+
+    Memtable mem;                     ///< Mutable.
+    std::deque<Memtable> immutables;  ///< Oldest at front.
+
+    std::vector<std::unique_ptr<Sst>> l0;  ///< Newest at back.
+    std::unique_ptr<Sst> l1;
+
+    /** Block cache: arena of 4 KiB block slots on the SimHeap. */
+    SimVector<std::uint64_t> cacheArena;
+    struct CacheKey
+    {
+        const Sst *sst;
+        std::uint64_t block;
+        auto operator<=>(const CacheKey &) const = default;
+    };
+    std::list<CacheKey> cacheLru;  ///< Most recent at front.
+    std::map<CacheKey,
+             std::pair<std::uint64_t, std::list<CacheKey>::iterator>>
+        cacheIndex;  ///< Key -> (arena slot, LRU position).
+    std::vector<std::uint64_t> freeCacheSlots;
+
+    /** Drop every cached block of @p sst (before the SST is deleted). */
+    void purgeCache(const Sst *sst);
+
+    std::uint64_t nextSstId = 0;
+    Stats st;
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_SERVE_LSM_STORE_H_

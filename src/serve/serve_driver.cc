@@ -1,0 +1,127 @@
+#include "serve/serve_driver.h"
+
+#include <memory>
+
+#include "base/logging.h"
+#include "serve/kv_store.h"
+#include "serve/request_gen.h"
+
+namespace memtier {
+
+namespace {
+
+/** Deterministic value written by the @p seq'th SET of the stream. */
+std::uint64_t
+setValue(std::uint64_t seed, std::uint64_t seq)
+{
+    return (seed ^ 0x7365727665ULL) + seq;  // Never the LSM tombstone.
+}
+
+}  // namespace
+
+ServingReport
+runServing(Engine &eng, SimHeap &heap, const ServingSpec &spec)
+{
+    MEMTIER_ASSERT(spec.serverThreads >= 1 &&
+                       spec.serverThreads <= eng.threadCount(),
+                   "server thread pool exceeds the machine");
+
+    ServingReport out;
+    ThreadContext &t0 = eng.thread(0);
+
+    // Construct only the selected store, on t0, so allocation and
+    // prefill time lands in the load phase.
+    std::unique_ptr<SimKvStore> kv_storage;
+    std::unique_ptr<SimLsmStore> lsm_storage;
+    if (spec.app == ServeApp::KV)
+        kv_storage = std::make_unique<SimKvStore>(eng, heap, t0, spec.kv);
+    else
+        lsm_storage =
+            std::make_unique<SimLsmStore>(eng, heap, t0, spec.lsm);
+    SimKvStore *kv = kv_storage.get();
+    SimLsmStore *lsm = lsm_storage.get();
+
+    // Prefill every key (the store's working set; the serve phase then
+    // churns it). Prefill values use sequence numbers past the request
+    // stream so they never collide with served SETs.
+    const std::uint64_t prefill_base = spec.gen.requests;
+    for (std::uint64_t k = 0; k < spec.gen.numKeys; ++k) {
+        const std::uint64_t v = setValue(spec.gen.seed, prefill_base + k);
+        if (kv)
+            kv->set(t0, k, v);
+        else
+            lsm->put(t0, k, v);
+    }
+    const Cycles prefill_end = eng.globalTime();
+    out.prefillSeconds = cyclesToSeconds(prefill_end);
+
+    // The server pool starts when the prefill ends.
+    for (std::uint32_t i = 0; i < spec.serverThreads; ++i)
+        eng.thread(i).setClock(prefill_end);
+
+    RequestGenerator gen(spec.gen);
+    ServeRequest r;
+    std::uint64_t seq = 0;
+    while (gen.next(&r)) {
+        ThreadContext &t =
+            eng.thread(static_cast<std::uint32_t>(seq % spec.serverThreads));
+        const Cycles arrival = prefill_end + r.arrival;
+        if (t.clock() < arrival)
+            t.setClock(arrival);  // Idle server: no queueing delay.
+
+        std::uint64_t digest = 0;
+        switch (r.op) {
+          case ServeOp::Get: {
+            if (kv) {
+                const auto g = kv->get(t, r.key);
+                digest = g.found ? g.value : 0x6d697373ULL;
+            } else {
+                const auto g = lsm->get(t, r.key);
+                digest = g.found ? g.value : 0x6d697373ULL;
+            }
+            break;
+          }
+          case ServeOp::Set: {
+            const std::uint64_t v = setValue(spec.gen.seed, seq);
+            if (kv)
+                kv->set(t, r.key, v);
+            else
+                lsm->put(t, r.key, v);
+            break;
+          }
+          case ServeOp::Del: {
+            if (kv)
+                digest = kv->del(t, r.key) ? 1 : 2;
+            else
+                lsm->del(t, r.key);
+            break;
+          }
+          case ServeOp::Scan: {
+            digest = kv ? kv->scan(t, r.key, r.scanLength)
+                        : lsm->scan(t, r.key, r.scanLength);
+            break;
+          }
+        }
+
+        const Cycles latency = t.clock() - arrival;
+        out.latency.add(latency);
+        out.phaseLatency[static_cast<int>(r.phase)].add(latency);
+        ++out.opCounts[static_cast<int>(r.op)];
+        out.checksum += digest * 0x9e3779b97f4a7c15ULL;
+        ++seq;
+    }
+    out.requests = seq;
+
+    if (kv) {
+        out.kvProbes = kv->totalProbes();
+        out.checksum += kv->liveKeys() * 0x9e3779b97f4a7c15ULL;
+        kv->freeStorage(t0);
+    } else {
+        out.lsm = lsm->stats();
+        lsm->freeStorage(t0);
+    }
+    out.totalSeconds = cyclesToSeconds(eng.globalTime());
+    return out;
+}
+
+}  // namespace memtier

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The serving-tier driver: prefills a KV or LSM store, replays the
+ * open-loop request stream over a pool of server threads, and reports
+ * completion latency (arrival to finish, queueing included) as
+ * log-bucketed histograms overall and per traffic phase.
+ */
+
+#ifndef MEMTIER_SERVE_SERVE_DRIVER_H_
+#define MEMTIER_SERVE_SERVE_DRIVER_H_
+
+#include <cstdint>
+
+#include "base/stats.h"
+#include "runtime/sim_heap.h"
+#include "serve/lsm_store.h"
+#include "serve/serve_params.h"
+#include "sim/engine.h"
+
+namespace memtier {
+
+/** Everything a serving run measures. */
+struct ServingReport
+{
+    /** Completion latency (cycles) of every request. */
+    LatencyHistogram latency;
+
+    /** Latency split by the phase each request arrived in. */
+    LatencyHistogram phaseLatency[kNumServePhases];
+
+    /** Requests executed per ServeOp value. */
+    std::uint64_t opCounts[4] = {};
+
+    /** Requests executed (== GeneratorParams::requests). */
+    std::uint64_t requests = 0;
+
+    /** Order-independent digest of every read result (the
+     *  policy-invariance check: placement must not change answers). */
+    std::uint64_t checksum = 0;
+
+    /** Simulated seconds spent prefilling the store. */
+    double prefillSeconds = 0.0;
+
+    /** Total simulated seconds (prefill + serve). */
+    double totalSeconds = 0.0;
+
+    /** LSM internals (all zero for the KV app). */
+    SimLsmStore::Stats lsm;
+
+    /** KV probe count (zero for the LSM app). */
+    std::uint64_t kvProbes = 0;
+
+    /** Fraction of requests that missed @p slo_cycles. */
+    double
+    sloViolationFraction(Cycles slo_cycles) const
+    {
+        return latency.violationFraction(slo_cycles);
+    }
+};
+
+/**
+ * Run one serving scenario on @p eng.
+ *
+ * Requests are executed in arrival order (so the store's state
+ * evolution -- and therefore every answer and the checksum -- depends
+ * only on the request stream, never on the tiering policy), but each
+ * request runs on its round-robin server thread whose clock carries
+ * the queueing delay: a request arriving while its thread is busy
+ * waits, and its latency includes the wait.
+ */
+ServingReport runServing(Engine &eng, SimHeap &heap,
+                         const ServingSpec &spec);
+
+}  // namespace memtier
+
+#endif  // MEMTIER_SERVE_SERVE_DRIVER_H_

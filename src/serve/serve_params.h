@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Configuration structs of the data-serving scenario tier: sizing of
+ * the KV and LSM stores, the open-loop traffic model, and the SLO the
+ * driver reports against. Everything is deterministic given the seed.
+ */
+
+#ifndef MEMTIER_SERVE_SERVE_PARAMS_H_
+#define MEMTIER_SERVE_SERVE_PARAMS_H_
+
+#include <cstdint>
+
+#include "base/types.h"
+
+namespace memtier {
+
+/** Which serving application runs. */
+enum class ServeApp : std::uint8_t {
+    KV,   ///< Redis-style in-memory hash table + value arena.
+    LSM,  ///< LevelDB-style memtables + block-cache-fronted SSTs.
+};
+
+/** Name of @p app ("kv"/"lsm"). */
+const char *serveAppName(ServeApp app);
+
+/** Sizing of the Redis-style in-memory KV store. */
+struct KvParams
+{
+    /** Open-addressed table capacity (power of two). */
+    std::uint64_t tableSlots = 1ULL << 17;
+
+    /** Value-arena capacity in values (>= live keys at all times). */
+    std::uint64_t arenaSlots = 1ULL << 16;
+
+    /** Value size in 8-byte words (32 = 256 B values). */
+    std::uint32_t valueWords = 32;
+};
+
+/** Sizing of the LevelDB-style LSM store. */
+struct LsmParams
+{
+    /** Memtable hash capacity in entries (power of two). */
+    std::uint64_t memtableSlots = 1ULL << 12;
+
+    /** Rotate the mutable memtable at this fill fraction. */
+    double memtableFillLimit = 0.7;
+
+    /** Immutable memtables retained before the oldest is flushed. */
+    std::uint32_t maxImmutables = 2;
+
+    /** L0 SSTs that trigger a full merge into L1. */
+    std::uint32_t l0CompactionThreshold = 4;
+
+    /** Block-cache capacity in 4 KiB blocks. */
+    std::uint64_t blockCacheBlocks = 128;
+};
+
+/** Phase of a serving run, derived from a request's arrival time. */
+enum class ServePhase : std::uint8_t {
+    OffPeak = 0,  ///< Diurnal trough (rate below the base rate).
+    Peak,         ///< Diurnal crest (rate above the base rate).
+    Storm,        ///< Connection-storm burst window.
+};
+
+/** Number of ServePhase values. */
+inline constexpr int kNumServePhases = 3;
+
+/** Name of @p phase ("offpeak", "peak", "storm"). */
+const char *servePhaseName(ServePhase phase);
+
+/** Request kinds issued by the generator. */
+enum class ServeOp : std::uint8_t { Get = 0, Set, Del, Scan };
+
+/** Name of @p op ("get", "set", "del", "scan"). */
+const char *serveOpName(ServeOp op);
+
+/** The open-loop traffic model. */
+struct GeneratorParams
+{
+    /** Keyspace size (power of two; also the prefill population). */
+    std::uint64_t numKeys = 1ULL << 15;
+
+    /** Total requests to generate after the prefill. */
+    std::uint64_t requests = 20000;
+
+    /**
+     * Zipfian skew of key popularity (0 = uniform; 0.99 = the YCSB
+     * default hot-key distribution).
+     */
+    double zipfTheta = 0.99;
+
+    /** Fraction of requests that are GETs. */
+    double readFraction = 0.75;
+
+    /** Fraction of requests that are SCANs. */
+    double scanFraction = 0.05;
+
+    /** Fraction of the remaining writes that are DELs (rest are SETs;
+     *  every DEL'd key is eventually re-SET by the churn, keeping the
+     *  live population near numKeys). */
+    double deleteFraction = 0.10;
+
+    /** Keys read per SCAN. */
+    std::uint32_t scanLength = 32;
+
+    /** Mean arrival rate in requests per simulated second. */
+    double baseRate = 1.0e6;
+
+    /**
+     * Diurnal modulation: rate(t) = baseRate * (1 + amplitude *
+     * sin(2*pi*t / period)), clipped below at 10% of base.
+     */
+    double diurnalAmplitude = 0.5;
+
+    /** Diurnal period in simulated seconds. */
+    double diurnalPeriodSec = 0.004;
+
+    /** Connection-storm window start (simulated seconds from t=0). */
+    double stormStartSec = 0.003;
+
+    /** Connection-storm window length in simulated seconds. */
+    double stormDurationSec = 0.0005;
+
+    /** Arrival-rate multiplier inside the storm window. */
+    double stormMultiplier = 4.0;
+
+    /** Deterministic seed of the request stream. */
+    std::uint64_t seed = 1234;
+};
+
+/** One full serving scenario: app, store sizing, traffic and SLO. */
+struct ServingSpec
+{
+    ServeApp app = ServeApp::KV;
+    KvParams kv;
+    LsmParams lsm;
+    GeneratorParams gen;
+
+    /** Logical server threads requests round-robin onto. */
+    std::uint32_t serverThreads = 4;
+
+    /** Tail-latency SLO in simulated microseconds. */
+    double sloMicros = 8.0;
+
+    /** SLO converted to cycles. */
+    Cycles sloCycles() const
+    {
+        return static_cast<Cycles>(
+            sloMicros * static_cast<double>(kCyclesPerSecond) / 1e6);
+    }
+};
+
+}  // namespace memtier
+
+#endif  // MEMTIER_SERVE_SERVE_PARAMS_H_

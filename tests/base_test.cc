@@ -258,6 +258,124 @@ TEST(Histogram, BucketLowEdges)
     EXPECT_DOUBLE_EQ(h.bucketLow(2), 50.0);
 }
 
+TEST(LatencyHistogram, Empty)
+{
+    LatencyHistogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(0.99), 0.0);
+    EXPECT_DOUBLE_EQ(h.violationFraction(100), 0.0);
+}
+
+TEST(LatencyHistogram, BucketGeometry)
+{
+    using LH = LatencyHistogram;
+    // Values below kSubBuckets land in their own unit bucket.
+    for (std::uint64_t v = 0; v < LH::kSubBuckets; ++v) {
+        EXPECT_EQ(LH::bucketIndex(v), v);
+        EXPECT_EQ(LH::bucketLow(v), v);
+        EXPECT_EQ(LH::bucketWidth(v), 1u);
+    }
+    // Every value is covered by its bucket's [low, low + width) range,
+    // and bucket indices are monotone in the value.
+    std::size_t prev = 0;
+    for (std::uint64_t v = 1; v < (1ULL << 40); v = v * 3 + 1) {
+        const std::size_t i = LH::bucketIndex(v);
+        EXPECT_GE(i, prev);
+        prev = i;
+        EXPECT_LE(LH::bucketLow(i), v);
+        EXPECT_LT(v, LH::bucketLow(i) + LH::bucketWidth(i));
+        // Relative bucket resolution is 1/kSubBuckets.
+        EXPECT_LE(LH::bucketWidth(i),
+                  std::max<std::uint64_t>(1, v / LH::kSubBuckets + 1));
+    }
+    EXPECT_LT(LH::bucketIndex(~std::uint64_t{0}), LH::kNumBuckets);
+}
+
+TEST(LatencyHistogram, ExactForSmallValues)
+{
+    // 33 values 0..32: every value sits in its own unit-width bucket
+    // (unit buckets run through the first octave), so at integral
+    // ranks q*(n-1) the histogram must agree with the exact order
+    // statistics. Non-integral ranks interpolate within one bucket and
+    // legitimately differ from cross-value interpolation.
+    LatencyHistogram h;
+    PercentileSummary exact;
+    for (std::uint64_t v = 0; v <= LatencyHistogram::kSubBuckets; ++v) {
+        h.add(v);
+        exact.add(static_cast<double>(v));
+    }
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), LatencyHistogram::kSubBuckets);
+    for (const double q : {0.0, 0.25, 0.5, 0.75, 1.0})
+        EXPECT_DOUBLE_EQ(h.percentile(q), exact.percentile(q)) << q;
+}
+
+TEST(LatencyHistogram, PercentilesTrackExactWithinBucketResolution)
+{
+    LatencyHistogram h;
+    PercentileSummary exact;
+    Rng rng(2026);
+    for (int i = 0; i < 20000; ++i) {
+        // Long-tailed sample spanning several octaves, like latency.
+        const std::uint64_t v =
+            100 + rng.nextBounded(1ULL << (6 + rng.nextBounded(14)));
+        h.add(v);
+        exact.add(static_cast<double>(v));
+    }
+    EXPECT_EQ(h.count(), 20000u);
+    for (const double q : {0.5, 0.9, 0.99, 0.999}) {
+        const double e = exact.percentile(q);
+        // One sub-bucket of relative error (1/32), plus interpolation
+        // slack within the covering bucket.
+        EXPECT_NEAR(h.percentile(q), e, e * 2.0 / 32.0 + 1.0) << q;
+    }
+    EXPECT_DOUBLE_EQ(h.mean(), exact.mean());
+    EXPECT_EQ(h.min(), static_cast<std::uint64_t>(exact.min()));
+    EXPECT_EQ(h.max(), static_cast<std::uint64_t>(exact.max()));
+}
+
+TEST(LatencyHistogram, MergeMatchesCombinedStream)
+{
+    LatencyHistogram a;
+    LatencyHistogram b;
+    LatencyHistogram all;
+    Rng rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t v = rng.nextBounded(1 << 20);
+        if (i % 2 == 0)
+            a.add(v);
+        else
+            b.add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_EQ(a.sum(), all.sum());
+    EXPECT_EQ(a.min(), all.min());
+    EXPECT_EQ(a.max(), all.max());
+    for (const double q : {0.1, 0.5, 0.99})
+        EXPECT_DOUBLE_EQ(a.percentile(q), all.percentile(q));
+    EXPECT_EQ(a.countAtOrAbove(1 << 10), all.countAtOrAbove(1 << 10));
+}
+
+TEST(LatencyHistogram, ViolationCounting)
+{
+    LatencyHistogram h;
+    for (const std::uint64_t v : {1u, 5u, 10u, 20u})
+        h.add(v);
+    // Unit buckets below kSubBuckets make these exact.
+    EXPECT_EQ(h.countAtOrAbove(0), 4u);
+    EXPECT_EQ(h.countAtOrAbove(5), 3u);
+    EXPECT_EQ(h.countAtOrAbove(6), 2u);
+    EXPECT_EQ(h.countAtOrAbove(21), 0u);
+    EXPECT_DOUBLE_EQ(h.violationFraction(10), 0.5);
+    h.add(1ULL << 30);
+    EXPECT_EQ(h.countAtOrAbove(1ULL << 40), 0u);
+    EXPECT_EQ(h.countAtOrAbove(1ULL << 29), 1u);
+}
+
 TEST(TimeSeries, AppendAndQuery)
 {
     TimeSeries ts;
