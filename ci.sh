@@ -24,7 +24,13 @@
 #   7. a perf-regression gate: bench/hotpath_speed re-run at its
 #      committed parameters and compared against the checked-in
 #      BENCH_hotpath.json; the gate fails when batched throughput drops
-#      below 80% of the recorded baseline.
+#      below 80% of the recorded baseline;
+#   8. an ECC chaos pass: the memory-failure end-to-end tests (BFS
+#      under an ecc_ce/ecc_ue plan) and one hot cell of the KV
+#      degradation sweep, both with the invariant checker forced on,
+#      asserting that frames actually retired and requests were
+#      actually killed (nonzero hwpoison_* counters) while every
+#      poisoned-frame invariant held.
 #
 # All builds live in their own build directories so they never disturb
 # an existing developer build/.
@@ -33,19 +39,19 @@ cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/7] tier-1: RelWithDebInfo -Werror build + ctest ==="
+echo "=== [1/8] tier-1: RelWithDebInfo -Werror build + ctest ==="
 cmake -B build-ci -S . -DMEMTIER_WERROR=ON
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [2/7] sanitizers: ASan/UBSan build + ctest ==="
+echo "=== [2/8] sanitizers: ASan/UBSan build + ctest ==="
 cmake -B build-asan -S . -DMEMTIER_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/7] serving smoke: short tail sweep under ASan/UBSan ==="
+echo "=== [3/8] serving smoke: short tail sweep under ASan/UBSan ==="
 # One trial, two policies, THP off: small enough to stay fast under
 # the sanitizers, big enough to drive the generator, both stores, the
 # LSM flush/compaction path and the phase histograms end to end.
@@ -54,7 +60,7 @@ echo "=== [3/7] serving smoke: short tail sweep under ASan/UBSan ==="
     --out=build-asan/BENCH_serving_smoke.json \
     --csv=build-asan/serving_smoke.csv
 
-echo "=== [4/7] chaos: invariant checker on + fault plan, tier-1 binaries ==="
+echo "=== [4/8] chaos: invariant checker on + fault plan, tier-1 binaries ==="
 # MEMTIER_CHECK_INVARIANTS=ON arms the kernel invariant checker in
 # every Engine (observer-only: results stay bit-identical), and
 # MEMTIER_FAULT_PLAN overrides the chaos-aware tests' default plan.
@@ -62,7 +68,7 @@ MEMTIER_CHECK_INVARIANTS=ON \
 MEMTIER_FAULT_PLAN="migrate:p=0.1,burst=6;alloc:p=0.03;seed=97" \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [5/7] thp: MEMTIER_THP=ON + invariant checker, tier-1 binaries ==="
+echo "=== [5/8] thp: MEMTIER_THP=ON + invariant checker, tier-1 binaries ==="
 # MEMTIER_THP=ON force-enables the THP model in every Engine; the
 # extended invariant sweep (PMD/PTE consistency, THP counter identity)
 # runs continuously. Golden-value tests captured with THP off skip.
@@ -70,7 +76,7 @@ MEMTIER_THP=ON \
 MEMTIER_CHECK_INVARIANTS=ON \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [6/7] scalar path: MEMTIER_SCALAR_PATH=ON, tier-1 binaries ==="
+echo "=== [6/8] scalar path: MEMTIER_SCALAR_PATH=ON, tier-1 binaries ==="
 # MEMTIER_SCALAR_PATH=ON forces the element-at-a-time reference path in
 # every Engine. The hotpath golden tests assert exact captured
 # observables in both modes, so any scalar-vs-batched divergence fails
@@ -78,7 +84,7 @@ echo "=== [6/7] scalar path: MEMTIER_SCALAR_PATH=ON, tier-1 binaries ==="
 MEMTIER_SCALAR_PATH=ON \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [7/7] perf gate: hotpath throughput vs committed baseline ==="
+echo "=== [7/8] perf gate: hotpath throughput vs committed baseline ==="
 # Re-measure the batched hot path at the baseline's parameters and
 # fail on a >20% throughput regression. The bench itself also fails
 # when the scalar and batched paths stop being bit-identical, so this
@@ -96,6 +102,41 @@ if ratio < 0.8:
     sys.exit("perf gate FAILED: batched hot path regressed >20% "
              "vs BENCH_hotpath.json (refresh the baseline via "
              "run_benches.sh if the change is intentional)")
+EOF
+
+echo "=== [8/8] ecc chaos: memory failures under the invariant checker ==="
+# The BFS side: the memory-failure end-to-end tests replay an
+# ecc_ce/ecc_ue plan twice and assert bit-identity plus nonzero
+# hwpoison counters; forcing the checker on makes every other test in
+# the filter sweep the poisoned-frame invariants too.
+MEMTIER_CHECK_INVARIANTS=ON \
+    ctest --test-dir build-ci --output-on-failure -j "$JOBS" \
+    -R "FaultEndToEnd|FaultKernel|FaultThp"
+# The KV side: one hot cell of the degradation sweep (CE probability
+# 0.25, UE riding along at 1/32) under the checker, then assert from
+# the CSV that the run actually eroded DRAM and killed requests.
+MEMTIER_CHECK_INVARIANTS=ON \
+    ./build-ci/bench/degradation_sweep --policies=autonuma \
+    --levels=0.25 --trials=1 \
+    --out=build-ci/BENCH_degradation_ci.json \
+    --csv=build-ci/degradation_ci.csv > /dev/null
+python3 - build-ci/degradation_ci.csv <<'EOF'
+import csv, sys
+rows = {float(r["ce_prob"]): r for r in csv.DictReader(open(sys.argv[1]))}
+base, hot = rows[0.0], rows[0.25]
+for key in ("frames_retired", "soft_offline", "sigbus", "errors"):
+    if int(base[key]) != 0:
+        sys.exit(f"ecc gate FAILED: healthy baseline has {key}="
+                 f"{base[key]} (must be 0)")
+    if int(hot[key]) == 0:
+        sys.exit(f"ecc gate FAILED: hot cell has {key}=0 "
+                 "(the ECC plan injected nothing)")
+if float(hot["availability"]) >= 1.0:
+    sys.exit("ecc gate FAILED: hot cell reports full availability "
+             "despite SIGBUS kills")
+print(f"ecc gate: {hot['frames_retired']} frames retired, "
+      f"{hot['sigbus']} SIGBUS kills, availability "
+      f"{float(hot['availability']):.4f} (baseline clean)")
 EOF
 
 echo "ci.sh: all gates passed"

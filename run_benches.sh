@@ -50,6 +50,12 @@ for b in $binaries; do
         # make_experiments_md.py renders into EXPERIMENTS.md.
         "$b" --out=BENCH_serving.json --csv=results/serving_tail.csv \
             2>/dev/null
+    elif [ "$name" = "degradation_sweep" ]; then
+        # Graceful degradation: the KV replay under escalating ECC
+        # error rates, per policy -- DRAM erosion vs tail latency and
+        # availability.
+        "$b" --out=BENCH_degradation.json \
+            --csv=results/degradation_sweep.csv 2>/dev/null
     else
         "$b" 2>/dev/null
     fi

@@ -136,6 +136,14 @@ AutoNuma::onHintFault(PageNum vpn, Cycles now, PageMeta &meta)
 
     ++stat.hintFaultsNvm;
 
+    if (now < promotionHoldUntil) {
+        // A DRAM frame was just retired: capacity is eroding under us,
+        // so stop pushing pages in until reclaim has caught up with
+        // the new (smaller) watermarks.
+        ++stat.promotionsHeldOff;
+        return 0;
+    }
+
     // One fault on a PMD mapping stands for 512 base pages: the rate
     // limit and the threshold-adaptation window are charged in bytes so
     // a huge promotion consumes a proportionate share of the budget.
@@ -185,6 +193,18 @@ AutoNuma::onHintFault(PageNum vpn, Cycles now, PageMeta &meta)
 }
 
 void
+AutoNuma::onMemoryFailure(PageNum vpn, MemNode node, bool uncorrectable,
+                          Cycles now)
+{
+    (void)vpn;
+    (void)uncorrectable;
+    ++stat.memoryFailures;
+    if (node == MemNode::DRAM)
+        promotionHoldUntil = std::max(promotionHoldUntil,
+                                      now + cfg.failureHoldoff);
+}
+
+void
 AutoNuma::onThpCollapse(PageNum base_vpn, Cycles now)
 {
     (void)base_vpn;
@@ -216,6 +236,8 @@ AutoNuma::snapshotStats() const
         {"huge_hint_faults", stat.hugeHintFaults},
         {"thp_collapses", stat.thpCollapses},
         {"thp_splits", stat.thpSplits},
+        {"memory_failures", stat.memoryFailures},
+        {"promotions_held_off", stat.promotionsHeldOff},
     };
 }
 

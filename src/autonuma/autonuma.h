@@ -61,6 +61,14 @@ struct AutoNumaParams
 
     /** Interval between threshold adjustments. */
     Cycles adjustPeriod = secondsToCycles(0.05);
+
+    /**
+     * Promotion holdoff after a DRAM frame is retired by the
+     * memory-failure path: promotions into the shrinking tier pause
+     * for this long so reclaim can re-establish the watermarks against
+     * the reduced capacity before the scanner pushes more pages in.
+     */
+    Cycles failureHoldoff = secondsToCycles(0.01);
 };
 
 /** Observable policy statistics (beyond the kernel's vmstat). */
@@ -78,6 +86,8 @@ struct AutoNumaStats
     std::uint64_t hugeHintFaults = 0;        ///< Hint faults on PMD mappings.
     std::uint64_t thpCollapses = 0;          ///< Collapse notifications.
     std::uint64_t thpSplits = 0;             ///< Split notifications.
+    std::uint64_t memoryFailures = 0;        ///< Frames retired under us.
+    std::uint64_t promotionsHeldOff = 0;     ///< Skipped in the holdoff.
 
     /** Distribution of observed hint fault latencies (seconds). */
     PercentileSummary hintLatencySeconds;
@@ -118,6 +128,14 @@ class AutoNuma : public TieringPolicy
     /** TieringPolicy: the PMD mapping at @p base_vpn was split. */
     void onThpSplit(PageNum base_vpn, Cycles now) override;
 
+    /**
+     * TieringPolicy: a frame was retired. A DRAM retirement opens the
+     * promotion holdoff window; NVM retirements only count (there is
+     * nothing to stop promoting into).
+     */
+    void onMemoryFailure(PageNum vpn, MemNode node, bool uncorrectable,
+                         Cycles now) override;
+
     /** TieringPolicy: policy counters for reports/CSV export. */
     std::vector<PolicyCounter> snapshotStats() const override;
 
@@ -148,6 +166,9 @@ class AutoNuma : public TieringPolicy
     // Threshold adaptation window.
     Cycles nextAdjust = 0;
     std::uint64_t windowCandidateBytes = 0;
+
+    // Promotions pause until this time after a DRAM frame retirement.
+    Cycles promotionHoldUntil = 0;
 };
 
 }  // namespace memtier

@@ -55,7 +55,7 @@ bfsSources(const CsrGraph &g, int trials, std::uint64_t seed)
 
 /** Graph path of runWorkload: load, run, free. @return load seconds. */
 static double runGraphWorkload(const RunConfig &config, Engine &eng,
-                               SimHeap &heap, std::uint64_t *checksum);
+                               SimHeap &heap, RunResult *out);
 
 const char *
 modeName(Mode mode)
@@ -160,9 +160,10 @@ runWorkload(const RunConfig &config, const PlacementPlan *plan)
         out.hasServing = true;
         out.outputChecksum = out.serving.checksum;
         out.loadSeconds = out.serving.prefillSeconds;
+        out.iterationsTotal = out.serving.requests;
+        out.iterationsAborted = out.serving.errors;
     } else {
-        out.loadSeconds =
-            runGraphWorkload(config, eng, heap, &out.outputChecksum);
+        out.loadSeconds = runGraphWorkload(config, eng, heap, &out);
     }
 
     out.totalSeconds = cyclesToSeconds(eng.globalTime());
@@ -196,7 +197,7 @@ runWorkload(const RunConfig &config, const PlacementPlan *plan)
 
 static double
 runGraphWorkload(const RunConfig &config, Engine &eng, SimHeap &heap,
-                 std::uint64_t *checksum)
+                 RunResult *out)
 {
     const WorkloadSpec &w = config.workload;
     const CsrGraph &host =
@@ -209,17 +210,36 @@ runGraphWorkload(const RunConfig &config, Engine &eng, SimHeap &heap,
     SimCsrGraph g = SimCsrGraph::load(eng, heap, t0, host, w.name());
     const double load_sec = cyclesToSeconds(eng.globalTime());
 
+    // A SIGBUS kill inside a trial aborts that trial (the paper app
+    // would die; the harness restarts at the next source): its output
+    // never reaches the checksum. Trials run back to back, so a delta
+    // of the kernel's SIGBUS count across one pins the kill to it.
+    const VmStat &vs = eng.kernel().vmstat();
+    std::uint64_t sigbus_mark = vs.hwpoisonSigbus;
+    const auto trialAborted = [&]() -> bool {
+        const bool hit = vs.hwpoisonSigbus != sigbus_mark;
+        sigbus_mark = vs.hwpoisonSigbus;
+        if (hit)
+            ++out->iterationsAborted;
+        return hit;
+    };
+    std::uint64_t *checksum = &out->outputChecksum;
+
     switch (w.app) {
       case App::BC: {
         BcOutput bc = runBc(eng, heap, g, w.trials, w.seed);
-        *checksum = digest(bc.scores);
+        out->iterationsTotal = 1;  // One pass over all sampled sources.
+        if (!trialAborted())
+            *checksum = digest(bc.scores);
         break;
       }
       case App::BFS: {
         std::vector<NodeId> reached;
         for (const NodeId s : bfsSources(host, w.trials, w.seed)) {
             BfsOutput bfs = runBfs(eng, heap, g, s);
-            reached.push_back(static_cast<NodeId>(bfs.reached));
+            ++out->iterationsTotal;
+            if (!trialAborted())
+                reached.push_back(static_cast<NodeId>(bfs.reached));
         }
         *checksum = digest(reached);
         break;
@@ -228,20 +248,27 @@ runGraphWorkload(const RunConfig &config, Engine &eng, SimHeap &heap,
         std::vector<NodeId> comps;
         for (int i = 0; i < w.trials; ++i) {
             CcOutput cc = runCc(eng, heap, g);
-            comps.push_back(static_cast<NodeId>(cc.numComponents));
+            ++out->iterationsTotal;
+            if (!trialAborted())
+                comps.push_back(static_cast<NodeId>(cc.numComponents));
         }
         *checksum = digest(comps);
         break;
       }
       case App::PR: {
         PageRankOutput pr = runPageRank(eng, heap, g, w.trials);
-        *checksum = digest(pr.rank);
+        out->iterationsTotal = 1;  // One power iteration to convergence.
+        if (!trialAborted())
+            *checksum = digest(pr.rank);
         break;
       }
       case App::SSSP: {
         std::vector<std::int64_t> sums;
         for (const NodeId s : bfsSources(host, w.trials, w.seed)) {
             SsspOutput sp = runSssp(eng, heap, g, s);
+            ++out->iterationsTotal;
+            if (trialAborted())
+                continue;
             std::int64_t sum = 0;
             for (const std::int64_t d : sp.dist)
                 sum += d > 0 ? d : 0;

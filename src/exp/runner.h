@@ -93,6 +93,25 @@ struct RunResult
     /** Faults the injector fired (0 when the plan enables nothing). */
     std::uint64_t faultsInjected = 0;
 
+    /**
+     * Work iterations attempted and aborted by a memory-failure SIGBUS:
+     * one iteration per graph trial (BFS/CC/SSSP source, or the whole
+     * run for the single-pass PR/BC apps), one per serving request.
+     * Aborted graph iterations contribute nothing to the checksum.
+     */
+    std::uint64_t iterationsTotal = 0;
+    std::uint64_t iterationsAborted = 0;
+
+    /** Fraction of iterations that completed. */
+    double
+    availability() const
+    {
+        if (iterationsTotal == 0)
+            return 1.0;
+        return static_cast<double>(iterationsTotal - iterationsAborted) /
+               static_cast<double>(iterationsTotal);
+    }
+
     /** Invariant sweeps completed (0 when checking was off). */
     std::uint64_t invariantChecksRun = 0;
 

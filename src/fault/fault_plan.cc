@@ -13,6 +13,7 @@ namespace {
 /** Point spec names, indexed by FaultPoint value. */
 const char *const kPointNames[kNumFaultPoints] = {
     "alloc", "migrate", "exchange", "nvmlat", "diskread",
+    "ecc_ce", "ecc_ue",
 };
 
 /** Split @p s on @p sep; empty segments are dropped. */
@@ -121,7 +122,7 @@ FaultPlan::parse(const std::string &spec, FaultPlan *out,
         if (point < 0) {
             setError(error, "fault plan: unknown point '" + name +
                                 "' (expected alloc, migrate, exchange, "
-                                "nvmlat or diskread)");
+                                "nvmlat, diskread, ecc_ce or ecc_ue)");
             return false;
         }
         FaultSpec &fs = plan.points[static_cast<std::size_t>(point)];
@@ -136,6 +137,13 @@ FaultPlan::parse(const std::string &spec, FaultPlan *out,
             const std::string value = kv.substr(eq + 1);
             double d = 0.0;
             std::uint64_t u = 0;
+            if (key == "p" && parseDouble(value, &d) &&
+                !(d >= 0.0 && d <= 1.0)) {
+                setError(error, "fault plan: probability '" + value +
+                                    "' in point '" + name +
+                                    "' out of range (need 0 <= p <= 1)");
+                return false;
+            }
             if (key == "p" && parseDouble(value, &d) && d >= 0.0 &&
                 d <= 1.0) {
                 fs.probability = d;

@@ -33,10 +33,13 @@ enum class FaultPoint : std::uint8_t {
     Exchange,        ///< Hot/cold page exchange fails transiently.
     NvmLatency,      ///< NVM access latency spike (extra cycles).
     DiskRead,        ///< Page-cache disk read error (forces a retry).
+    EccCorrectable,    ///< Correctable ECC error on a mapped frame.
+    EccUncorrectable,  ///< Uncorrectable ECC error (hwpoison hard path).
+    Count,           ///< Sentinel — keep last.
 };
 
-/** Number of FaultPoint values. */
-inline constexpr int kNumFaultPoints = 5;
+/** Number of FaultPoint values, derived from the sentinel. */
+inline constexpr int kNumFaultPoints = static_cast<int>(FaultPoint::Count);
 
 /** Stable short name of @p point ("alloc", "migrate", ...). */
 const char *faultPointName(FaultPoint point);
@@ -81,8 +84,8 @@ struct FaultPlan
     /**
      * Parse a compact plan spec: semicolon-separated clauses, each
      * either "seed=N" or "<point>:key=value[,key=value...]" with point
-     * in {alloc, migrate, exchange, nvmlat, diskread} and keys p,
-     * burst, from_ms, to_ms, extra_ns.
+     * in {alloc, migrate, exchange, nvmlat, diskread, ecc_ce, ecc_ue}
+     * and keys p, burst, from_ms, to_ms, extra_ns.
      *
      * @param spec the spec string.
      * @param out receives the parsed plan (untouched on failure).

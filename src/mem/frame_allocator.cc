@@ -34,12 +34,34 @@ void
 FrameAllocator::free(FrameNum frame)
 {
     MEMTIER_ASSERT(frame < total, "freeing frame outside the pool");
+    MEMTIER_ASSERT(retired_.count(frame) == 0, "freeing a retired frame");
     MEMTIER_ASSERT(used > 0, "freeing with no frames allocated");
     MEMTIER_ASSERT(blockUsed[frame >> kPagesPerHugeShift] > 0,
                    "block accounting underflow");
     --used;
     --blockUsed[frame >> kPagesPerHugeShift];
     recycled.push_back(frame);
+}
+
+void
+FrameAllocator::retire(FrameNum frame)
+{
+    MEMTIER_ASSERT(frame < total, "retiring frame outside the pool");
+    MEMTIER_ASSERT(retired_.count(frame) == 0,
+                   "retiring an already retired frame");
+    // The caller must hold the frame (unmapped but allocated): a retired
+    // frame keeps its allocator bookkeeping forever, so used/blockUsed
+    // stay elevated and neither allocate() nor allocateHuge() can ever
+    // hand it out again.
+    retired_.insert(frame);
+    ce_counts_.erase(frame);
+}
+
+std::uint32_t
+FrameAllocator::recordCorrectable(FrameNum frame)
+{
+    MEMTIER_ASSERT(frame < total, "CE on frame outside the pool");
+    return ++ce_counts_[frame];
 }
 
 void

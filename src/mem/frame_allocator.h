@@ -8,6 +8,8 @@
 
 #include <cstdint>
 #include <optional>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "base/types.h"
@@ -36,6 +38,39 @@ class FrameAllocator
 
     /** Return a previously allocated frame to the pool. */
     void free(FrameNum frame);
+
+    /**
+     * Permanently retire a currently allocated frame (hwpoison). The
+     * frame stays counted as used forever and is never recycled, so
+     * the pool's effective capacity shrinks by one page. Its block
+     * also keeps a nonzero used count, so a block containing a retired
+     * frame can never be claimed by @ref allocateHuge. Clears any
+     * correctable-error history for the frame.
+     */
+    void retire(FrameNum frame);
+
+    /** True when @p frame has been retired via @ref retire. */
+    bool
+    isRetired(FrameNum frame) const
+    {
+        return retired_.count(frame) != 0;
+    }
+
+    /** Frames permanently retired (still counted in usedFrames). */
+    std::uint64_t
+    retiredFrames() const
+    {
+        return static_cast<std::uint64_t>(retired_.size());
+    }
+
+    /**
+     * Record one correctable ECC error against @p frame.
+     * @return the frame's cumulative correctable-error count.
+     */
+    std::uint32_t recordCorrectable(FrameNum frame);
+
+    /** Forget @p frame's correctable-error history. */
+    void clearCorrectable(FrameNum frame) { ce_counts_.erase(frame); }
 
     /**
      * Allocate a naturally aligned 512-frame block for a 2 MiB huge
@@ -85,6 +120,12 @@ class FrameAllocator
 
     std::uint64_t huge_allocs = 0;
     std::uint64_t huge_alloc_fails = 0;
+
+    /** Frames permanently offlined by the memory-failure path. */
+    std::unordered_set<FrameNum> retired_;
+
+    /** Cumulative correctable-error counts for still-healthy frames. */
+    std::unordered_map<FrameNum, std::uint32_t> ce_counts_;
 };
 
 }  // namespace memtier

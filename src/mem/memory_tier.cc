@@ -45,6 +45,15 @@ MemoryTier::freeHuge(FrameNum base, FrameOwner owner)
     allocator_.freeHuge(base);
 }
 
+void
+MemoryTier::retire(FrameNum frame, FrameOwner owner)
+{
+    auto &count = owner_pages[static_cast<int>(owner)];
+    MEMTIER_ASSERT(count > 0, "owner accounting underflow");
+    --count;
+    allocator_.retire(frame);
+}
+
 std::uint64_t
 MemoryTier::ownerPages(FrameOwner owner) const
 {

@@ -52,6 +52,49 @@ class MemoryTier
     /** Free an unsplit huge frame previously charged to @p owner. */
     void freeHuge(FrameNum base, FrameOwner owner);
 
+    /**
+     * Permanently retire a frame previously charged to @p owner
+     * (memory-failure path). The owner's accounting drops by one page
+     * but the frame stays allocated in the pool forever, so the tier's
+     * effective capacity shrinks.
+     */
+    void retire(FrameNum frame, FrameOwner owner);
+
+    /** True when @p frame has been retired. */
+    bool
+    isRetired(FrameNum frame) const
+    {
+        return allocator_.isRetired(frame);
+    }
+
+    /** Pages permanently retired on this tier. */
+    std::uint64_t
+    retiredPages() const
+    {
+        return allocator_.retiredFrames();
+    }
+
+    /** Capacity still backed by healthy frames. */
+    std::uint64_t
+    healthyPages() const
+    {
+        return totalPages() - retiredPages();
+    }
+
+    /** Record one correctable ECC error; returns the frame's total. */
+    std::uint32_t
+    recordCorrectable(FrameNum frame)
+    {
+        return allocator_.recordCorrectable(frame);
+    }
+
+    /** Forget a frame's correctable-error history. */
+    void
+    clearCorrectable(FrameNum frame)
+    {
+        allocator_.clearCorrectable(frame);
+    }
+
     /** Timing access to this tier (delegates to the device model). */
     Cycles
     access(Cycles now, MemOp op, bool sequential)

@@ -39,9 +39,9 @@ InvariantChecker::fail(Cycles now, const std::string &what) const
                  kernel_.appLru.size(), kernel_.cacheLru.size());
     for (int n = 0; n < kNumNodes; ++n) {
         std::fprintf(stderr, "  node %d: app=%" PRIu64 " cache=%" PRIu64
-                             " free=%" PRIu64 "\n",
+                             " free=%" PRIu64 " retired=%" PRIu64 "\n",
                      n, numa.appPages[n], numa.cachePages[n],
-                     numa.freePages[n]);
+                     numa.freePages[n], numa.retiredPages[n]);
     }
     std::fprintf(stderr, "  vmstat: pgfault=%" PRIu64
                          " promote=%" PRIu64 " demoteK=%" PRIu64
@@ -84,6 +84,12 @@ InvariantChecker::checkNow(Cycles now)
                                 "double-mapped (page %" PRIu64 ")",
                                 static_cast<std::uint64_t>(meta.frame), n,
                                 vpn));
+        }
+        if (tier.isRetired(meta.frame)) {
+            fail(now, strprintf("page %" PRIu64 " maps poisoned frame %"
+                                PRIu64 " on node %d",
+                                vpn, static_cast<std::uint64_t>(meta.frame),
+                                n));
         }
         ++counted[n][static_cast<int>(meta.owner)];
 
@@ -146,6 +152,12 @@ InvariantChecker::checkNow(Cycles now)
                                     "PMD range at %" PRIu64,
                                     base + i, base));
             }
+            if (tier.isRetired(hmeta.frame + i)) {
+                fail(now, strprintf("PMD range %" PRIu64 " maps poisoned "
+                                    "frame %" PRIu64 " on node %d", base,
+                                    static_cast<std::uint64_t>(
+                                        hmeta.frame + i), n));
+            }
         }
         counted[n][static_cast<int>(hmeta.owner)] += kPagesPerHuge;
 
@@ -196,13 +208,18 @@ InvariantChecker::checkNow(Cycles now)
                                     PRIu64, n, o, counted[n][o], have));
             }
         }
-        if (used != tier.usedPages() ||
-            used + tier.freePages() != tier.totalPages()) {
+        // Retired frames stay allocated forever but map nothing, so
+        // mapped + retired must exactly cover the allocator's used set.
+        if (used + tier.retiredPages() != tier.usedPages() ||
+            used + tier.retiredPages() + tier.freePages() !=
+                tier.totalPages()) {
             fail(now, strprintf("node %d frame conservation broken: "
-                                "mapped=%" PRIu64 " used=%" PRIu64
-                                " free=%" PRIu64 " total=%" PRIu64,
-                                n, used, tier.usedPages(),
-                                tier.freePages(), tier.totalPages()));
+                                "mapped=%" PRIu64 " retired=%" PRIu64
+                                " used=%" PRIu64 " free=%" PRIu64
+                                " total=%" PRIu64,
+                                n, used, tier.retiredPages(),
+                                tier.usedPages(), tier.freePages(),
+                                tier.totalPages()));
         }
     }
 
@@ -216,6 +233,27 @@ InvariantChecker::checkNow(Cycles now)
         fail(now, strprintf("pgmigrate_success=%" PRIu64 " != promote+"
                             "demote+exchange=%" PRIu64,
                             s.pgmigrateSuccess, expect));
+    }
+
+    // Memory-failure identities: every retired frame came from exactly
+    // one soft offline, SIGBUS kill, or cache drop, and the counter
+    // agrees with the allocators' retired sets.
+    std::uint64_t retired_total = 0;
+    for (int n = 0; n < kNumNodes; ++n)
+        retired_total += k.phys.tier(static_cast<MemNode>(n)).retiredPages();
+    if (s.hwpoisonFramesRetired != retired_total) {
+        fail(now, strprintf("hwpoison_frames_retired=%" PRIu64 " != "
+                            "allocator retired sets=%" PRIu64,
+                            s.hwpoisonFramesRetired, retired_total));
+    }
+    if (s.hwpoisonSoftOffline + s.hwpoisonSigbus +
+            s.hwpoisonCacheDropped != s.hwpoisonFramesRetired) {
+        fail(now, strprintf("hwpoison identity broken: soft_offline=%"
+                            PRIu64 " + sigbus=%" PRIu64 " + cache_drop=%"
+                            PRIu64 " != retired=%" PRIu64,
+                            s.hwpoisonSoftOffline, s.hwpoisonSigbus,
+                            s.hwpoisonCacheDropped,
+                            s.hwpoisonFramesRetired));
     }
 
     // THP counter identity: every PMD mapping was born from a fault

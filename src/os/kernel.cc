@@ -119,7 +119,11 @@ Kernel::lruMeta(PageNum vpn)
 std::uint64_t
 Kernel::minWatermarkPages() const
 {
-    const auto total = phys.dram().totalPages();
+    // Watermarks track the capacity still backed by healthy frames:
+    // retired frames are gone for good, so a tier eroded by the
+    // memory-failure path keeps proportionate reserves. Identical to
+    // totalPages() while nothing has been retired.
+    const auto total = phys.dram().healthyPages();
     return std::max<std::uint64_t>(
         16, static_cast<std::uint64_t>(cfg.minWatermarkFrac *
                                        static_cast<double>(total)));
@@ -128,7 +132,7 @@ Kernel::minWatermarkPages() const
 std::uint64_t
 Kernel::lowWatermarkPages() const
 {
-    const auto total = phys.dram().totalPages();
+    const auto total = phys.dram().healthyPages();
     return std::max<std::uint64_t>(
         32, static_cast<std::uint64_t>(cfg.lowWatermarkFrac *
                                        static_cast<double>(total)));
@@ -137,7 +141,7 @@ Kernel::lowWatermarkPages() const
 std::uint64_t
 Kernel::highWatermarkPages() const
 {
-    const auto total = phys.dram().totalPages();
+    const auto total = phys.dram().healthyPages();
     return std::max<std::uint64_t>(
         64, static_cast<std::uint64_t>(cfg.highWatermarkFrac *
                                        static_cast<double>(total)));
@@ -400,21 +404,44 @@ Kernel::touchPage(PageNum vpn, Cycles now, MemOp op)
 {
     (void)op;  // Loads and stores fault identically for our purposes.
     PageMeta *meta = pt.find(vpn);
+    PageMeta *hmeta = nullptr;
     if (meta == nullptr || !meta->present) {
-        if (PageMeta *hmeta = pt.findHuge(vpn);
-            hmeta != nullptr && hmeta->present) {
-            return touchHugePage(vpn, *hmeta, now);
-        }
-        return handlePageFault(vpn, now);
+        hmeta = pt.findHuge(vpn);
+        if (hmeta == nullptr || !hmeta->present)
+            return handlePageFault(vpn, now);
     }
 
+    // ECC errors strike mapped frames on access: the hardware reports
+    // them against the physical address this touch hit, so the query
+    // happens before the touch is serviced.
+    TouchResult ecc;
+    bool remapped = false;
+    if (maybeEccFault(vpn, hmeta != nullptr ? hugeBaseOf(vpn) : kNoPage,
+                      now, ecc, &remapped)) {
+        return ecc;  // SIGBUS, or a cache drop + re-read, completed it.
+    }
+    if (remapped) {
+        // Soft offline split and/or moved the mapping; re-resolve.
+        meta = pt.find(vpn);
+        hmeta = meta != nullptr && meta->present ? nullptr
+                                                 : pt.findHuge(vpn);
+    }
+    if (hmeta != nullptr && hmeta->present) {
+        TouchResult r = touchHugePage(vpn, *hmeta, now);
+        r.cost += ecc.cost;
+        return r;
+    }
+    MEMTIER_ASSERT(meta != nullptr && meta->present,
+                   "page vanished in the memory-failure handler");
+
     TouchResult result;
+    result.cost = ecc.cost;
     if (meta->protNone) {
         // NUMA hint page fault (Section 2.2): clear the marker, record
         // the fault, and let the tiering policy decide on promotion.
         meta->protNone = false;
         result.hintFault = true;
-        result.cost = cfg.hintFaultCycles;
+        result.cost += cfg.hintFaultCycles;
         ++stats.numaHintFaults;
         if (tieringPolicy)
             result.cost += tieringPolicy->onHintFault(vpn, now, *meta);
@@ -425,6 +452,185 @@ Kernel::touchPage(PageNum vpn, Cycles now, MemOp op)
     meta->lastAccess = now;
     result.node = meta->node;
     return result;
+}
+
+// -- Memory failure (hwpoison) ----------------------------------------
+
+bool
+Kernel::maybeEccFault(PageNum vpn, PageNum huge_base, Cycles now,
+                      TouchResult &result, bool *remapped)
+{
+    if (faults == nullptr)
+        return false;
+    // Both streams advance independently so each point's trace depends
+    // only on the plan seed, not on the other point's outcomes.
+    const bool ue = faults->shouldFail(FaultPoint::EccUncorrectable, now);
+    const bool ce = faults->shouldFail(FaultPoint::EccCorrectable, now);
+    if (!ue && !ce)
+        return false;
+
+    if (huge_base != kNoPage) {
+        PageMeta *hm = pt.findHuge(vpn);
+        MEMTIER_ASSERT(hm != nullptr && hm->present,
+                       "ECC fault on unmapped huge range");
+        const FrameNum subframe = hm->frame + (vpn - huge_base);
+        const MemNode node = hm->node;
+        if (ue) {
+            ++stats.hwpoisonUe;
+            // Poison lands on one 4 KiB subframe: split the PMD first
+            // so only that frame is retired, as Linux memory_failure()
+            // splits THP before poisoning the head/tail page.
+            splitHugePage(huge_base, now);
+            PageMeta *m = pt.find(vpn);
+            MEMTIER_ASSERT(m != nullptr && m->present,
+                           "THP split lost the poisoned page");
+            hardMemoryFailure(vpn, *m, now, result);
+            *remapped = true;
+            return true;
+        }
+        ++stats.hwpoisonCe;
+        if (phys.tier(node).recordCorrectable(subframe) >=
+            cfg.ceRetireThreshold) {
+            splitHugePage(huge_base, now);
+            PageMeta *m = pt.find(vpn);
+            MEMTIER_ASSERT(m != nullptr && m->present,
+                           "THP split lost the failing page");
+            result.cost += softOfflinePage(vpn, *m, now);
+            *remapped = true;
+        }
+        return false;
+    }
+
+    PageMeta *meta = pt.find(vpn);
+    MEMTIER_ASSERT(meta != nullptr && meta->present,
+                   "ECC fault on unmapped page");
+    if (ue) {
+        ++stats.hwpoisonUe;
+        hardMemoryFailure(vpn, *meta, now, result);
+        *remapped = true;
+        return true;
+    }
+    ++stats.hwpoisonCe;
+    if (phys.tier(meta->node).recordCorrectable(meta->frame) >=
+        cfg.ceRetireThreshold) {
+        result.cost += softOfflinePage(vpn, *meta, now);
+        *remapped = true;
+    }
+    return false;
+}
+
+void
+Kernel::hardMemoryFailure(PageNum vpn, PageMeta &meta, Cycles now,
+                          TouchResult &result)
+{
+    result.cost += cfg.memoryFailureCycles;
+    const MemNode node = meta.node;
+    const FrameOwner owner = meta.owner;
+    const FrameNum frame = meta.frame;
+
+    // Unmap and poison: the frame is permanently gone, so the tier's
+    // effective capacity shrinks by one page.
+    if (node == MemNode::DRAM)
+        listFor(meta).remove(vpn);
+    phys.tier(node).retire(frame, owner);
+    pt.erase(vpn);
+    shootdown(vpn);
+    ++stats.hwpoisonFramesRetired;
+    // Hard offlines feed the breaker as failures so an offline storm
+    // trips it and pauses promotions into the eroding tier.
+    recordMigration(false, now);
+    if (tieringPolicy)
+        tieringPolicy->onMemoryFailure(vpn, node, true, now);
+
+    if (owner == FrameOwner::PageCache) {
+        // Clean page-cache page: its backing file is intact, so drop
+        // the poisoned copy and re-read into a fresh frame. The touch
+        // completes transparently, just slower.
+        ++stats.hwpoisonCacheDropped;
+        const std::uint64_t faults_before = stats.pgfault;
+        const TouchResult refault = handlePageFault(vpn, now);
+        MEMTIER_ASSERT(stats.pgfault == faults_before + 1,
+                       "fault accounting");
+        --stats.pgfault;  // Not a user minor fault (as in ensureCached).
+        result.cost += refault.cost + cfg.diskReadCyclesPerPage;
+        result.node = refault.node;
+    } else {
+        // Anonymous (dirty) page: the only copy of the data just died.
+        // Raise the SIGBUS-analogue; the workload aborts the affected
+        // iteration or fails the in-flight request.
+        ++stats.hwpoisonSigbus;
+        result.sigbus = true;
+        result.node = node;
+    }
+    noteEvent(now);
+}
+
+Cycles
+Kernel::softOfflinePage(PageNum vpn, PageMeta &meta, Cycles now)
+{
+    Cycles cost = cfg.memoryFailureCycles;
+    const MemNode src = meta.node;
+    const MemNode other =
+        src == MemNode::DRAM ? MemNode::NVM : MemNode::DRAM;
+    for (std::uint32_t attempt = 0;; ++attempt) {
+        // Prefer a healthy frame on the same tier; fall back to the
+        // other tier when the home tier is full. mbind-pinned pages
+        // never change tier, matching the binding contract.
+        MemNode dst = src;
+        auto frame = phys.tier(src).allocate(meta.owner);
+        if (!frame && !meta.pinned) {
+            frame = phys.tier(other).allocate(meta.owner);
+            if (frame)
+                dst = other;
+        }
+        if (!frame) {
+            // No healthy frame anywhere: abandon the offline. The page
+            // stays on its failing frame and its CE history resets so
+            // the next threshold crossing retries.
+            ++stats.hwpoisonSoftOfflineFail;
+            phys.tier(src).clearCorrectable(meta.frame);
+            recordMigration(false, now);
+            return cost;
+        }
+        if (faults && faults->shouldFail(FaultPoint::Migration, now)) {
+            // Transient copy failure: bounded retry with backoff, like
+            // the promotion path (soft offline is just a migration).
+            phys.tier(dst).free(*frame, meta.owner);
+            ++stats.pgmigrateFail;
+            recordMigration(false, now);
+            if (tieringPolicy)
+                tieringPolicy->onMigrationFailure(vpn, now, false);
+            if (attempt >= cfg.migrateRetryLimit) {
+                ++stats.hwpoisonSoftOfflineFail;
+                phys.tier(src).clearCorrectable(meta.frame);
+                return cost;
+            }
+            cost += cfg.migrateRetryBackoffCycles << attempt;
+            continue;
+        }
+
+        // Copy succeeded: remap onto the healthy frame and retire the
+        // failing one. Deliberately not counted as pgmigrate/pgdemote:
+        // those counters keep their promotion+demotion+exchange
+        // identity, hwpoison_soft_offline counts this path.
+        if (src == MemNode::DRAM)
+            listFor(meta).remove(vpn);
+        phys.tier(src).retire(meta.frame, meta.owner);
+        meta.frame = *frame;
+        meta.node = dst;
+        meta.protNone = false;  // The marker's hint fault is forfeit.
+        if (dst == MemNode::DRAM)
+            listFor(meta).add(vpn);
+        shootdown(vpn);
+
+        ++stats.hwpoisonSoftOffline;
+        ++stats.hwpoisonFramesRetired;
+        recordMigration(true, now);
+        if (tieringPolicy)
+            tieringPolicy->onMemoryFailure(vpn, src, false, now);
+        noteEvent(now);
+        return cost + cfg.migratePageCycles;
+    }
 }
 
 MemNode
@@ -1070,6 +1276,7 @@ Kernel::numastat() const
         snap.appPages[n] = tier.ownerPages(FrameOwner::App);
         snap.cachePages[n] = tier.ownerPages(FrameOwner::PageCache);
         snap.freePages[n] = tier.freePages();
+        snap.retiredPages[n] = tier.retiredPages();
     }
     return snap;
 }

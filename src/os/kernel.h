@@ -85,6 +85,13 @@ struct KernelParams
     /** Disk reads re-issued before a faulty page read is declared ok. */
     std::uint32_t diskReadRetryLimit = 4;
 
+    /** Correctable ECC errors on one frame before it is soft-offlined. */
+    std::uint32_t ceRetireThreshold = 3;
+
+    /** Cost of the memory-failure handler itself (poison bookkeeping,
+     *  rmap walk, shootdown), charged on top of any migration/re-read. */
+    Cycles memoryFailureCycles = 20'000;
+
     /** Migration circuit-breaker trip/decay tunables. */
     CircuitBreakerParams breaker;
 
@@ -121,6 +128,15 @@ struct TouchResult
     Cycles cost = 0;               ///< Fault/migration cycles charged.
     bool pageFault = false;
     bool hintFault = false;
+
+    /**
+     * An uncorrectable ECC error killed this page: the frame was
+     * poisoned and the mapping destroyed. The touch did not complete;
+     * the workload must treat it like a SIGBUS (abort the iteration /
+     * fail the request). @ref node still reports the failed frame's
+     * tier so timing stays deterministic.
+     */
+    bool sigbus = false;
 };
 
 /** Per-node usage snapshot (the paper's numastat/free view). */
@@ -129,6 +145,9 @@ struct NumaStatSnapshot
     std::uint64_t appPages[kNumNodes] = {0, 0};
     std::uint64_t cachePages[kNumNodes] = {0, 0};
     std::uint64_t freePages[kNumNodes] = {0, 0};
+
+    /** Frames permanently offlined by the memory-failure path. */
+    std::uint64_t retiredPages[kNumNodes] = {0, 0};
 };
 
 /** The simulated kernel. */
@@ -352,6 +371,42 @@ class Kernel
     };
 
     TouchResult handlePageFault(PageNum vpn, Cycles now);
+
+    /**
+     * Query the ECC fault points for a touch of @p vpn on @p meta's
+     * frame and run the memory-failure handler when one fires. A UE
+     * takes the hard path (@ref hardMemoryFailure); a CE past the
+     * retire threshold soft-offlines the page. A huge mapping is split
+     * first so only one 4 KiB frame is ever retired.
+     *
+     * @param huge_base base vpn of the covering PMD, or kNoPage.
+     * @param remapped set when the mapping was split or moved (the
+     *        caller must re-resolve its metadata pointers).
+     * @return true when the handler completed the touch itself (SIGBUS
+     *         raised, or a cache page dropped and re-read) and @p
+     *         result holds the final outcome.
+     */
+    bool maybeEccFault(PageNum vpn, PageNum huge_base, Cycles now,
+                       TouchResult &result, bool *remapped);
+
+    /**
+     * Hard memory-failure path for a present 4 KiB mapping (Linux
+     * memory_failure()): unmap, retire the frame, then either re-read
+     * a clean page-cache page from disk or raise the SIGBUS-analogue
+     * for an anonymous page.
+     */
+    void hardMemoryFailure(PageNum vpn, PageMeta &meta, Cycles now,
+                           TouchResult &result);
+
+    /**
+     * Soft-offline @p vpn (Linux soft_offline_page()): migrate it to a
+     * healthy frame on the same tier (fallback: the other tier) with
+     * the usual bounded retry/backoff, then retire the old frame. On
+     * exhaustion the page stays where it is and its CE history resets.
+     * @return cycles charged to the touching thread.
+     */
+    Cycles softOfflinePage(PageNum vpn, PageMeta &meta, Cycles now);
+
     MemNode choosePlacement(const Vma &vma, PageNum vpn);
     bool tryHugeFaultAlloc(const Vma &vma, PageNum vpn, Cycles now,
                            TouchResult &result);

@@ -175,6 +175,27 @@ class TieringPolicy
     }
 
     /**
+     * The memory-failure handler retired a frame on @p node (soft
+     * offline past the CE threshold, or the uncorrectable hard path).
+     * The tier's effective capacity shrank by one page; scanning
+     * policies use this to back off promotions into an eroding tier.
+     *
+     * @param vpn the page that lived on the poisoned frame.
+     * @param node tier of the retired frame.
+     * @param uncorrectable true for the UE hard path, false for a
+     *        CE-threshold soft offline.
+     */
+    virtual void
+    onMemoryFailure(PageNum vpn, MemNode node, bool uncorrectable,
+                    Cycles now)
+    {
+        (void)vpn;
+        (void)node;
+        (void)uncorrectable;
+        (void)now;
+    }
+
+    /**
      * khugepaged collapsed the 4 KiB range at @p base_vpn into a PMD
      * mapping. Hotness state the policy tracked per 4 KiB page now
      * aggregates to the whole range.

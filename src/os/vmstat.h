@@ -91,6 +91,28 @@ struct VmStat
     /** PMD mappings freed whole by munmap. */
     std::uint64_t thpUnmapHuge = 0;
 
+    /** Correctable ECC errors observed on mapped frames. */
+    std::uint64_t hwpoisonCe = 0;
+
+    /** Uncorrectable ECC errors (memory-failure hard path entered). */
+    std::uint64_t hwpoisonUe = 0;
+
+    /** Pages soft-offlined: migrated off a failing frame, frame retired. */
+    std::uint64_t hwpoisonSoftOffline = 0;
+
+    /** Soft-offline attempts abandoned (no healthy frame / copy kept
+     *  failing); the page stays on its frame and CE history resets. */
+    std::uint64_t hwpoisonSoftOfflineFail = 0;
+
+    /** Anonymous/dirty pages killed with the SIGBUS-analogue. */
+    std::uint64_t hwpoisonSigbus = 0;
+
+    /** Clean page-cache pages dropped by the hard path (re-read later). */
+    std::uint64_t hwpoisonCacheDropped = 0;
+
+    /** Frames permanently retired across both tiers. */
+    std::uint64_t hwpoisonFramesRetired = 0;
+
     /** Delta of every field between two snapshots (this - earlier). */
     VmStat
     delta(const VmStat &earlier) const
@@ -122,6 +144,17 @@ struct VmStat
         d.thpCollapseFail = thpCollapseFail - earlier.thpCollapseFail;
         d.thpSplitPage = thpSplitPage - earlier.thpSplitPage;
         d.thpUnmapHuge = thpUnmapHuge - earlier.thpUnmapHuge;
+        d.hwpoisonCe = hwpoisonCe - earlier.hwpoisonCe;
+        d.hwpoisonUe = hwpoisonUe - earlier.hwpoisonUe;
+        d.hwpoisonSoftOffline =
+            hwpoisonSoftOffline - earlier.hwpoisonSoftOffline;
+        d.hwpoisonSoftOfflineFail =
+            hwpoisonSoftOfflineFail - earlier.hwpoisonSoftOfflineFail;
+        d.hwpoisonSigbus = hwpoisonSigbus - earlier.hwpoisonSigbus;
+        d.hwpoisonCacheDropped =
+            hwpoisonCacheDropped - earlier.hwpoisonCacheDropped;
+        d.hwpoisonFramesRetired =
+            hwpoisonFramesRetired - earlier.hwpoisonFramesRetired;
         return d;
     }
 };

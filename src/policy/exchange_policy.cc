@@ -86,6 +86,14 @@ ExchangePolicy::onHintFault(PageNum vpn, Cycles now, PageMeta &meta)
         return 0;
     ++stat.hintFaultsNvm;
 
+    if (now < promotionHoldUntil) {
+        // A DRAM frame was just retired: neither a promotion nor an
+        // exchange should push more pages into the shrinking tier until
+        // reclaim has adjusted to the reduced capacity.
+        ++stat.promotionsHeldOff;
+        return 0;
+    }
+
     const Cycles latency = now >= meta.scanTime ? now - meta.scanTime : 0;
     if (latency >= cfg.hotThreshold) {
         ++stat.rejectedCold;
@@ -152,6 +160,20 @@ ExchangePolicy::onDemotionRequest(PageNum vpn, Cycles now,
     return DemotionDecision::allow();
 }
 
+void
+ExchangePolicy::onMemoryFailure(PageNum vpn, MemNode node,
+                                bool uncorrectable, Cycles now)
+{
+    (void)uncorrectable;
+    ++stat.memoryFailures;
+    // The retired frame's page is gone or moved; drop any protection
+    // entry so the map does not pin a recycled virtual page number.
+    protectedUntil.erase(vpn);
+    if (node == MemNode::DRAM)
+        promotionHoldUntil = std::max(promotionHoldUntil,
+                                      now + cfg.failureHoldoff);
+}
+
 std::vector<PolicyCounter>
 ExchangePolicy::snapshotStats() const
 {
@@ -166,6 +188,8 @@ ExchangePolicy::snapshotStats() const
         {"no_victim", stat.noVictim},
         {"demotions_vetoed", stat.demotionsVetoed},
         {"scans_paused", stat.scansPaused},
+        {"memory_failures", stat.memoryFailures},
+        {"promotions_held_off", stat.promotionsHeldOff},
     };
 }
 

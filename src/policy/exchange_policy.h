@@ -42,6 +42,9 @@ struct ExchangePolicyParams
 
     /** Reclaim-demotion protection window for exchanged-in pages. */
     Cycles protectWindow = secondsToCycles(0.05);
+
+    /** Promotion/exchange holdoff after a DRAM frame retirement. */
+    Cycles failureHoldoff = secondsToCycles(0.01);
 };
 
 /** Observable statistics of the exchange policy. */
@@ -57,6 +60,8 @@ struct ExchangePolicyStats
     std::uint64_t noVictim = 0;          ///< No DRAM victim available.
     std::uint64_t demotionsVetoed = 0;   ///< Protected-page reclaim hits.
     std::uint64_t scansPaused = 0;       ///< Rounds skipped, breaker open.
+    std::uint64_t memoryFailures = 0;    ///< Frames retired under us.
+    std::uint64_t promotionsHeldOff = 0; ///< Skipped in the holdoff.
 };
 
 /** The hot/cold exchange policy. */
@@ -84,6 +89,10 @@ class ExchangePolicy : public TieringPolicy
                                        const PageMeta &meta,
                                        bool direct) override;
 
+    /** A frame retired: hold off DRAM-bound traffic for a window. */
+    void onMemoryFailure(PageNum vpn, MemNode node, bool uncorrectable,
+                         Cycles now) override;
+
     std::vector<PolicyCounter> snapshotStats() const override;
 
     /** Policy statistics. */
@@ -96,6 +105,7 @@ class ExchangePolicy : public TieringPolicy
 
     Addr scanCursor = 0;          ///< Resume address for the VMA walk.
     std::uint32_t batchUsed = 0;  ///< Exchanges spent this scan period.
+    Cycles promotionHoldUntil = 0;  ///< Holdoff after a DRAM retirement.
 
     /** Exchange-in time of pages under demotion protection. */
     std::unordered_map<PageNum, Cycles> protectedUntil;

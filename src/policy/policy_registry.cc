@@ -28,6 +28,8 @@ autonumaParams(const PolicyContext &ctx)
             ? t.getU64("rate_limit_kib", 0) * kKiB
             : p.rateLimitBytesPerSec;
     p.adjustPeriod = t.getMillis("adjust_period_ms", p.adjustPeriod);
+    p.failureHoldoff = t.getMillis("failure_holdoff_ms",
+                                   p.failureHoldoff);
     return p;
 }
 
@@ -49,6 +51,8 @@ exchangeParams(const PolicyContext &ctx)
     p.exchangeBatch = static_cast<std::uint32_t>(
         t.getU64("exchange_batch", p.exchangeBatch));
     p.protectWindow = t.getMillis("protect_ms", p.protectWindow);
+    p.failureHoldoff = t.getMillis("failure_holdoff_ms",
+                                   p.failureHoldoff);
     return p;
 }
 
@@ -62,7 +66,7 @@ PolicyRegistry::PolicyRegistry()
         "through reclaim",
         {"scan_period_ms", "scan_pages", "hot_threshold_ms",
          "threshold_min_ms", "threshold_max_ms", "rate_limit_kib",
-         "adjust_period_ms"},
+         "adjust_period_ms", "failure_holdoff_ms"},
         [](const PolicyContext &ctx) -> std::unique_ptr<TieringPolicy> {
             return std::make_unique<AutoNuma>(ctx.kernel,
                                               autonumaParams(ctx));
@@ -72,7 +76,7 @@ PolicyRegistry::PolicyRegistry()
         "AutoTiering-style hot/cold page exchange: hot NVM pages swap "
         "with the coldest DRAM page directly, bypassing reclaim",
         {"scan_period_ms", "scan_pages", "hot_threshold_ms",
-         "exchange_batch", "protect_ms"},
+         "exchange_batch", "protect_ms", "failure_holdoff_ms"},
         [](const PolicyContext &ctx) -> std::unique_ptr<TieringPolicy> {
             return std::make_unique<ExchangePolicy>(ctx.kernel,
                                                     exchangeParams(ctx));

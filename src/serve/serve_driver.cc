@@ -17,6 +17,9 @@ setValue(std::uint64_t seed, std::uint64_t seq)
     return (seed ^ 0x7365727665ULL) + seq;  // Never the LSM tombstone.
 }
 
+/** Checksum sentinel recorded for a request killed by SIGBUS. */
+constexpr std::uint64_t kSigbusDigest = 0x53494742ULL;  // "SIGB"
+
 }  // namespace
 
 ServingReport
@@ -69,6 +72,13 @@ runServing(Engine &eng, SimHeap &heap, const ServingSpec &spec)
         if (t.clock() < arrival)
             t.setClock(arrival);  // Idle server: no queueing delay.
 
+        // Requests execute one at a time, so a change in the kernel's
+        // SIGBUS count across the request pins the kill to it: the
+        // server thread aborted mid-request and the client sees an
+        // error response instead of an answer.
+        const std::uint64_t sigbus_before =
+            eng.kernel().vmstat().hwpoisonSigbus;
+
         std::uint64_t digest = 0;
         switch (r.op) {
           case ServeOp::Get: {
@@ -101,6 +111,11 @@ runServing(Engine &eng, SimHeap &heap, const ServingSpec &spec)
                         : lsm->scan(t, r.key, r.scanLength);
             break;
           }
+        }
+
+        if (eng.kernel().vmstat().hwpoisonSigbus != sigbus_before) {
+            ++out.errors;
+            digest = kSigbusDigest;
         }
 
         const Cycles latency = t.clock() - arrival;

@@ -34,6 +34,24 @@ struct ServingReport
     /** Requests executed (== GeneratorParams::requests). */
     std::uint64_t requests = 0;
 
+    /**
+     * Requests failed by a memory-failure SIGBUS on the serving thread.
+     * The request still consumed its service time (it is in the latency
+     * histograms) but its answer was never delivered; the checksum
+     * records the error sentinel instead of a read result.
+     */
+    std::uint64_t errors = 0;
+
+    /** Fraction of requests answered successfully. */
+    double
+    availability() const
+    {
+        if (requests == 0)
+            return 1.0;
+        return static_cast<double>(requests - errors) /
+               static_cast<double>(requests);
+    }
+
     /** Order-independent digest of every read result (the
      *  policy-invariance check: placement must not change answers). */
     std::uint64_t checksum = 0;

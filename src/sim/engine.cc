@@ -304,6 +304,7 @@ Engine::accessCore(ThreadContext &t, Addr addr, MemOp op, bool assists)
 
     Cycles cost = 0;
     bool tlb_miss = false;
+    bool sigbus = false;
     MemNode node = MemNode::DRAM;
     bool node_known = false;
 
@@ -346,6 +347,7 @@ Engine::accessCore(ThreadContext &t, Addr addr, MemOp op, bool assists)
         cost += tr.cost;
         node = tr.node;
         node_known = true;
+        sigbus = tr.sigbus;
         if (tr.pageFault)
             ++t.pageFaults;
         if (tr.hintFault)
@@ -409,11 +411,13 @@ Engine::accessCore(ThreadContext &t, Addr addr, MemOp op, bool assists)
         t.lfb.add(line, t.clock() + cost);
     }
 
-    if (assists && node_known) {
-        // Cache the resolved translation. touchPage may have remapped
-        // (epoch bump); its returned node is post-mutation, but the
-        // hugeness read at lookup time could be stale, so refresh it
-        // when the epoch moved under the element.
+    if (assists && node_known && !sigbus) {
+        // Cache the resolved translation (never on SIGBUS: the poison
+        // handler destroyed the mapping, so there is nothing valid to
+        // cache and the audit would rightly flag the entry). touchPage
+        // may have remapped (epoch bump); its returned node is
+        // post-mutation, but the hugeness read at lookup time could be
+        // stale, so refresh it when the epoch moved under the element.
         const std::uint64_t epoch = kern->translationEpoch();
         const bool huge_now =
             thp_on ? (epoch == epoch0 ? huge : kern->isHugeMapped(vpn))

@@ -84,6 +84,56 @@ TEST(FaultPlan, RejectsMalformedSpecs)
     }
 }
 
+TEST(FaultPlan, ParsesEccPoints)
+{
+    const FaultPlan plan =
+        FaultPlan::parseOrDie("ecc_ce:p=0.1,burst=2;ecc_ue:p=0.01;seed=3");
+    EXPECT_TRUE(plan.at(FaultPoint::EccCorrectable).enabled());
+    EXPECT_DOUBLE_EQ(plan.at(FaultPoint::EccCorrectable).probability,
+                     0.1);
+    EXPECT_EQ(plan.at(FaultPoint::EccCorrectable).burstLength, 2u);
+    EXPECT_TRUE(plan.at(FaultPoint::EccUncorrectable).enabled());
+    const std::string s = plan.summary();
+    EXPECT_NE(s.find("ecc_ce"), std::string::npos) << s;
+    EXPECT_NE(s.find("ecc_ue"), std::string::npos) << s;
+}
+
+TEST(FaultPlan, PointCountDerivedFromSentinel)
+{
+    // kNumFaultPoints derives from the enum's Count sentinel, so every
+    // point has a stable name and a parseable spelling.
+    EXPECT_EQ(kNumFaultPoints, static_cast<int>(FaultPoint::Count));
+    for (int i = 0; i < kNumFaultPoints; ++i) {
+        const auto point = static_cast<FaultPoint>(i);
+        const char *name = faultPointName(point);
+        ASSERT_NE(name, nullptr);
+        const FaultPlan plan =
+            FaultPlan::parseOrDie(std::string(name) + ":p=0.5");
+        EXPECT_TRUE(plan.at(point).enabled()) << name;
+    }
+}
+
+TEST(FaultPlan, UnknownPointErrorNamesTheAlternatives)
+{
+    FaultPlan plan;
+    std::string error;
+    EXPECT_FALSE(FaultPlan::parse("bogus:p=0.5", &plan, &error));
+    EXPECT_NE(error.find("bogus"), std::string::npos) << error;
+    EXPECT_NE(error.find("ecc_ce"), std::string::npos) << error;
+    EXPECT_NE(error.find("ecc_ue"), std::string::npos) << error;
+}
+
+TEST(FaultPlan, OutOfRangeProbabilityErrorIsSpecific)
+{
+    for (const char *spec : {"migrate:p=1.5", "ecc_ce:p=-0.25"}) {
+        FaultPlan plan;
+        std::string error;
+        EXPECT_FALSE(FaultPlan::parse(spec, &plan, &error)) << spec;
+        EXPECT_NE(error.find("out of range"), std::string::npos)
+            << spec << ": " << error;
+    }
+}
+
 TEST(FaultPlan, SummaryNamesEnabledPoints)
 {
     const FaultPlan plan =
@@ -496,6 +546,223 @@ TEST_F(FaultKernelTest, FailedExchangeHasNoSideEffects)
     checker.checkNow(t + 2);
 }
 
+// ---------------------------------------------- Memory failure (ECC)
+
+TEST_F(FaultKernelTest, CorrectableThresholdSoftOfflinesTheFrame)
+{
+    const Addr base = populate(4);
+    const PageNum vpn = pageOf(base);
+    const FrameNum old_frame = kern.pageMeta(vpn)->frame;
+    const std::uint64_t healthy = phys.dram().healthyPages();
+
+    FaultInjector inj(FaultPlan::parseOrDie("ecc_ce:p=1"));
+    kern.setFaultInjector(&inj);
+
+    // Threshold is 3 CEs on the same frame: the first two touches only
+    // count, the third soft-offlines (migrate to a healthy frame, same
+    // tier, retire the failing one). The touch itself still completes.
+    const Cycles t = secondsToCycles(0.01);
+    kern.touchPage(vpn, t, MemOp::Load);
+    kern.touchPage(vpn, t + 1, MemOp::Load);
+    EXPECT_EQ(kern.vmstat().hwpoisonSoftOffline, 0u);
+    const TouchResult tr = kern.touchPage(vpn, t + 2, MemOp::Load);
+    EXPECT_FALSE(tr.sigbus);
+
+    const VmStat &vm = kern.vmstat();
+    EXPECT_EQ(vm.hwpoisonCe, 3u);
+    EXPECT_EQ(vm.hwpoisonSoftOffline, 1u);
+    EXPECT_EQ(vm.hwpoisonFramesRetired, 1u);
+    EXPECT_EQ(vm.hwpoisonSigbus, 0u);
+    // Soft offline is not a promotion/demotion/exchange: the migration
+    // counter identity is untouched.
+    EXPECT_EQ(vm.pgmigrateSuccess, 0u);
+
+    const PageMeta *meta = kern.pageMeta(vpn);
+    ASSERT_NE(meta, nullptr);
+    EXPECT_TRUE(meta->present);
+    EXPECT_EQ(meta->node, MemNode::DRAM);  // Same tier preferred.
+    EXPECT_NE(meta->frame, old_frame);
+    EXPECT_TRUE(phys.dram().isRetired(old_frame));
+    EXPECT_EQ(phys.dram().healthyPages(), healthy - 1);
+    EXPECT_EQ(phys.dram().retiredPages(), 1u);
+
+    InvariantChecker checker(kern);
+    checker.checkNow(t + 3);
+}
+
+TEST_F(FaultKernelTest, UncorrectableAnonymousPageRaisesSigbus)
+{
+    const Addr base = populate(4);
+    const PageNum vpn = pageOf(base) + 1;
+    const FrameNum old_frame = kern.pageMeta(vpn)->frame;
+
+    FaultInjector inj(FaultPlan::parseOrDie("ecc_ue:p=1"));
+    kern.setFaultInjector(&inj);
+    const Cycles t = secondsToCycles(0.01);
+    const std::uint64_t shots = shootdown.count;
+    const TouchResult tr = kern.touchPage(vpn, t, MemOp::Load);
+
+    // The only copy of an anonymous page died with its frame: the
+    // touch did not complete, the mapping is gone, the frame poisoned.
+    EXPECT_TRUE(tr.sigbus);
+    EXPECT_EQ(tr.node, MemNode::DRAM);  // Failed frame's tier (timing).
+    const VmStat &vm = kern.vmstat();
+    EXPECT_EQ(vm.hwpoisonUe, 1u);
+    EXPECT_EQ(vm.hwpoisonSigbus, 1u);
+    EXPECT_EQ(vm.hwpoisonFramesRetired, 1u);
+    EXPECT_EQ(kern.pageMeta(vpn), nullptr);
+    EXPECT_TRUE(phys.dram().isRetired(old_frame));
+    EXPECT_GT(shootdown.count, shots);
+
+    // The SIGBUS-analogue is survivable: a restarted iteration's next
+    // touch takes a fresh minor fault onto a healthy frame.
+    kern.setFaultInjector(nullptr);
+    const std::uint64_t faults_before = vm.pgfault;
+    const TouchResult again = kern.touchPage(vpn, t + 10, MemOp::Store);
+    EXPECT_FALSE(again.sigbus);
+    EXPECT_EQ(kern.vmstat().pgfault, faults_before + 1);
+    ASSERT_NE(kern.pageMeta(vpn), nullptr);
+    EXPECT_NE(kern.pageMeta(vpn)->frame, old_frame);
+
+    InvariantChecker checker(kern);
+    checker.checkNow(t + 11);
+}
+
+TEST_F(FaultKernelTest, UncorrectableCleanCachePageRereadsFromDisk)
+{
+    const Addr file = kern.registerFile(2 * kPageSize, "input.sg");
+    const PageNum vpn = pageOf(file);
+    kern.ensureCached(vpn, 1000);
+    const FrameNum old_frame = kern.pageMeta(vpn)->frame;
+
+    FaultInjector inj(FaultPlan::parseOrDie("ecc_ue:p=1"));
+    kern.setFaultInjector(&inj);
+    const Cycles t = secondsToCycles(0.01);
+    const TouchResult tr = kern.touchPage(vpn, t, MemOp::Load);
+
+    // A clean page-cache page has an intact copy on disk: the poisoned
+    // frame is dropped and re-read, the touch completes without a kill
+    // -- just slower by at least the disk fetch.
+    EXPECT_FALSE(tr.sigbus);
+    EXPECT_GE(tr.cost,
+              KernelParams{}.memoryFailureCycles +
+                  KernelParams{}.diskReadCyclesPerPage);
+    const VmStat &vm = kern.vmstat();
+    EXPECT_EQ(vm.hwpoisonUe, 1u);
+    EXPECT_EQ(vm.hwpoisonCacheDropped, 1u);
+    EXPECT_EQ(vm.hwpoisonSigbus, 0u);
+    EXPECT_EQ(vm.hwpoisonFramesRetired, 1u);
+
+    const PageMeta *meta = kern.pageMeta(vpn);
+    ASSERT_NE(meta, nullptr);  // Remapped by the re-read.
+    EXPECT_TRUE(meta->present);
+    EXPECT_NE(meta->frame, old_frame);
+    EXPECT_TRUE(phys.dram().isRetired(old_frame));
+
+    InvariantChecker checker(kern);
+    checker.checkNow(t + 1);
+}
+
+TEST_F(FaultKernelTest, SoftOfflineFallsBackToNvmWhenDramIsFull)
+{
+    // Fill DRAM completely so the home tier has no healthy free frame;
+    // the soft offline must fall back to NVM rather than fail.
+    // First-touch placement keeps a watermark reserve of free DRAM, so
+    // drain that reserve through the allocator directly.
+    const Addr big = populate(kDramPages);
+    const PageNum vpn = pageOf(big);
+    std::vector<FrameNum> drained;
+    while (auto f = phys.dram().allocate(FrameOwner::App))
+        drained.push_back(*f);
+    ASSERT_EQ(phys.dram().freePages(), 0u);
+
+    FaultInjector inj(FaultPlan::parseOrDie("ecc_ce:p=1"));
+    kern.setFaultInjector(&inj);
+    const Cycles t = secondsToCycles(0.01);
+    for (int i = 0; i < 3; ++i)
+        kern.touchPage(vpn, t + i, MemOp::Load);
+
+    EXPECT_EQ(kern.vmstat().hwpoisonSoftOffline, 1u);
+    const PageMeta *meta = kern.pageMeta(vpn);
+    ASSERT_NE(meta, nullptr);
+    EXPECT_EQ(meta->node, MemNode::NVM);
+
+    // Return the drained reserve so frame conservation holds again.
+    for (const FrameNum f : drained)
+        phys.dram().free(f, FrameOwner::App);
+    InvariantChecker checker(kern);
+    checker.checkNow(t + 4);
+}
+
+TEST_F(FaultKernelTest, OfflineStormTripsTheBreaker)
+{
+    const Addr base = populate(16);
+    FaultInjector inj(FaultPlan::parseOrDie("ecc_ue:p=1"));
+    kern.setFaultInjector(&inj);
+
+    // Each UE is a hard offline recorded as a migration failure: eight
+    // of them in one burst cross the breaker's minimum-attempts floor
+    // at rate 1.0. (One timestamp for the whole storm: spreading the
+    // records over cycles decays the attempt window fractionally below
+    // the floor.)
+    const Cycles t = secondsToCycles(0.01);
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const TouchResult tr =
+            kern.touchPage(pageOf(base) + i, t, MemOp::Load);
+        EXPECT_TRUE(tr.sigbus);
+    }
+    EXPECT_EQ(kern.vmstat().hwpoisonSigbus, 8u);
+    EXPECT_GE(kern.vmstat().breakerTrips, 1u);
+    EXPECT_TRUE(kern.migrationBreaker().isOpen(t + 8));
+
+    InvariantChecker checker(kern);
+    checker.checkNow(t + 9);
+}
+
+TEST(FaultThp, UncorrectableSplitsHugeMappingBeforeRetiring)
+{
+    // A UE on one 4 KiB subframe of a PMD mapping must poison only
+    // that frame: the kernel splits the mapping first (as Linux
+    // memory_failure() does) and the other 511 pages stay mapped.
+    KernelParams kp;
+    kp.thp.enabled = true;
+    kp.thp.faultAlloc = true;
+    PhysicalMemory phys(makeDramParams(2 * kPagesPerHuge * kPageSize),
+                        makeNvmParams(8 * kPagesPerHuge * kPageSize));
+    Kernel kern(phys, kp);
+
+    const Addr a = kern.mmap(0, kHugePageSize, 0, "huge");
+    const PageNum base = pageOf(a);
+    kern.touchPage(base, 1000, MemOp::Store);
+    ASSERT_EQ(kern.vmstat().thpFaultAlloc, 1u);
+    ASSERT_TRUE(kern.isHugeMapped(base));
+
+    FaultInjector inj(FaultPlan::parseOrDie("ecc_ue:p=1"));
+    kern.setFaultInjector(&inj);
+    const Cycles t = secondsToCycles(0.01);
+    const TouchResult tr = kern.touchPage(base + 5, t, MemOp::Load);
+
+    EXPECT_TRUE(tr.sigbus);
+    const VmStat &vm = kern.vmstat();
+    EXPECT_EQ(vm.thpSplitPage, 1u);
+    EXPECT_EQ(vm.hwpoisonUe, 1u);
+    EXPECT_EQ(vm.hwpoisonSigbus, 1u);
+    EXPECT_EQ(vm.hwpoisonFramesRetired, 1u);  // One frame, not 512.
+    EXPECT_EQ(phys.dram().retiredPages(), 1u);
+    EXPECT_FALSE(kern.isHugeMapped(base));
+    EXPECT_EQ(kern.pageMeta(base + 5), nullptr);
+    for (std::uint64_t i = 0; i < kPagesPerHuge; ++i) {
+        if (i == 5)
+            continue;
+        const PageMeta *meta = kern.pageMeta(base + i);
+        ASSERT_NE(meta, nullptr) << i;
+        EXPECT_TRUE(meta->present) << i;
+    }
+
+    InvariantChecker checker(kern);
+    checker.checkNow(t + 1);
+}
+
 // -------------------------------------------------- Engine integration
 
 TEST(FaultEngine, NoInjectorConstructedWithoutPlan)
@@ -606,6 +873,87 @@ TEST(FaultEndToEnd, BfsSurvivesTwentyPercentMigrationFailures)
     EXPECT_GE(r.vmstat.breakerTrips, 1u);
     EXPECT_GT(r.vmstat.promotePaused, 0u);
     EXPECT_GT(r.invariantChecksRun, 0u);
+}
+
+TEST(FaultEndToEnd, NoEccPlanLeavesHwpoisonCountersZero)
+{
+    // Bit-identity contract: with the ECC points disabled nothing in
+    // the memory-failure subsystem may run.
+    const RunResult r = runWorkload(faultyConfig(""));
+    EXPECT_EQ(r.vmstat.hwpoisonCe, 0u);
+    EXPECT_EQ(r.vmstat.hwpoisonUe, 0u);
+    EXPECT_EQ(r.vmstat.hwpoisonSoftOffline, 0u);
+    EXPECT_EQ(r.vmstat.hwpoisonSoftOfflineFail, 0u);
+    EXPECT_EQ(r.vmstat.hwpoisonSigbus, 0u);
+    EXPECT_EQ(r.vmstat.hwpoisonCacheDropped, 0u);
+    EXPECT_EQ(r.vmstat.hwpoisonFramesRetired, 0u);
+    EXPECT_EQ(r.finalNumastat.retiredPages[0], 0u);
+    EXPECT_EQ(r.finalNumastat.retiredPages[1], 0u);
+    EXPECT_EQ(r.iterationsAborted, 0u);
+    EXPECT_DOUBLE_EQ(r.availability(), 1.0);
+}
+
+TEST(FaultEndToEnd, EccPlanReplaysBitIdenticallyUnderInvariants)
+{
+    // The acceptance scenario for the memory-failure subsystem: an ECC
+    // chaos plan heavy enough to retire frames and kill iterations must
+    // replay bit-identically (identical vmstat, identical checksum)
+    // with the invariant checker proving no poisoned frame is ever
+    // mapped or re-allocated.
+    RunConfig rc =
+        faultyConfig("ecc_ce:p=0.05;ecc_ue:p=0.01;seed=42");
+    rc.sys.checkInvariants = true;
+    rc.sys.invariantCheckPeriod = 128;
+    const RunResult a = runWorkload(rc);
+    const RunResult b = runWorkload(rc);
+
+    EXPECT_EQ(std::memcmp(&a.vmstat, &b.vmstat, sizeof(VmStat)), 0);
+    EXPECT_EQ(a.outputChecksum, b.outputChecksum);
+    EXPECT_DOUBLE_EQ(a.totalSeconds, b.totalSeconds);
+    EXPECT_EQ(a.iterationsAborted, b.iterationsAborted);
+
+    EXPECT_GT(a.vmstat.hwpoisonCe, 0u);
+    EXPECT_GT(a.vmstat.hwpoisonUe, 0u);
+    EXPECT_GT(a.vmstat.hwpoisonFramesRetired, 0u);
+    EXPECT_EQ(a.vmstat.hwpoisonSoftOffline + a.vmstat.hwpoisonSigbus +
+                  a.vmstat.hwpoisonCacheDropped,
+              a.vmstat.hwpoisonFramesRetired);
+    EXPECT_EQ(a.finalNumastat.retiredPages[0] +
+                  a.finalNumastat.retiredPages[1],
+              a.vmstat.hwpoisonFramesRetired);
+    EXPECT_GT(a.invariantChecksRun, 0u);
+    EXPECT_EQ(a.iterationsTotal, 4u);  // BFS trials.
+    EXPECT_LE(a.availability(), 1.0);
+}
+
+TEST(FaultEndToEnd, ServingReportsAvailabilityUnderEcc)
+{
+    RunConfig rc;
+    rc.workload.app = App::KV;
+    rc.workload.kind = GraphKind::Kron;
+    rc.workload.scale = 12;
+    rc.workload.trials = 2;
+    rc.policy = "autonuma";
+    rc.sampling = false;
+    rc.sys.checkInvariants = true;
+    rc.sys.invariantCheckPeriod = 256;
+    rc.sys.faults = FaultPlan::parseOrDie("ecc_ue:p=0.05;seed=7");
+    const RunResult r = runWorkload(rc);
+
+    ASSERT_TRUE(r.hasServing);
+    // Every SIGBUS in the serve phase failed exactly one request (the
+    // prefill runs before request accounting, so <=), and the report's
+    // availability reflects the failures.
+    EXPECT_GT(r.serving.errors, 0u);
+    EXPECT_LE(r.serving.errors, r.vmstat.hwpoisonSigbus);
+    EXPECT_LT(r.serving.availability(), 1.0);
+    EXPECT_EQ(r.iterationsAborted, r.serving.errors);
+    EXPECT_GT(r.invariantChecksRun, 0u);
+
+    // Failure handling is deterministic, like everything else.
+    const RunResult again = runWorkload(rc);
+    EXPECT_EQ(again.serving.errors, r.serving.errors);
+    EXPECT_EQ(again.outputChecksum, r.outputChecksum);
 }
 
 }  // namespace

@@ -63,6 +63,65 @@ TEST(FrameAllocator, CountsStayConsistent)
     EXPECT_EQ(fa.freeFrames(), 8u);
 }
 
+// -------------------------------------- FrameAllocator, frame health
+
+TEST(FrameAllocatorHealth, RetiredFrameIsNeverRecycled)
+{
+    FrameAllocator fa(2);
+    const FrameNum a = fa.allocate().value();
+    fa.retire(a);
+    EXPECT_TRUE(fa.isRetired(a));
+    EXPECT_EQ(fa.retiredFrames(), 1u);
+    // Retired frames stay counted as used forever: the pool shrank.
+    EXPECT_EQ(fa.usedFrames(), 1u);
+    EXPECT_EQ(fa.freeFrames(), 1u);
+    EXPECT_NE(fa.allocate().value(), a);
+    EXPECT_FALSE(fa.allocate().has_value());
+}
+
+TEST(FrameAllocatorHealth, CorrectableCountsPerFrameAndClear)
+{
+    FrameAllocator fa(4);
+    const FrameNum a = fa.allocate().value();
+    const FrameNum b = fa.allocate().value();
+    EXPECT_EQ(fa.recordCorrectable(a), 1u);
+    EXPECT_EQ(fa.recordCorrectable(a), 2u);
+    EXPECT_EQ(fa.recordCorrectable(b), 1u);  // Independent per frame.
+    fa.clearCorrectable(a);
+    EXPECT_EQ(fa.recordCorrectable(a), 1u);  // History reset.
+    // Retiring clears the history too (the frame is gone for good).
+    fa.retire(b);
+    EXPECT_TRUE(fa.isRetired(b));
+}
+
+TEST(FrameAllocatorHealth, RetiredFrameBlocksHugeClaim)
+{
+    // A block containing a retired frame keeps a nonzero used count,
+    // so allocateHuge can never hand out a range with a poisoned page.
+    FrameAllocator fa(2 * kPagesPerHuge);
+    const FrameNum a = fa.allocate().value();
+    ASSERT_LT(a, kPagesPerHuge);
+    fa.retire(a);
+    const FrameNum huge = fa.allocateHuge().value();
+    EXPECT_EQ(huge, kPagesPerHuge);  // The healthy block, not block 0.
+    EXPECT_FALSE(fa.allocateHuge().has_value());
+}
+
+TEST(MemoryTierHealth, RetireShrinksHealthyCapacity)
+{
+    MemoryTier tier(makeDramParams(16 * kPageSize));
+    const FrameNum f = tier.allocate(FrameOwner::App).value();
+    EXPECT_EQ(tier.healthyPages(), 16u);
+    tier.retire(f, FrameOwner::App);
+    EXPECT_TRUE(tier.isRetired(f));
+    EXPECT_EQ(tier.retiredPages(), 1u);
+    EXPECT_EQ(tier.healthyPages(), 15u);
+    EXPECT_EQ(tier.totalPages(), 16u);
+    // The owner no longer holds the page, but the frame stays used.
+    EXPECT_EQ(tier.ownerPages(FrameOwner::App), 0u);
+    EXPECT_EQ(tier.usedPages(), 1u);
+}
+
 // ------------------------------------------- FrameAllocator, 2 MiB path
 
 TEST(FrameAllocatorHuge, AllocatesAlignedFullBlock)
