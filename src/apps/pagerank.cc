@@ -21,10 +21,15 @@ runPageRank(Engine &eng, SimHeap &heap, const SimCsrGraph &g,
         heap.alloc<double>(t0, "pr.contrib", n);
 
     const double init = 1.0 / static_cast<double>(g.numNodes());
+    // Every region below writes only its own [b, e) slice of rank /
+    // contrib (gather reads contrib written by the *previous* barrier),
+    // so they are safe to fan out across host threads.
     eng.parallelForRanges(
-        n, [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+        n,
+        [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
             rank.fillRange(t, b, e, init);
-        });
+        },
+        16, RegionMode::WriteDisjoint);
 
     // Per-thread host staging for the bulk calls.
     struct Scratch
@@ -43,7 +48,8 @@ runPageRank(Engine &eng, SimHeap &heap, const SimCsrGraph &g,
         // the offset slice and the rank slice per subrange, one bulk
         // store of the contributions.
         eng.parallelForRanges(
-            n, [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+            n,
+            [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
                 Scratch &s = scratch[t.id()];
                 s.offs.resize(e - b + 1);
                 g.indexVector().copyOut(t, b, e + 1, s.offs.data());
@@ -58,7 +64,8 @@ runPageRank(Engine &eng, SimHeap &heap, const SimCsrGraph &g,
                             : 0.0;
                 }
                 contrib.putRange(t, b, s.vals.data(), e - b);
-            });
+            },
+            16, RegionMode::WriteDisjoint);
         // Gather phase: pull neighbor contributions. Consecutive
         // vertices' adjacency rows are contiguous in CSR order, so the
         // whole subrange needs only one bulk offset read, one bulk
@@ -66,7 +73,8 @@ runPageRank(Engine &eng, SimHeap &heap, const SimCsrGraph &g,
         // edges name -- the per-vertex work is pure host arithmetic on
         // the staged values.
         eng.parallelForRanges(
-            n, [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+            n,
+            [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
                 if (b == e)
                     return;
                 Scratch &s = scratch[t.id()];
@@ -95,7 +103,8 @@ runPageRank(Engine &eng, SimHeap &heap, const SimCsrGraph &g,
                     s.vals[v - b] = base + damping * sum;
                 }
                 rank.putRange(t, b, s.vals.data(), e - b);
-            });
+            },
+            16, RegionMode::WriteDisjoint);
     }
 
     out.rank.assign(rank.host(), rank.host() + n);

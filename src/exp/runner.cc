@@ -185,6 +185,8 @@ runWorkload(const RunConfig &config, const PlacementPlan *plan)
         out.levelCounts[l] = eng.levelCount(static_cast<MemLevel>(l));
         out.totalAccesses += out.levelCounts[l];
     }
+    out.copyBytes = eng.kernel().copyEngine().bytesCopied();
+    out.copyChargedCycles = eng.kernel().copyEngine().chargedCycles();
     if (eng.faultInjector())
         out.faultsInjected = eng.faultInjector()->totalInjected();
     if (eng.invariantChecker()) {

@@ -115,6 +115,15 @@ struct RunResult
     /** Invariant sweeps completed (0 when checking was off). */
     std::uint64_t invariantChecksRun = 0;
 
+    /**
+     * Bytes moved by the kernel's migration copy engine and the cycles
+     * it charged for them. Simulated migration bandwidth is
+     * copyBytes / cyclesToSeconds(copyChargedCycles); with one copy
+     * worker the cycles equal the legacy per-page charges exactly.
+     */
+    std::uint64_t copyBytes = 0;
+    std::uint64_t copyChargedCycles = 0;
+
     /** Latency report of the serving apps (valid when hasServing). */
     ServingReport serving;
     bool hasServing = false;

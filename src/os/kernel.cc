@@ -9,7 +9,9 @@
 namespace memtier {
 
 Kernel::Kernel(PhysicalMemory &phys, const KernelParams &params)
-    : phys(phys), cfg(params), breaker(params.breaker)
+    : phys(phys), cfg(params), breaker(params.breaker),
+      copyEngine_(CopyEngineParams{params.copyThreads,
+                                   params.copyChunkPages})
 {
     // THP wants VMA starts on PMD boundaries so collapse-eligible
     // ranges exist; 4 KiB mode keeps the legacy page-aligned layout.
@@ -63,6 +65,46 @@ Kernel::recordMigration(bool success, Cycles now)
         if (tieringPolicy)
             tieringPolicy->onBreakerEvent(true, now);
     }
+}
+
+Cycles
+Kernel::chargedCopy(Cycles now, std::uint64_t bytes)
+{
+    const Cycles legacy = roundUpPages(bytes) * cfg.migratePageCycles;
+    const Cycles charged = copyEngine_.copy(now, bytes, legacy);
+    mirrorCopyCounters();
+    return charged;
+}
+
+Cycles
+Kernel::chargedCopyHuge(Cycles now)
+{
+    const Cycles charged =
+        copyEngine_.copy(now, kHugePageSize, cfg.hugeMigrateCycles);
+    mirrorCopyCounters();
+    return charged;
+}
+
+void
+Kernel::backgroundCopy(Cycles now, std::uint64_t bytes)
+{
+    copyEngine_.background(
+        now, bytes, roundUpPages(bytes) * cfg.migratePageCycles);
+    mirrorCopyCounters();
+}
+
+void
+Kernel::mirrorCopyCounters()
+{
+    // Only a parallel pool surfaces pgcopy_* counters; a single-worker
+    // engine keeps vmstat byte-identical to the pre-engine kernel so
+    // every captured golden still matches.
+    if (!copyEngine_.parallel())
+        return;
+    stats.pgcopyChunks = copyEngine_.chunks();
+    stats.pgcopyParallel = copyEngine_.parallelCopies();
+    stats.pgcopyQueuedChunks = copyEngine_.queuedChunks();
+    stats.pgcopyBusyCycles = copyEngine_.busyCycles();
 }
 
 bool
@@ -454,6 +496,54 @@ Kernel::touchPage(PageNum vpn, Cycles now, MemOp op)
     return result;
 }
 
+bool
+Kernel::fastTouch(PageNum vpn, TouchResult *out) const
+{
+    // Host workers may only resolve a touch locally when touchPage
+    // would have done nothing but stamp recency: the page is present
+    // and carries no hint marker, and no fault injector is installed
+    // (the executor refuses to go parallel with one, so the ECC query
+    // touchPage would make is a no-op here). Everything else needs a
+    // kernel round.
+    const PageMeta *meta = pt.find(vpn);
+    if (meta != nullptr && meta->present) {
+        if (meta->protNone)
+            return false;
+        out->node = meta->node;
+        out->cost = 0;
+        out->pageFault = false;
+        out->hintFault = false;
+        out->sigbus = false;
+        return true;
+    }
+    const PageMeta *hmeta = pt.findHuge(vpn);
+    if (hmeta != nullptr && hmeta->present && !hmeta->protNone) {
+        out->node = hmeta->node;
+        out->cost = 0;
+        out->pageFault = false;
+        out->hintFault = false;
+        out->sigbus = false;
+        return true;
+    }
+    return false;
+}
+
+void
+Kernel::applyDeferredRecency(PageNum vpn, Cycles stamp)
+{
+    // The page may have been remapped, collapsed, split or unmapped
+    // between the worker's probe and this round; stamp whatever
+    // mapping covers it now, if any.
+    PageMeta *meta = pt.find(vpn);
+    if (meta != nullptr && meta->present) {
+        meta->lastAccess = stamp;
+        return;
+    }
+    PageMeta *hmeta = pt.findHuge(vpn);
+    if (hmeta != nullptr && hmeta->present)
+        hmeta->lastAccess = stamp;
+}
+
 // -- Memory failure (hwpoison) ----------------------------------------
 
 bool
@@ -629,7 +719,7 @@ Kernel::softOfflinePage(PageNum vpn, PageMeta &meta, Cycles now)
         if (tieringPolicy)
             tieringPolicy->onMemoryFailure(vpn, src, false, now);
         noteEvent(now);
-        return cost + cfg.migratePageCycles;
+        return cost + chargedCopy(now, kPageSize);
     }
 }
 
@@ -764,6 +854,10 @@ Kernel::demotePage(PageNum vpn, PageMeta &meta, bool direct, Cycles now)
         meta.exchanged = false;
     }
     recordMigration(true, now);
+    // Reclaim's copy runs on the engine's workers in the background:
+    // it occupies copy bandwidth but never stalls the reclaiming
+    // context (kswapd overlaps copy with continued execution).
+    backgroundCopy(now, kPageSize);
     return true;
 }
 
@@ -935,7 +1029,7 @@ Kernel::promoteHugePage(PageNum vpn, Cycles now)
     stats.pgmigrateSuccess += kPagesPerHuge;
     recordMigration(true, now);
     noteEvent(now);
-    return cfg.hugeMigrateCycles;
+    return chargedCopyHuge(now);
 }
 
 Cycles
@@ -1002,7 +1096,7 @@ Kernel::promotePage(PageNum vpn, Cycles now)
         ++stats.pgmigrateSuccess;
         recordMigration(true, now);
         noteEvent(now);
-        return cost + cfg.migratePageCycles;
+        return cost + chargedCopy(now, kPageSize);
     }
 }
 
@@ -1089,8 +1183,9 @@ Kernel::exchangePages(PageNum nvm_vpn, PageNum dram_vpn, Cycles now)
     noteEvent(now);
 
     // An exchange copies both pages (roughly two migrations' worth of
-    // data movement) but needs no reclaim episode.
-    return 2 * cfg.migratePageCycles;
+    // data movement) but needs no reclaim episode; with a parallel
+    // copy pool the two page copies proceed on separate workers.
+    return chargedCopy(now, 2 * kPageSize);
 }
 
 bool

@@ -18,6 +18,7 @@
 
 #include "base/types.h"
 #include "fault/circuit_breaker.h"
+#include "mem/copy_engine.h"
 #include "os/address_space.h"
 #include "os/kernel_hooks.h"
 #include "os/page_table.h"
@@ -91,6 +92,17 @@ struct KernelParams
     /** Cost of the memory-failure handler itself (poison bookkeeping,
      *  rmap walk, shootdown), charged on top of any migration/re-read. */
     Cycles memoryFailureCycles = 20'000;
+
+    /**
+     * Copy workers in the migration copy engine (AutoTiering's
+     * copy_page.c pool). 1 charges the legacy serial costs exactly;
+     * more workers fan chunked copies out and shorten the synchronous
+     * migration latency seen by the faulting thread.
+     */
+    std::uint32_t copyThreads = 1;
+
+    /** Copy-engine chunk granularity in 4 KiB pages. */
+    std::uint32_t copyChunkPages = 16;
 
     /** Migration circuit-breaker trip/decay tunables. */
     CircuitBreakerParams breaker;
@@ -198,6 +210,25 @@ class Kernel
 
     /** Residence of a present page (no fault handling, no recency). */
     MemNode nodeOf(PageNum vpn) const;
+
+    /**
+     * Read-only touch probe for host workers running outside a kernel
+     * round: succeeds only when @p vpn is present with no pending hint
+     * fault (4 KiB PTE or PMD mapping), filling @p out with the same
+     * result touchPage would produce for that case (zero cost, no
+     * flags). The recency stamp is NOT updated -- the caller defers it
+     * via applyDeferredRecency at the next round. Returns false when
+     * the touch needs any kernel mutation (fault, hint, ECC check);
+     * the caller must then fall back to a full touchPage.
+     */
+    bool fastTouch(PageNum vpn, TouchResult *out) const;
+
+    /**
+     * Apply a recency stamp deferred by a fastTouch: stamp @p vpn's
+     * metadata (PTE or covering PMD) with @p stamp. Tolerates the page
+     * having been unmapped or remapped since the probe.
+     */
+    void applyDeferredRecency(PageNum vpn, Cycles stamp);
 
     /**
      * Monotonic counter bumped on every remap: migration, demotion,
@@ -351,6 +382,9 @@ class Kernel
     /** Kernel tunables in effect. */
     const KernelParams &params() const { return cfg; }
 
+    /** The migration copy engine (bandwidth/queue introspection). */
+    const CopyEngine &copyEngine() const { return copyEngine_; }
+
   private:
     friend class InvariantChecker;  ///< Reads internal state, only.
 
@@ -434,6 +468,22 @@ class Kernel
     /** Feed the breaker one migration outcome; count trips. */
     void recordMigration(bool success, Cycles now);
 
+    /**
+     * Route a synchronous page copy of @p bytes through the copy
+     * engine; the legacy charge is migratePageCycles per 4 KiB page.
+     * @return cycles the caller waits for the copy.
+     */
+    Cycles chargedCopy(Cycles now, std::uint64_t bytes);
+
+    /** Synchronous 2 MiB copy (legacy charge: hugeMigrateCycles). */
+    Cycles chargedCopyHuge(Cycles now);
+
+    /** Background (demotion) copy: occupies workers, charges nothing. */
+    void backgroundCopy(Cycles now, std::uint64_t bytes);
+
+    /** Mirror copy-engine counters into vmstat (parallel pools only). */
+    void mirrorCopyCounters();
+
     /** Tick the invariant checker after a kernel event. */
     void noteEvent(Cycles now);
 
@@ -458,6 +508,8 @@ class Kernel
 
     CircuitBreaker breaker;
     bool breakerOpenNotified = false;
+
+    CopyEngine copyEngine_;
 
     /** Global translation epoch; see translationEpoch(). */
     std::uint64_t xlatEpoch = 0;

@@ -113,6 +113,22 @@ struct VmStat
     /** Frames permanently retired across both tiers. */
     std::uint64_t hwpoisonFramesRetired = 0;
 
+    /** Copy-engine chunks scheduled over the copy worker pool. */
+    std::uint64_t pgcopyChunks = 0;
+
+    /** Page copies that actually fanned out to more than one worker. */
+    std::uint64_t pgcopyParallel = 0;
+
+    /** Copy chunks that queued behind a busy worker (queue depth). */
+    std::uint64_t pgcopyQueuedChunks = 0;
+
+    /** Cycles copy workers spent busy (foreground + background). */
+    std::uint64_t pgcopyBusyCycles = 0;
+
+    /** Read-only page touches resolved on a host worker without a
+     *  kernel round (parallel host execution fast path). */
+    std::uint64_t hostFastTouches = 0;
+
     /** Delta of every field between two snapshots (this - earlier). */
     VmStat
     delta(const VmStat &earlier) const
@@ -155,6 +171,12 @@ struct VmStat
             hwpoisonCacheDropped - earlier.hwpoisonCacheDropped;
         d.hwpoisonFramesRetired =
             hwpoisonFramesRetired - earlier.hwpoisonFramesRetired;
+        d.pgcopyChunks = pgcopyChunks - earlier.pgcopyChunks;
+        d.pgcopyParallel = pgcopyParallel - earlier.pgcopyParallel;
+        d.pgcopyQueuedChunks =
+            pgcopyQueuedChunks - earlier.pgcopyQueuedChunks;
+        d.pgcopyBusyCycles = pgcopyBusyCycles - earlier.pgcopyBusyCycles;
+        d.hostFastTouches = hostFastTouches - earlier.hostFastTouches;
         return d;
     }
 };

@@ -4,6 +4,7 @@
 
 #include "base/logging.h"
 #include "policy/policy_registry.h"
+#include "sim/host_executor.h"
 
 namespace memtier {
 
@@ -31,6 +32,20 @@ scalarForcedByEnv()
     return value == "ON" || value == "on" || value == "1";
 }
 
+/** Positive integer from @p name, or 0 when unset/unparsable. */
+std::uint32_t
+positiveIntFromEnv(const char *name)
+{
+    const char *env = std::getenv(name);
+    if (env == nullptr || *env == '\0')
+        return 0;
+    char *end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || v <= 0)
+        return 0;
+    return static_cast<std::uint32_t>(v);
+}
+
 }  // namespace
 
 Engine::Engine(const SystemConfig &config)
@@ -44,6 +59,10 @@ Engine::Engine(const SystemConfig &config)
         cfg.scalarPath = true;
     KernelParams kp = cfg.kernel;
     kp.thp = cfg.thp;
+    // MEMTIER_COPY_THREADS sizes the migration copy engine's worker
+    // pool without recompiling, like the other MEMTIER_* overrides.
+    if (const std::uint32_t cw = positiveIntFromEnv("MEMTIER_COPY_THREADS"))
+        kp.copyThreads = cw;
     // The vanilla baseline has no demotion path; tiering kernels keep
     // it even when the AutoNUMA scanner is replaced by another policy.
     kp.demoteOnReclaim = cfg.tieringKernel;
@@ -89,6 +108,16 @@ Engine::Engine(const SystemConfig &config)
     threads.reserve(cfg.numThreads);
     for (std::uint32_t i = 0; i < cfg.numThreads; ++i)
         threads.push_back(std::make_unique<ThreadContext>(i, cfg.cache));
+
+    // Host execution width: config value, overridable by
+    // MEMTIER_HOST_THREADS, clamped to the logical thread count (a
+    // worker needs at least one logical thread to own). 1 keeps the
+    // serial engine exactly as it was -- no executor is ever built.
+    hostThreads_ = std::max<std::uint32_t>(1, cfg.hostThreads);
+    if (const std::uint32_t hw = positiveIntFromEnv("MEMTIER_HOST_THREADS"))
+        hostThreads_ = hw;
+    hostThreads_ = std::min<std::uint32_t>(hostThreads_, cfg.numThreads);
+    cfg.hostThreads = hostThreads_;
 
     nextKswapd = cfg.kswapdPeriod;
     nextScan = tiering && tiering->scanPeriod() > 0
@@ -152,6 +181,20 @@ Engine::globalTime() const
 void
 Engine::maybeRunServices(Cycles now)
 {
+    // On a host worker the services cannot run in place -- they mutate
+    // kernel state other workers are concurrently reading. Park until
+    // the coordinator has run them in a round; round code itself calls
+    // maybeRunServicesImpl directly, so this cannot recurse.
+    if (hostExec_ && hostExec_->inWorker()) {
+        hostExec_->parkForService(now);
+        return;
+    }
+    maybeRunServicesImpl(now);
+}
+
+void
+Engine::maybeRunServicesImpl(Cycles now)
+{
     if (now <= serviceClock)
         return;
     serviceClock = now;
@@ -203,8 +246,8 @@ Engine::writebackLine(ThreadContext &t, Addr line)
     const PageMeta *meta = kern->pageMeta(pageOf(line << kLineShift));
     if (meta == nullptr || !meta->present)
         return;
-    phys.tier(meta->node).access(t.clock(), MemOp::Store,
-                                 /*sequential=*/false);
+    tierAccess(meta->node, t.clock(), MemOp::Store,
+               /*sequential=*/false);
 }
 
 void
@@ -216,13 +259,14 @@ Engine::pushVictim(ThreadContext &t, SetAssocCache &lower,
     if (lower.access(victim.line, victim.dirty))
         return;  // Already present; dirty bit merged by access().
     const CacheEviction next = lower.insert(victim.line, victim.dirty);
-    if (&lower == &l3) {
+    SetAssocCache &shared_l3 = sharedL3Ref();
+    if (&lower == &shared_l3) {
         if (next.valid && next.dirty)
             writebackLine(t, next.line);
         return;
     }
     // lower was L2; its victim falls to the shared L3.
-    pushVictim(t, l3, next);
+    pushVictim(t, shared_l3, next);
 }
 
 void
@@ -230,16 +274,17 @@ Engine::fillOnMiss(ThreadContext &t, Addr line, bool dirty, MemLevel from)
 {
     // Install the line at every level above the servicing one; victims
     // trickle downward and dirty L3 victims write back to memory.
+    SetAssocCache &shared_l3 = sharedL3Ref();
     if (from == MemLevel::DRAM || from == MemLevel::NVM) {
-        if (!l3.contains(line)) {
-            const CacheEviction ev = l3.insert(line, false);
+        if (!shared_l3.contains(line)) {
+            const CacheEviction ev = shared_l3.insert(line, false);
             if (ev.valid && ev.dirty)
                 writebackLine(t, ev.line);
         }
     }
     if (from != MemLevel::L2 && !t.l2.contains(line)) {
         const CacheEviction ev = t.l2.insert(line, false);
-        pushVictim(t, l3, ev);
+        pushVictim(t, shared_l3, ev);
     }
     const CacheEviction ev = t.l1.insert(line, dirty);
     pushVictim(t, t.l2, ev);
@@ -257,8 +302,7 @@ Engine::memoryAccess(ThreadContext &t, Addr addr, MemNode node, MemOp op,
 
     // Stores that miss all caches fetch the line for ownership (RFO) at
     // load latency; the dirty data leaves later via writeback.
-    Cycles lat =
-        phys.tier(node).access(issue_time, MemOp::Load, sequential);
+    Cycles lat = tierAccess(node, issue_time, MemOp::Load, sequential);
     if (faults_ && node == MemNode::NVM) {
         // Injected NVM latency spike (media congestion / thermal jitter).
         lat += faults_->latencyPenalty(FaultPoint::NvmLatency, issue_time);
@@ -271,9 +315,9 @@ Engine::memoryAccess(ThreadContext &t, Addr addr, MemNode node, MemOp op,
         if (pageOf(next_addr) == pageOf(addr)) {
             const Addr next_line = lineOf(next_addr);
             if (!t.l1.contains(next_line) && !t.l2.contains(next_line) &&
-                !l3.contains(next_line)) {
-                const Cycles pf_lat = phys.tier(node).access(
-                    issue_time, MemOp::Load, /*sequential=*/true);
+                !sharedL3Ref().contains(next_line)) {
+                const Cycles pf_lat = tierAccess(
+                    node, issue_time, MemOp::Load, /*sequential=*/true);
                 fillOnMiss(t, next_line, false, MemLevel::DRAM);
                 t.lfb.add(next_line, issue_time + pf_lat);
             }
@@ -340,10 +384,27 @@ Engine::accessCore(ThreadContext &t, Addr addr, MemOp op, bool assists)
         const unsigned mem_refs =
             huge ? cp.pageWalkMemRefsHuge : cp.pageWalkMemRefs;
         for (unsigned i = 0; i < mem_refs; ++i) {
-            cost += phys.dram().access(t.clock() + cost, MemOp::Load,
-                                       /*sequential=*/false);
+            cost += tierAccess(MemNode::DRAM, t.clock() + cost,
+                               MemOp::Load, /*sequential=*/false);
         }
-        const TouchResult tr = kern->touchPage(vpn, t.clock() + cost, op);
+        TouchResult tr;
+        HostLane *lane = tls_host_lane;
+        if (lane == nullptr) {
+            tr = kern->touchPage(vpn, t.clock() + cost, op);
+        } else if (kern->fastTouch(vpn, &tr)) {
+            // Present page, no pending fault: resolved worker-locally.
+            // touchPage would only have stamped recency; defer that to
+            // the next round so the page table stays frozen.
+            lane->recency.emplace_back(vpn, t.clock() + cost);
+            ++lane->vm.hostFastTouches;
+        } else {
+            // Fault or hint fault: a kernel mutation. Park until the
+            // coordinator has run the touch inside a round.
+            const Cycles touch_now = t.clock() + cost;
+            hostExec_->requestRound(touch_now, [&] {
+                tr = kern->touchPage(vpn, touch_now, op);
+            });
+        }
         cost += tr.cost;
         node = tr.node;
         node_known = true;
@@ -390,7 +451,7 @@ Engine::accessCore(ThreadContext &t, Addr addr, MemOp op, bool assists)
         level = MemLevel::L2;
         cost += cp.l2Latency;
         fillOnMiss(t, line, op == MemOp::Store, MemLevel::L2);
-    } else if (l3.access(line, false)) {
+    } else if (sharedL3Ref().access(line, false)) {
         level = MemLevel::L3;
         cost += cp.l3Latency;
         fillOnMiss(t, line, op == MemOp::Store, MemLevel::L3);
@@ -426,7 +487,7 @@ Engine::accessCore(ThreadContext &t, Addr addr, MemOp op, bool assists)
     }
 
     t.advance(cost);
-    ++level_counts[static_cast<int>(level)];
+    ++levelCountsRef()[static_cast<int>(level)];
     if (op == MemOp::Load)
         ++t.loads;
     else
@@ -531,7 +592,7 @@ Engine::accessBatch(ThreadContext &t, std::span<const AccessRequest> reqs)
             else
                 t.tlb.repeatHits(vpn, m);
             t.l1.accessRepeats(line, m, st > 0);
-            level_counts[static_cast<int>(MemLevel::L1)] += m;
+            levelCountsRef()[static_cast<int>(MemLevel::L1)] += m;
             t.loads += m - st;
             t.stores += st;
             i = run_end;
@@ -609,9 +670,9 @@ Engine::accessBatch(ThreadContext &t, std::span<const AccessRequest> reqs)
                     repeats += safe;
                     lfb_hits += lfb_n;
                     any_write = any_write || st > 0;
-                    level_counts[static_cast<int>(MemLevel::LFB)] +=
+                    levelCountsRef()[static_cast<int>(MemLevel::LFB)] +=
                         lfb_n;
-                    level_counts[static_cast<int>(MemLevel::L1)] +=
+                    levelCountsRef()[static_cast<int>(MemLevel::L1)] +=
                         safe - lfb_n;
                     t.loads += safe - st;
                     t.stores += st;
@@ -668,7 +729,7 @@ Engine::accessBatch(ThreadContext &t, std::span<const AccessRequest> reqs)
             total += cost;
             ++repeats;
             any_write = any_write || op == MemOp::Store;
-            ++level_counts[static_cast<int>(level)];
+            ++levelCountsRef()[static_cast<int>(level)];
             if (op == MemOp::Load)
                 ++t.loads;
             else
@@ -795,7 +856,7 @@ Engine::tailRun(ThreadContext &t, Addr line, PageNum vpn, bool huge,
         else
             t.tlb.repeatHits(vpn, m);
         t.l1.accessRepeats(line, m, is_store);
-        level_counts[static_cast<int>(MemLevel::L1)] += m;
+        levelCountsRef()[static_cast<int>(MemLevel::L1)] += m;
         if (is_store)
             t.stores += m;
         else
@@ -855,8 +916,8 @@ Engine::tailRun(ThreadContext &t, Addr line, PageNum vpn, bool huge,
                 total += safe * cp.l1Latency;
                 repeats += safe;
                 lfb_hits += lfb_n;
-                level_counts[static_cast<int>(MemLevel::LFB)] += lfb_n;
-                level_counts[static_cast<int>(MemLevel::L1)] +=
+                levelCountsRef()[static_cast<int>(MemLevel::LFB)] += lfb_n;
+                levelCountsRef()[static_cast<int>(MemLevel::L1)] +=
                     safe - lfb_n;
                 if (is_store)
                     t.stores += safe;
@@ -906,7 +967,7 @@ Engine::tailRun(ThreadContext &t, Addr line, PageNum vpn, bool huge,
         t.advance(cost);
         total += cost;
         ++repeats;
-        ++level_counts[static_cast<int>(level)];
+        ++levelCountsRef()[static_cast<int>(level)];
         if (is_store)
             ++t.stores;
         else
@@ -1009,11 +1070,50 @@ Engine::auditTranslationCaches(Cycles now) const
     }
 }
 
+void
+Engine::runParallelRegion(
+    std::uint64_t n, std::uint64_t grain,
+    const std::function<void(ThreadContext &, std::uint64_t,
+                             std::uint64_t)> &body)
+{
+    syncClocks();
+
+    // Identical static block partition to the serial template; only
+    // the interleaving between partitions changes.
+    std::vector<HostRange> ranges(threads.size());
+    const std::uint64_t per = n / threads.size();
+    const std::uint64_t rem = n % threads.size();
+    std::uint64_t cursor = 0;
+    std::size_t busy = 0;
+    for (std::size_t t = 0; t < threads.size(); ++t) {
+        const std::uint64_t len = per + (t < rem ? 1 : 0);
+        ranges[t] = {cursor, cursor + len};
+        cursor += len;
+        if (len > 0)
+            ++busy;
+    }
+    activeThreads = static_cast<std::uint32_t>(busy);
+
+    if (!hostExec_)
+        hostExec_ = std::make_unique<HostExecutor>(*this, hostThreads_);
+    hostExec_->run(std::move(ranges), grain, body);
+
+    barrier();
+    activeThreads = 1;
+}
+
 Addr
 Engine::sysMmap(ThreadContext &t, std::uint64_t bytes, ObjectId object,
                 const std::string &site)
 {
     t.advance(cfg.syscallCycles);
+    if (hostExec_ && hostExec_->inWorker()) {
+        Addr base = 0;
+        hostExec_->requestRound(t.clock(), [&] {
+            base = kern->mmap(t.clock(), bytes, object, site);
+        });
+        return base;
+    }
     maybeRunServices(t.clock());
     return kern->mmap(t.clock(), bytes, object, site);
 }
@@ -1022,6 +1122,11 @@ void
 Engine::sysMunmap(ThreadContext &t, Addr start)
 {
     t.advance(cfg.syscallCycles);
+    if (hostExec_ && hostExec_->inWorker()) {
+        hostExec_->requestRound(
+            t.clock(), [&] { kern->munmap(t.clock(), start); });
+        return;
+    }
     maybeRunServices(t.clock());
     kern->munmap(t.clock(), start);
 }
@@ -1030,6 +1135,11 @@ void
 Engine::sysMbind(ThreadContext &t, Addr start, const MemPolicy &policy)
 {
     t.advance(cfg.syscallCycles);
+    if (hostExec_ && hostExec_->inWorker()) {
+        hostExec_->requestRound(
+            t.clock(), [&] { kern->mbind(start, policy); });
+        return;
+    }
     kern->mbind(start, policy);
 }
 
@@ -1042,6 +1152,14 @@ Engine::registerFile(std::uint64_t bytes, const std::string &name)
 void
 Engine::fileReadPage(ThreadContext &t, PageNum vpn)
 {
+    if (hostExec_ && hostExec_->inWorker()) {
+        Cycles cost = 0;
+        hostExec_->requestRound(t.clock(), [&] {
+            cost = kern->ensureCached(vpn, t.clock());
+        });
+        t.advance(cost);
+        return;
+    }
     const Cycles cost = kern->ensureCached(vpn, t.clock());
     t.advance(cost);
     maybeRunServices(t.clock());

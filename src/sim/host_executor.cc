@@ -1,0 +1,315 @@
+#include "sim/host_executor.h"
+
+#include <algorithm>
+
+#include "base/logging.h"
+#include "sim/engine.h"
+
+namespace memtier {
+
+thread_local HostLane *tls_host_lane = nullptr;
+
+HostExecutor::HostExecutor(Engine &eng, std::uint32_t workers)
+    : eng_(eng)
+{
+    MEMTIER_ASSERT(workers >= 2, "one host thread never builds an executor");
+
+    // Each worker gets a power-of-two slice of the shared L3 so the
+    // set count stays valid; a worker's shard is private, trading the
+    // serial model's cross-thread L3 sharing for race-freedom. Total
+    // capacity is preserved for power-of-two worker counts.
+    const CacheParams &cc = eng.cfg.cache;
+    unsigned shift = 0;
+    while ((1ULL << shift) < workers)
+        ++shift;
+    std::uint64_t shard = cc.l3Size >> shift;
+    const std::uint64_t min_shard =
+        static_cast<std::uint64_t>(cc.l3Ways) * kLineSize;
+    shard = std::max(shard, min_shard);
+
+    const TierParams &dp = eng.phys.dram().params();
+    const TierParams &np = eng.phys.nvm().params();
+    lanes_.reserve(workers);
+    for (std::uint32_t w = 0; w < workers; ++w)
+        lanes_.emplace_back(shard, cc.l3Ways, dp, np);
+
+    workers_.resize(workers);
+    doneGen_.assign(workers, 0);
+
+    // Fixed contiguous partition of the logical threads: worker w owns
+    // tids [w*T/W, (w+1)*T/W). The partition never changes, so each
+    // ThreadContext is only ever touched by one OS thread per region.
+    const std::uint32_t T =
+        static_cast<std::uint32_t>(eng.threads.size());
+    groupLo_.resize(workers);
+    groupHi_.resize(workers);
+    for (std::uint32_t w = 0; w < workers; ++w) {
+        groupLo_[w] = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(w) * T / workers);
+        groupHi_[w] = static_cast<std::uint32_t>(
+            static_cast<std::uint64_t>(w + 1) * T / workers);
+    }
+
+    pool_.reserve(workers - 1);
+    for (std::uint32_t w = 1; w < workers; ++w)
+        pool_.emplace_back(&HostExecutor::poolMain, this, w);
+}
+
+HostExecutor::~HostExecutor()
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &t : pool_)
+        t.join();
+}
+
+bool
+HostExecutor::allParkedLocked() const
+{
+    for (const Worker &w : workers_) {
+        if (w.state == WState::Running)
+            return false;
+    }
+    return true;
+}
+
+bool
+HostExecutor::allDoneLocked() const
+{
+    for (const Worker &w : workers_) {
+        if (w.state != WState::Done)
+            return false;
+    }
+    return true;
+}
+
+void
+HostExecutor::run(std::vector<HostRange> ranges, std::uint64_t grain,
+                  const std::function<void(ThreadContext &, std::uint64_t,
+                                           std::uint64_t)> &body)
+{
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        ranges_ = std::move(ranges);
+        grain_ = grain;
+        body_ = &body;
+        for (Worker &w : workers_)
+            w.state = WState::Running;
+        ++regionGen_;
+    }
+    cv_.notify_all();
+
+    // The calling thread is worker 0; its final Done park coordinates
+    // rounds until every worker's group is exhausted.
+    tls_host_lane = &lanes_[0];
+    workerLoop(0);
+    tls_host_lane = nullptr;
+
+    commitLanes();
+    {
+        std::lock_guard<std::mutex> lk(mu_);
+        for (Worker &w : workers_)
+            w.state = WState::Idle;
+        body_ = nullptr;
+    }
+}
+
+void
+HostExecutor::poolMain(std::uint32_t w)
+{
+    tls_host_lane = &lanes_[w];
+    std::unique_lock<std::mutex> lk(mu_);
+    for (;;) {
+        cv_.wait(lk, [&] {
+            return shutdown_ || regionGen_ > doneGen_[w];
+        });
+        if (shutdown_)
+            return;
+        doneGen_[w] = regionGen_;
+        lk.unlock();
+        workerLoop(w);
+        lk.lock();
+    }
+}
+
+void
+HostExecutor::workerLoop(std::uint32_t w)
+{
+    const std::uint32_t lo = groupLo_[w];
+    const std::uint32_t hi = groupHi_[w];
+    std::size_t remaining = 0;
+    for (std::uint32_t t = lo; t < hi; ++t) {
+        if (ranges_[t].next < ranges_[t].end)
+            ++remaining;
+    }
+
+    // The engine's serial earliest-clock-first interleaving, restricted
+    // to this worker's group; ties go to the lowest tid as before.
+    while (remaining > 0) {
+        std::uint32_t best = hi;
+        for (std::uint32_t t = lo; t < hi; ++t) {
+            if (ranges_[t].next >= ranges_[t].end)
+                continue;
+            if (best == hi ||
+                eng_.threads[t]->clock() < eng_.threads[best]->clock()) {
+                best = t;
+            }
+        }
+        HostRange &r = ranges_[best];
+        ThreadContext &ctx = *eng_.threads[best];
+        const std::uint64_t stop = std::min(r.end, r.next + grain_);
+        const Cycles c0 = ctx.clock();
+        (*body_)(ctx, r.next, stop);
+        tls_host_lane->grainLat.add(ctx.clock() - c0);
+        r.next = stop;
+        if (r.next >= r.end)
+            --remaining;
+    }
+    park(w, WState::Done, 0, nullptr);
+}
+
+void
+HostExecutor::parkForService(Cycles now)
+{
+    const std::uint32_t w =
+        static_cast<std::uint32_t>(tls_host_lane - lanes_.data());
+    park(w, WState::ParkedService, now, nullptr);
+}
+
+void
+HostExecutor::requestRound(Cycles now, const std::function<void()> &fn)
+{
+    const std::uint32_t w =
+        static_cast<std::uint32_t>(tls_host_lane - lanes_.data());
+    park(w, WState::ParkedRequest, now, &fn);
+}
+
+void
+HostExecutor::park(std::uint32_t w, WState s, Cycles now,
+                   const std::function<void()> *closure)
+{
+    std::unique_lock<std::mutex> lk(mu_);
+    workers_[w].state = s;
+    workers_[w].parkClock = now;
+    workers_[w].closure = closure;
+    cv_.notify_all();
+    if (w == 0) {
+        coordinateLocked(lk);
+    } else if (s != WState::Done) {
+        cv_.wait(lk, [&] {
+            return workers_[w].state == WState::Running;
+        });
+    }
+}
+
+void
+HostExecutor::coordinateLocked(std::unique_lock<std::mutex> &lk)
+{
+    for (;;) {
+        if (workers_[0].state == WState::Running)
+            return;
+        if (allDoneLocked())
+            return;
+        cv_.wait(lk, [&] { return allParkedLocked(); });
+        runRoundLocked();
+        cv_.notify_all();
+    }
+}
+
+void
+HostExecutor::runRoundLocked()
+{
+    if (allDoneLocked())
+        return;
+
+    // Round code runs against the master state: clear the lane pointer
+    // so closures and services never redirect into lane 0's shards.
+    HostLane *saved = tls_host_lane;
+    tls_host_lane = nullptr;
+
+    // 1. Deferred recency stamps, in worker-id order.
+    for (HostLane &lane : lanes_) {
+        for (const auto &[vpn, stamp] : lane.recency)
+            eng_.kern->applyDeferredRecency(vpn, stamp);
+        lane.recency.clear();
+    }
+
+    // 2. Parked kernel-mutation requests, in worker-id order.
+    bool released = false;
+    for (Worker &w : workers_) {
+        if (w.state != WState::ParkedRequest)
+            continue;
+        (*w.closure)();
+        w.closure = nullptr;
+        w.state = WState::Running;
+        released = true;
+    }
+
+    // 3. Periodic services at the minimum parked clock. Every
+    // service-parked worker crossed the deadline at its park time, so
+    // when any exist the minimum has crossed it too; running the
+    // services advances the deadline past that minimum, releasing at
+    // least the earliest worker (progress is guaranteed).
+    Cycles round_now = 0;
+    bool any_service = false;
+    for (const Worker &w : workers_) {
+        if (w.state != WState::ParkedService)
+            continue;
+        round_now = any_service ? std::min(round_now, w.parkClock)
+                                : w.parkClock;
+        any_service = true;
+    }
+    if (any_service) {
+        if (round_now >= eng_.nextServiceDue_) {
+            eng_.maybeRunServicesImpl(round_now);
+            if (eng_.nextServiceDue_ <= round_now) {
+                fatal("host round failed to advance the service "
+                      "deadline past cycle %llu",
+                      static_cast<unsigned long long>(round_now));
+            }
+        }
+        for (Worker &w : workers_) {
+            if (w.state == WState::ParkedService &&
+                w.parkClock < eng_.nextServiceDue_) {
+                w.state = WState::Running;
+                released = true;
+            }
+        }
+        if (!released)
+            fatal("host round made no progress");
+    }
+
+    tls_host_lane = saved;
+}
+
+void
+HostExecutor::commitLanes()
+{
+    // Fixed worker-id reduction order: the merged vmstat, level counts,
+    // device counters and latency shards are identical across replays
+    // for a fixed worker count.
+    for (HostLane &lane : lanes_) {
+        for (const auto &[vpn, stamp] : lane.recency)
+            eng_.kern->applyDeferredRecency(vpn, stamp);
+        lane.recency.clear();
+
+        for (int i = 0; i < kNumMemLevels; ++i) {
+            eng_.level_counts[i] += lane.levelCounts[i];
+            lane.levelCounts[i] = 0;
+        }
+        lane.dram.drainCountersInto(eng_.phys.dram().deviceMutable());
+        lane.nvm.drainCountersInto(eng_.phys.nvm().deviceMutable());
+
+        eng_.kern->vmstatMutable().hostFastTouches +=
+            lane.vm.hostFastTouches;
+        lane.vm.hostFastTouches = 0;
+
+        eng_.hostLat_.merge(lane.grainLat);
+        lane.grainLat = LatencyHistogram();
+    }
+}
+
+}  // namespace memtier

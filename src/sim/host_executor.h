@@ -1,0 +1,161 @@
+#pragma once
+/**
+ * @file
+ * HostExecutor: runs the engine's logical ThreadContexts on real
+ * std::threads for write-disjoint parallel regions, deterministically.
+ *
+ * Design (the park/round protocol):
+ *
+ *  - The logical threads are split into hostThreads contiguous groups;
+ *    worker w runs the engine's serial earliest-clock-first loop over
+ *    its own group. Worker 0 is the calling (main) thread and doubles
+ *    as the round coordinator.
+ *
+ *  - While running, a worker mutates only its own ThreadContexts and
+ *    its HostLane (L3 shard, tier replicas, counter shards); every
+ *    piece of shared engine/kernel state is frozen. Reads of frozen
+ *    state (page table, translation epoch, service deadline) need no
+ *    synchronization.
+ *
+ *  - A worker parks at deterministic points of its own instruction
+ *    stream: when a thread clock crosses the service deadline
+ *    (parkForService), when the access path needs a kernel mutation --
+ *    page fault, hint fault, syscall, page-cache fill (requestRound) --
+ *    or when its group is exhausted (Done).
+ *
+ *  - Once every worker is parked, the coordinator runs one round under
+ *    the pool mutex: apply deferred recency buffers in worker-id
+ *    order, execute parked request closures in worker-id order, then
+ *    run the periodic services at the minimum parked clock if it
+ *    crossed the deadline. Workers whose park condition cleared are
+ *    released. Rounds are global barriers, so the execution replays
+ *    bit-identically for a fixed worker count, and every cross-thread
+ *    access is ordered by the mutex (ThreadSanitizer-clean).
+ */
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "base/types.h"
+#include "sim/host_lane.h"
+
+namespace memtier {
+
+class Engine;
+class ThreadContext;
+
+/** One logical thread's remaining iteration range in a region. */
+struct HostRange
+{
+    std::uint64_t next = 0;
+    std::uint64_t end = 0;
+};
+
+class HostExecutor
+{
+  public:
+    /**
+     * @param eng the owning engine (lanes replicate its geometry).
+     * @param workers host worker count (>= 2; 1 never constructs one).
+     */
+    HostExecutor(Engine &eng, std::uint32_t workers);
+    ~HostExecutor();
+
+    HostExecutor(const HostExecutor &) = delete;
+    HostExecutor &operator=(const HostExecutor &) = delete;
+
+    /** True on a thread currently executing region work. */
+    bool inWorker() const { return tls_host_lane != nullptr; }
+
+    /** Worker count. */
+    std::uint32_t workerCount() const
+    {
+        return static_cast<std::uint32_t>(lanes_.size());
+    }
+
+    /**
+     * Execute one parallel region: @p ranges[i] is logical thread i's
+     * iteration range, @p body the grain-range body. Returns with all
+     * ranges exhausted and all lane shards committed to the master.
+     */
+    void run(std::vector<HostRange> ranges, std::uint64_t grain,
+             const std::function<void(ThreadContext &, std::uint64_t,
+                                      std::uint64_t)> &body);
+
+    /**
+     * Park the calling worker because a thread clock crossed the
+     * service deadline at @p now; returns once a round advanced the
+     * deadline past @p now.
+     */
+    void parkForService(Cycles now);
+
+    /**
+     * Park the calling worker until the coordinator has executed
+     * @p fn inside a round (kernel mutations only happen there).
+     */
+    void requestRound(Cycles now, const std::function<void()> &fn);
+
+  private:
+    enum class WState : std::uint8_t {
+        Idle,           ///< Between regions.
+        Running,        ///< Executing its group.
+        ParkedService,  ///< Waiting for the deadline to advance.
+        ParkedRequest,  ///< Waiting for its closure to run.
+        Done,           ///< Group exhausted this region.
+    };
+
+    struct Worker
+    {
+        WState state = WState::Idle;
+        Cycles parkClock = 0;
+        const std::function<void()> *closure = nullptr;
+    };
+
+    /** Serial earliest-clock-first loop over worker @p w's group. */
+    void workerLoop(std::uint32_t w);
+
+    /** Pool thread main: waits for region dispatches. */
+    void poolMain(std::uint32_t w);
+
+    /** Park entry common to every worker; coordinates when w == 0. */
+    void park(std::uint32_t w, WState s, Cycles now,
+              const std::function<void()> *closure);
+
+    /** Coordinator loop: run rounds until worker 0 is released. */
+    void coordinateLocked(std::unique_lock<std::mutex> &lk);
+
+    /** One kernel round; requires every worker parked. */
+    void runRoundLocked();
+
+    /** Merge every lane into the master engine/kernel state. */
+    void commitLanes();
+
+    bool allParkedLocked() const;
+    bool allDoneLocked() const;
+
+    Engine &eng_;
+    std::vector<HostLane> lanes_;
+
+    std::mutex mu_;
+    std::condition_variable cv_;
+    std::vector<Worker> workers_;
+
+    // Region state (written by run() before dispatch, read by workers).
+    std::vector<HostRange> ranges_;
+    std::uint64_t grain_ = 0;
+    const std::function<void(ThreadContext &, std::uint64_t,
+                             std::uint64_t)> *body_ = nullptr;
+    std::vector<std::uint32_t> groupLo_;  ///< First logical tid per worker.
+    std::vector<std::uint32_t> groupHi_;  ///< One past the last tid.
+
+    std::uint64_t regionGen_ = 0;
+    std::vector<std::uint64_t> doneGen_;
+    bool shutdown_ = false;
+    std::vector<std::thread> pool_;
+};
+
+}  // namespace memtier

@@ -1,0 +1,74 @@
+#pragma once
+/**
+ * @file
+ * Per-host-worker execution lane for the parallel host backend.
+ *
+ * When the engine runs a write-disjoint parallel region over real
+ * std::threads, each worker owns one HostLane: a private L3 shard, its
+ * own tier-device timing replicas, level-count / vmstat / latency
+ * shards, and a deferred-recency buffer. The lane is everything a
+ * worker may mutate while other workers run; all shared engine and
+ * kernel state is frozen between kernel rounds, so workers touching
+ * only their lane (plus their own ThreadContexts) are race-free by
+ * construction. Lanes merge into the master state in fixed worker-id
+ * order at every round and at region commit, which keeps the merged
+ * observables bit-identical across replays for a fixed worker count.
+ */
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "base/stats.h"
+#include "base/types.h"
+#include "cache/set_assoc_cache.h"
+#include "mem/tier_device.h"
+#include "os/vmstat.h"
+
+namespace memtier {
+
+/** Everything one host worker may mutate outside a kernel round. */
+struct HostLane
+{
+    /**
+     * @param shard_bytes this worker's slice of the shared L3.
+     * @param ways L3 associativity.
+     * @param dram_params master DRAM tier parameters (replica timing).
+     * @param nvm_params master NVM tier parameters.
+     */
+    HostLane(std::uint64_t shard_bytes, unsigned ways,
+             const TierParams &dram_params, const TierParams &nvm_params)
+        : l3("L3", shard_bytes, ways), dram(dram_params), nvm(nvm_params)
+    {
+    }
+
+    /** This worker's slice of the shared L3 (private sets). */
+    SetAssocCache l3;
+
+    /** Tier timing replicas: per-worker channel state and counters. */
+    TierDevice dram;
+    TierDevice nvm;
+
+    /** Level-count shard, merged into the engine's at commit. */
+    std::uint64_t levelCounts[kNumMemLevels] = {};
+
+    /** Vmstat shard (only hostFastTouches moves outside rounds). */
+    VmStat vm;
+
+    /** Recency stamps deferred by fastTouch, applied at rounds. */
+    std::vector<std::pair<PageNum, Cycles>> recency;
+
+    /** Simulated cycles charged per executed grain range. */
+    LatencyHistogram grainLat;
+};
+
+/**
+ * The lane of the host worker running on this OS thread, or nullptr on
+ * the serial path (no executor, or between parallel regions). The
+ * engine's access machinery redirects its L3 / tier-device /
+ * level-count mutations through this pointer; one null check per
+ * redirect is the whole single-threaded cost of the feature.
+ */
+extern thread_local HostLane *tls_host_lane;
+
+}  // namespace memtier

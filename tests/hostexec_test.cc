@@ -1,0 +1,319 @@
+/**
+ * @file
+ * Tests for the multi-threaded host executor and the parallel copy
+ * engine's kernel integration: bit-identity of single-host-thread runs
+ * with the pre-parallel goldens, replay determinism at a fixed host
+ * thread count, output-checksum invariance across thread counts, the
+ * translation-epoch race stress (remaps and migrations racing
+ * accessBatch under the invariant checker, 4 KiB and THP), serving
+ * determinism, and the vmstat surface of the copy engine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+
+#include "exp/runner.h"
+#include "os/kernel.h"
+#include "os/physical_memory.h"
+#include "sim/engine.h"
+
+namespace memtier {
+namespace {
+
+/** Shootdown sink for kernel-level tests (engine not involved). */
+class NullShootdown : public TlbShootdownClient
+{
+  public:
+    void tlbShootdown(PageNum) override {}
+    void tlbShootdownHuge(PageNum) override {}
+};
+
+/** A migration-heavy PageRank run (DRAM overcommitted ~4x). */
+RunConfig
+parallelConfig(App app)
+{
+    RunConfig rc;
+    rc.workload.app = app;
+    rc.workload.kind = GraphKind::Kron;
+    rc.workload.scale = 12;
+    rc.workload.trials = 2;
+    rc.sampling = false;  // Observers force the serial path by design.
+    rc.sys.dram = makeDramParams(192 * kPageSize);
+    rc.sys.nvm = makeNvmParams(4096 * kPageSize);
+    rc.sys.autonuma.scanPeriod = secondsToCycles(0.0005);
+    rc.sys.autonuma.adjustPeriod = secondsToCycles(0.002);
+    return rc;
+}
+
+/** Everything that must replay bit-identically for a fixed config. */
+void
+expectSameSimulation(const RunResult &a, const RunResult &b)
+{
+    EXPECT_EQ(a.totalSeconds, b.totalSeconds);
+    EXPECT_EQ(a.loadSeconds, b.loadSeconds);
+    EXPECT_EQ(a.outputChecksum, b.outputChecksum);
+    EXPECT_EQ(a.totalAccesses, b.totalAccesses);
+    EXPECT_EQ(std::memcmp(&a.vmstat, &b.vmstat, sizeof(VmStat)), 0);
+    for (int l = 0; l < kNumMemLevels; ++l)
+        EXPECT_EQ(a.levelCounts[l], b.levelCounts[l]);
+    ASSERT_EQ(a.timeline.size(), b.timeline.size());
+    for (std::size_t i = 0; i < a.timeline.size(); ++i) {
+        EXPECT_EQ(a.timeline[i].sec, b.timeline[i].sec);
+        EXPECT_EQ(std::memcmp(&a.timeline[i].vm, &b.timeline[i].vm,
+                              sizeof(VmStat)),
+                  0);
+    }
+    EXPECT_EQ(a.copyBytes, b.copyBytes);
+    EXPECT_EQ(a.copyChargedCycles, b.copyChargedCycles);
+}
+
+// ----------------------------------------------- Golden preservation
+
+// hostThreads=1 must be indistinguishable from a build that predates
+// the executor: same simulation, and none of the new counters move.
+TEST(HostExecGolden, OneHostThreadBitIdenticalToDefault)
+{
+    RunConfig rc = parallelConfig(App::PR);
+    const RunResult def = runWorkload(rc);
+    rc.sys.hostThreads = 1;
+    const RunResult one = runWorkload(rc);
+    expectSameSimulation(def, one);
+    EXPECT_EQ(one.vmstat.hostFastTouches, 0u);
+    EXPECT_EQ(one.vmstat.pgcopyChunks, 0u);
+    EXPECT_EQ(one.vmstat.pgcopyParallel, 0u);
+    // The engine still metered bytes for bandwidth reporting.
+    EXPECT_GT(one.copyBytes, 0u);
+    EXPECT_GT(one.copyChargedCycles, 0u);
+}
+
+// Fixed host thread count => repeated runs replay bit-identically.
+TEST(HostExecGolden, ReplayIsDeterministicAtFixedThreadCount)
+{
+    RunConfig rc = parallelConfig(App::PR);
+    rc.sys.hostThreads = 3;
+    const RunResult a = runWorkload(rc);
+    const RunResult b = runWorkload(rc);
+    expectSameSimulation(a, b);
+    EXPECT_GT(a.vmstat.hostFastTouches, 0u);
+}
+
+// The application's *answer* must not depend on the host thread count,
+// even though the simulated interleaving legitimately differs.
+TEST(HostExecGolden, OutputChecksumInvariantAcrossThreadCounts)
+{
+    RunConfig rc = parallelConfig(App::PR);
+    const RunResult serial = runWorkload(rc);
+    rc.sys.hostThreads = 4;
+    const RunResult par = runWorkload(rc);
+    EXPECT_EQ(par.outputChecksum, serial.outputChecksum);
+    EXPECT_GT(par.vmstat.hostFastTouches, 0u);
+}
+
+TEST(HostExecGolden, EnvOverrideMatchesConfigField)
+{
+    RunConfig rc = parallelConfig(App::PR);
+    rc.sys.hostThreads = 4;
+    const RunResult cfg_run = runWorkload(rc);
+
+    RunConfig env_rc = parallelConfig(App::PR);
+    ASSERT_EQ(setenv("MEMTIER_HOST_THREADS", "4", 1), 0);
+    const RunResult env_run = runWorkload(env_rc);
+    ASSERT_EQ(unsetenv("MEMTIER_HOST_THREADS"), 0);
+    expectSameSimulation(cfg_run, env_run);
+}
+
+// ------------------------------------------------ Copy-engine surface
+
+TEST(CopyEngineVmstat, ParallelCountersSurfaceOnlyWhenParallel)
+{
+    RunConfig rc = parallelConfig(App::PR);
+    const RunResult serial = runWorkload(rc);
+    EXPECT_EQ(serial.vmstat.pgcopyChunks, 0u);
+    EXPECT_EQ(serial.vmstat.pgcopyQueuedChunks, 0u);
+    EXPECT_EQ(serial.vmstat.pgcopyBusyCycles, 0u);
+
+    rc.sys.kernel.copyThreads = 4;
+    const RunResult par = runWorkload(rc);
+    EXPECT_GT(par.vmstat.pgcopyChunks, 0u);
+    EXPECT_GT(par.vmstat.pgcopyBusyCycles, 0u);
+    // Faster copies legitimately change the simulated trajectory (the
+    // machine is different), but never the application's answer.
+    EXPECT_EQ(par.outputChecksum, serial.outputChecksum);
+}
+
+/**
+ * Deterministic huge-promotion storm: land 8 huge pages on NVM behind
+ * a DRAM filler, free the filler, then promote each 2 MiB page with
+ * plenty of simulated time between copies (idle pool). Returns the
+ * copy engine's effective bandwidth in bytes/second. This is the same
+ * measurement bench/parallel_scaling gates in CI.
+ */
+double
+promotionStormBandwidth(std::uint32_t copy_workers, VmStat *vm_out)
+{
+    KernelParams kp;
+    kp.thp.enabled = true;
+    kp.copyThreads = copy_workers;
+    PhysicalMemory phys(
+        makeDramParams(12 * kPagesPerHuge * kPageSize),
+        makeNvmParams(16 * kPagesPerHuge * kPageSize));
+    Kernel kern(phys, kp);
+    NullShootdown sink;
+    kern.setShootdownClient(&sink);
+
+    // Occupy DRAM so the huge allocations land on NVM.
+    const Addr filler =
+        kern.mmap(0, 12 * kPagesPerHuge * kPageSize, 0, "filler");
+    for (std::uint64_t i = 0; i < 12 * kPagesPerHuge; ++i)
+        kern.touchPage(pageOf(filler) + i, 1000 + i, MemOp::Store);
+
+    constexpr int kHuge = 8;
+    PageNum bases[kHuge];
+    for (int h = 0; h < kHuge; ++h) {
+        const Addr a = kern.mmap(0, kHugePageSize, 1 + h, "huge");
+        kern.touchPage(pageOf(a), 900000 + h, MemOp::Store);
+        bases[h] = pageOf(a);
+        EXPECT_TRUE(kern.isHugeMapped(bases[h]));
+        EXPECT_EQ(kern.nodeOf(bases[h]), MemNode::NVM);
+    }
+    kern.munmap(1000000, filler);
+
+    Cycles now = 2000000;
+    for (int h = 0; h < kHuge; ++h) {
+        EXPECT_GT(kern.promotePage(bases[h] + 123, now), 0u);
+        EXPECT_TRUE(kern.isHugeMapped(bases[h]));
+        now += 10000000;  // Pool drains fully between copies.
+    }
+    if (vm_out != nullptr)
+        *vm_out = kern.vmstat();
+    const CopyEngine &ce = kern.copyEngine();
+    EXPECT_GE(ce.bytesCopied(), kHuge * kHugePageSize);
+    return static_cast<double>(ce.bytesCopied()) /
+           cyclesToSeconds(ce.chargedCycles());
+}
+
+TEST(CopyEngineVmstat, FourWorkersSpeedUpMigrationBandwidth)
+{
+    // THP promotions move 2 MiB per copy -- the copies that actually
+    // fan out. (A 4 KiB promotion is a single chunk on any pool.)
+    VmStat vm1, vm4;
+    const double bw1 = promotionStormBandwidth(1, &vm1);
+    const double bw4 = promotionStormBandwidth(4, &vm4);
+    // The bench gates >= 2x at 4 workers on this same storm; an idle
+    // pool actually reaches 4x (32 equal chunks over 4 workers).
+    EXPECT_GE(bw4, 2.0 * bw1);
+    // The vmstat surface: counters move only on the parallel pool.
+    EXPECT_EQ(vm1.pgcopyParallel, 0u);
+    EXPECT_EQ(vm1.pgcopyChunks, 0u);
+    EXPECT_GE(vm4.pgcopyParallel, 8u);
+    EXPECT_GT(vm4.pgcopyChunks, 0u);
+}
+
+// ------------------------------------- Translation-epoch race stress
+
+/**
+ * One thread group remaps its private region every pass (epoch bumps
+ * through the round protocol) while the other groups hammer a shared
+ * region that AutoNUMA concurrently scans, migrates and demotes. The
+ * invariant checker audits every micro-cache against the page table,
+ * so a single stale translation surviving an epoch bump fails the run.
+ */
+void
+runEpochRaceStress(bool thp)
+{
+    SystemConfig cfg;
+    cfg.numThreads = 8;
+    cfg.hostThreads = 4;
+    cfg.checkInvariants = true;
+    cfg.invariantCheckPeriod = 256;
+    cfg.dram = makeDramParams(thp ? 4 * kMiB : 128 * kPageSize);
+    cfg.nvm = makeNvmParams(thp ? 32 * kMiB : 4096 * kPageSize);
+    cfg.autonuma.scanPeriod = secondsToCycles(0.0002);
+    cfg.autonuma.adjustPeriod = secondsToCycles(0.001);
+    // Admit whole huge pages through the migration rate limiter.
+    cfg.autonuma.rateLimitBytesPerSec = 64 * kMiB;
+    cfg.thp.enabled = thp;
+    Engine eng(cfg);
+    ThreadContext &t0 = eng.thread(0);
+
+    const std::uint64_t shared_pages = thp ? 4 * kPagesPerHuge : 512;
+    const Addr shared =
+        eng.sysMmap(t0, shared_pages * kPageSize, 0, "shared");
+    Addr scratch = eng.sysMmap(t0, 16 * kPageSize, 1, "scratch");
+
+    for (int pass = 0; pass < 8; ++pass) {
+        eng.parallelForRanges(
+            shared_pages,
+            [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
+                if (b == 0) {
+                    // Remap in flight: munmap + mmap bump the epoch
+                    // while every other worker is mid-accessBatch.
+                    eng.sysMunmap(t, scratch);
+                    scratch = eng.sysMmap(t, 16 * kPageSize, 1,
+                                          "scratch");
+                    for (std::uint64_t i = 0; i < 16; ++i)
+                        eng.store(t, scratch + i * kPageSize);
+                }
+                // Line-strided batched sweep: enough simulated cycles
+                // that scans/kswapd fire *during* the region, racing
+                // the micro-caches with real migrations.
+                eng.accessRange(t, shared + b * kPageSize,
+                                (e - b) * (kPageSize / kLineSize),
+                                kLineSize, MemOp::Load);
+                for (std::uint64_t i = b; i < e; i += 4)
+                    eng.store(t, shared + i * kPageSize);
+            },
+            16, RegionMode::WriteDisjoint);
+    }
+
+    ASSERT_NE(eng.invariantChecker(), nullptr);
+    eng.invariantChecker()->checkNow(eng.globalTime());
+    EXPECT_GT(eng.invariantChecker()->checksRun(), 0u);
+    EXPECT_GT(eng.kernel().vmstat().hostFastTouches, 0u);
+    // The stress only means something if migrations actually raced the
+    // accesses: scans must have queued and moved pages.
+    EXPECT_GT(eng.kernel().vmstat().pgmigrateSuccess, 0u);
+}
+
+TEST(EpochRaceStress, MicroCachesRevalidateUnderMigration4k)
+{
+    runEpochRaceStress(/*thp=*/false);
+}
+
+TEST(EpochRaceStress, MicroCachesRevalidateUnderMigrationThp)
+{
+    runEpochRaceStress(/*thp=*/true);
+}
+
+// --------------------------------------------- Serving determinism
+
+// The serving driver replays an arrival-ordered open-loop trace, which
+// is inherently sequential: any host thread count must produce the
+// same report, bit for bit.
+TEST(ServingParallel, ReportIdenticalAcrossHostThreadCounts)
+{
+    RunConfig rc;
+    rc.workload.app = App::KV;
+    rc.workload.kind = GraphKind::Kron;  // Zipfian popularity.
+    rc.workload.scale = 10;
+    rc.workload.trials = 1;
+    rc.sampling = false;
+    rc.sys.dram = makeDramParams(192 * kPageSize);
+    rc.sys.nvm = makeNvmParams(4096 * kPageSize);
+
+    const RunResult serial = runWorkload(rc);
+    rc.sys.hostThreads = 4;
+    const RunResult par = runWorkload(rc);
+    ASSERT_TRUE(serial.hasServing);
+    ASSERT_TRUE(par.hasServing);
+    EXPECT_EQ(par.serving.checksum, serial.serving.checksum);
+    EXPECT_EQ(par.serving.requests, serial.serving.requests);
+    EXPECT_EQ(par.serving.latency.percentile(0.99),
+              serial.serving.latency.percentile(0.99));
+    expectSameSimulation(serial, par);
+}
+
+}  // namespace
+}  // namespace memtier

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include "mem/copy_engine.h"
 #include "mem/frame_allocator.h"
 #include "mem/memory_tier.h"
 #include "mem/tier_device.h"
@@ -369,6 +370,104 @@ TEST_P(TierDeviceLoad, LatencyNeverBelowDeviceFloor)
 
 INSTANTIATE_TEST_SUITE_P(Channels, TierDeviceLoad,
                          ::testing::Values(1, 2, 6, 12));
+
+// ----------------------------------------------------------- CopyEngine
+
+TEST(CopyEngine, SingleWorkerReturnsLegacyCostVerbatim)
+{
+    CopyEngine ce(CopyEngineParams{1, 16});
+    EXPECT_FALSE(ce.parallel());
+    EXPECT_EQ(ce.copy(1000, kPageSize, 7000), 7000u);
+    EXPECT_EQ(ce.copy(9999, 2 * kMiB, 123456), 123456u);
+    EXPECT_EQ(ce.bytesCopied(), kPageSize + 2 * kMiB);
+    EXPECT_EQ(ce.chargedCycles(), 7000u + 123456u);
+    EXPECT_EQ(ce.parallelCopies(), 0u);
+    EXPECT_EQ(ce.queuedChunks(), 0u);
+}
+
+TEST(CopyEngine, SingleWorkerBackgroundIsNoOp)
+{
+    // The legacy model never surfaced demotion copy time, so with one
+    // worker background work must not move any counter.
+    CopyEngine ce(CopyEngineParams{1, 16});
+    ce.background(0, 2 * kMiB, 50000);
+    EXPECT_EQ(ce.bytesCopied(), 0u);
+    EXPECT_EQ(ce.busyCycles(), 0u);
+    EXPECT_EQ(ce.chunks(), 0u);
+}
+
+TEST(CopyEngine, HugeCopyFansOutAcrossIdleWorkers)
+{
+    // 2 MiB on 4 workers: 32 chunks of 16 pages, each an exact 1/32
+    // share of the legacy cost -> completion is exactly legacy/4.
+    CopyEngine ce(CopyEngineParams{4, 16});
+    EXPECT_TRUE(ce.parallel());
+    const Cycles charged = ce.copy(0, 2 * kMiB, 32000);
+    EXPECT_EQ(charged, 8000u);
+    EXPECT_EQ(ce.chunks(), 32u);
+    EXPECT_EQ(ce.parallelCopies(), 1u);
+    // Workers stayed saturated: the whole legacy cost is busy time.
+    EXPECT_EQ(ce.busyCycles(), 32000u);
+}
+
+TEST(CopyEngine, SmallExchangeShrinksChunksToReachTwoWorkers)
+{
+    // An 8 KiB exchange is far below the 64 KiB chunk default; the
+    // engine halves the chunk towards page granularity so both page
+    // copies still overlap on two workers.
+    CopyEngine ce(CopyEngineParams{4, 16});
+    const Cycles charged = ce.copy(0, 2 * kPageSize, 7000);
+    EXPECT_EQ(charged, 3500u);
+    EXPECT_EQ(ce.chunks(), 2u);
+    EXPECT_EQ(ce.parallelCopies(), 1u);
+}
+
+TEST(CopyEngine, ProportionalSharesSumExactlyToLegacyCost)
+{
+    // Odd byte/cycle ratios must not leak rounding error: the chunk
+    // shares are cumulative-boundary differences, so serialized on one
+    // busy worker they recover the legacy total exactly.
+    CopyEngine ce(CopyEngineParams{2, 1});
+    const std::uint64_t bytes = 5 * kPageSize;  // 5 chunks on 2 workers.
+    const Cycles legacy = 9999;
+    ce.copy(0, bytes, legacy);
+    EXPECT_EQ(ce.busyCycles(), legacy);
+    EXPECT_EQ(ce.chunks(), 5u);
+    EXPECT_GT(ce.queuedChunks(), 0u);  // 5 chunks > 2 workers.
+}
+
+TEST(CopyEngine, BackgroundOccupiesWorkersWithoutCharging)
+{
+    CopyEngine ce(CopyEngineParams{2, 16});
+    ce.background(0, 2 * kMiB, 40000);
+    EXPECT_EQ(ce.chargedCycles(), 0u);
+    EXPECT_GT(ce.busyCycles(), 0u);
+    // A foreground copy right behind it queues on the busy pool and
+    // pays for the wait -- the copy/execution overlap is visible.
+    const Cycles charged = ce.copy(0, 2 * kPageSize, 1000);
+    EXPECT_GT(charged, 1000u);
+    EXPECT_GT(ce.queuedChunks(), 0u);
+}
+
+TEST(CopyEngine, ScheduleIsDeterministic)
+{
+    CopyEngine a(CopyEngineParams{3, 4});
+    CopyEngine b(CopyEngineParams{3, 4});
+    for (int i = 0; i < 50; ++i) {
+        const Cycles now = static_cast<Cycles>(i) * 777;
+        const std::uint64_t bytes = (i % 7 + 1) * kPageSize;
+        EXPECT_EQ(a.copy(now, bytes, 1000 + i),
+                  b.copy(now, bytes, 1000 + i));
+        if (i % 3 == 0) {
+            a.background(now, 2 * kMiB, 9000);
+            b.background(now, 2 * kMiB, 9000);
+        }
+    }
+    EXPECT_EQ(a.chargedCycles(), b.chargedCycles());
+    EXPECT_EQ(a.busyCycles(), b.busyCycles());
+    EXPECT_EQ(a.queuedChunks(), b.queuedChunks());
+    EXPECT_EQ(a.parallelCopies(), b.parallelCopies());
+}
 
 }  // namespace
 }  // namespace memtier
