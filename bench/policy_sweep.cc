@@ -44,6 +44,8 @@ usage()
            "graph {kron,urand}\n"
            "                   (kv/lsm: kron = zipfian keys, urand = "
            "uniform)\n"
+           "  --segments=N     run every workload on the segmented "
+           "CSR path (N row-range segments)\n"
            "  --out=PATH       CSV output path "
            "(default results/sweep_<policy>.csv)\n"
            "  --faults PLAN    fault-injection plan applied to every "
@@ -129,6 +131,7 @@ main(int argc, char **argv)
     SweepSpec spec;
     spec.sys.thp.enabled = consumeThpFlag(argc, argv);
     std::string out_path;
+    int segments = 1;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         auto value_of = [&](const std::string &flag) -> std::string {
@@ -159,6 +162,10 @@ main(int argc, char **argv)
         } else if (arg.rfind("--workload", 0) == 0) {
             spec.workloads.push_back(
                 parseWorkload(value_of("--workload"), scale));
+        } else if (arg.rfind("--segments", 0) == 0) {
+            segments = std::stoi(value_of("--segments"));
+            if (segments < 1)
+                fatal("--segments needs a positive count");
         } else if (arg.rfind("--out", 0) == 0) {
             out_path = value_of("--out");
         } else if (arg.rfind("--faults", 0) == 0) {
@@ -175,6 +182,8 @@ main(int argc, char **argv)
     }
     if (spec.workloads.empty())
         spec.workloads.push_back(parseWorkload("pr:kron", scale));
+    for (WorkloadSpec &w : spec.workloads)
+        w.segments = segments;
     if (spec.axes.empty() && spec.policy == "autonuma") {
         // Sub-millisecond values: simulated runs at sweep scale last a
         // few milliseconds, so paper-scale periods would never fire.

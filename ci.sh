@@ -10,7 +10,9 @@
 #      pass on every change;
 #   4. a chaos pass: the tier-1 binaries re-run with the kernel
 #      invariant checker forced on and a moderate fault-injection plan
-#      pushed into the chaos-aware tests;
+#      pushed into the chaos-aware tests, plus a segmented-CSR smoke
+#      cell (PageRank on the out-of-core path at 4 segments) under the
+#      invariant checker;
 #   5. a THP pass: the tier-1 binaries re-run with transparent huge
 #      pages forced on (MEMTIER_THP=ON) under the invariant checker, so
 #      every run exercises PMD mappings, collapse and splits. Tests
@@ -29,7 +31,11 @@
 #      migration bandwidth at 4 workers (simulated, machine-
 #      independent), and on runners with >= 4 cores the 4-host-thread
 #      throughput must stay >= 80% of the committed baseline and
-#      >= 1.5x the same run's 1-thread figure;
+#      >= 1.5x the same run's 1-thread figure; then bench/scale_sweep
+#      against BENCH_scale.json: the one-segment out-of-core build
+#      must stay bit-identical to the monolithic loader and the
+#      largest committed scale cell must keep >= 80% of its recorded
+#      accesses/sec;
 #   8. an ECC chaos pass: the memory-failure end-to-end tests (BFS
 #      under an ecc_ce/ecc_ue plan) and one hot cell of the KV
 #      degradation sweep, both with the invariant checker forced on,
@@ -78,6 +84,24 @@ echo "=== [4/9] chaos: invariant checker on + fault plan, tier-1 binaries ==="
 MEMTIER_CHECK_INVARIANTS=ON \
 MEMTIER_FAULT_PLAN="migrate:p=0.1,burst=6;alloc:p=0.03;seed=97" \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
+# Segmented-CSR smoke: one short PageRank on the out-of-core segmented
+# path with the invariant checker armed (bigraph_test covers faults on
+# this path; this covers the sweep driver end to end).
+MEMTIER_CHECK_INVARIANTS=ON \
+    ./build-ci/bench/scale_sweep --rows=16:kron:autonuma:4 --trials=2 \
+    --no-check --out=build-ci/BENCH_scale_smoke.json > /dev/null
+python3 - build-ci/BENCH_scale_smoke.json <<'EOF'
+import json, sys
+row = json.load(open(sys.argv[1]))["rows"][0]
+if row["pgpromote"] == 0:
+    sys.exit("scale smoke FAILED: AutoNUMA promoted nothing on the "
+             "segmented path")
+if not 0.0 < row["dram_hit_fraction"] <= 1.0:
+    sys.exit(f"scale smoke FAILED: dram_hit_fraction "
+             f"{row['dram_hit_fraction']} out of range")
+print(f"scale smoke: {row['pgpromote']} promotions, dram_hit "
+      f"{row['dram_hit_fraction']:.3f} under the invariant checker")
+EOF
 
 echo "=== [5/9] thp: MEMTIER_THP=ON + invariant checker, tier-1 binaries ==="
 # MEMTIER_THP=ON force-enables the THP model in every Engine; the
@@ -155,6 +179,37 @@ if cores >= 4:
 else:
     print(f"parallel gate: wall-clock thresholds skipped "
           f"(runner has {cores} core(s), need 4)")
+EOF
+# Footprint-scale gate: re-run the largest committed cell of the
+# segmented-CSR sweep (the run starts with the segment-1 bit-identity
+# golden check, so a divergent out-of-core build fails here before any
+# throughput comparison) and fail on a >20% accesses/sec regression.
+python3 - BENCH_scale.json <<'EOF' > build-ci/scale_gate_row
+import json, sys
+rec = json.load(open(sys.argv[1]))
+r = max(rec["rows"], key=lambda row: row["scale"])
+print(f"{r['scale']}:{r['kind']}:{r['mode']}:{r['segments']}")
+EOF
+./build-ci/bench/scale_sweep --rows="$(cat build-ci/scale_gate_row)" \
+    --out=build-ci/BENCH_scale_ci.json > /dev/null
+python3 - BENCH_scale.json build-ci/BENCH_scale_ci.json <<'EOF'
+import json, sys
+base_rec = json.load(open(sys.argv[1]))
+now_rec = json.load(open(sys.argv[2]))
+if not now_rec.get("segment1_bit_identical", False):
+    sys.exit("scale gate FAILED: the one-segment out-of-core build is "
+             "no longer bit-identical to the monolithic loader")
+base = max(base_rec["rows"], key=lambda r: r["scale"])
+now = now_rec["rows"][0]
+ratio = now["accesses_per_sec"] / base["accesses_per_sec"]
+print(f"scale gate: scale {base['scale']} {base['kind']} "
+      f"[{base['mode']}] baseline {base['accesses_per_sec']:.3e} "
+      f"acc/s, now {now['accesses_per_sec']:.3e} acc/s ({ratio:.2f}x)")
+if ratio < 0.8:
+    sys.exit("scale gate FAILED: segmented-path throughput regressed "
+             ">20% vs BENCH_scale.json at the largest committed scale "
+             "(refresh the baseline via run_benches.sh if the change "
+             "is intentional)")
 EOF
 
 echo "=== [8/9] ecc chaos: memory failures under the invariant checker ==="

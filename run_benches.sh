@@ -51,6 +51,13 @@ for b in $binaries; do
         # compares against; the binary fails when the application
         # checksum changes with the thread count.
         "$b" --out=BENCH_parallel.json 2>/dev/null
+    elif [ "$name" = "scale_sweep" ]; then
+        # Footprint-vs-scale on the segmented CSR path: out-of-core
+        # builds from the default scale 18 up to multi-GB footprints
+        # (kron 24, urand 25). Writes the record the CI scale gate
+        # compares against; the binary fails when the one-segment build
+        # stops being bit-identical to the monolithic loader.
+        "$b" --out=BENCH_scale.json 2>/dev/null
     elif [ "$name" = "serving_tail" ]; then
         # Data-serving tail latency: KV + LSM under the registry
         # policies, THP off and on. Writes the machine-readable record

@@ -8,29 +8,52 @@
 
 namespace memtier {
 
+namespace {
+
+/** Rejection-sample vertices of nonzero degree (shared RNG schedule:
+ *  every overload draws the same ids for the same graph). */
+template <typename DegreeFn>
 std::vector<NodeId>
-bcSampleSources(const CsrGraph &g, int num_sources, std::uint64_t seed)
+sampleSources(std::int64_t num_nodes, int num_sources,
+              std::uint64_t seed, DegreeFn &&degree)
 {
     Rng rng(seed);
     std::vector<NodeId> sources;
     sources.reserve(static_cast<std::size_t>(num_sources));
-    const auto n = static_cast<std::uint64_t>(g.numNodes());
+    const auto n = static_cast<std::uint64_t>(num_nodes);
     while (sources.size() < static_cast<std::size_t>(num_sources)) {
         const auto s = static_cast<NodeId>(rng.nextBounded(n));
-        if (g.degree(s) > 0)
+        if (degree(s) > 0)
             sources.push_back(s);
     }
     return sources;
 }
 
+}  // namespace
+
+std::vector<NodeId>
+bcSampleSources(const CsrGraph &g, int num_sources, std::uint64_t seed)
+{
+    return sampleSources(g.numNodes(), num_sources, seed,
+                         [&](NodeId s) { return g.degree(s); });
+}
+
+std::vector<NodeId>
+bcSampleSources(const SegmentedCsrView &g, int num_sources,
+                std::uint64_t seed)
+{
+    return sampleSources(g.numNodes(), num_sources, seed,
+                         [&](NodeId s) { return g.rawDegree(s); });
+}
+
 BcOutput
-runBc(Engine &eng, SimHeap &heap, const SimCsrGraph &g, int num_sources,
-      std::uint64_t seed)
+runBc(Engine &eng, SimHeap &heap, const SegmentedCsrView &g,
+      int num_sources, std::uint64_t seed)
 {
     ThreadContext &t0 = eng.thread(0);
     const auto n = static_cast<std::uint64_t>(g.numNodes());
     const std::vector<NodeId> sources =
-        bcSampleSources(g.host(), num_sources, seed);
+        bcSampleSources(g, num_sources, seed);
 
     SimVector<double> scores = heap.alloc<double>(t0, "bc.scores", n);
     eng.parallelForRanges(

@@ -13,7 +13,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/sim_graph.h"
+#include "bigraph/segmented_csr.h"
 #include "runtime/sim_heap.h"
 
 namespace memtier {
@@ -32,7 +32,7 @@ struct BcOutput
  * queue) are allocated and freed each iteration, exactly the allocation
  * pattern whose recurrence Figure 7 shows.
  */
-BcOutput runBc(Engine &engine, SimHeap &heap, const SimCsrGraph &g,
+BcOutput runBc(Engine &engine, SimHeap &heap, const SegmentedCsrView &g,
                int num_sources, std::uint64_t seed = 27491);
 
 /** Untimed host reference (exact Brandes over the same sources). */
@@ -42,6 +42,11 @@ std::vector<double> hostBcScores(const CsrGraph &g, int num_sources,
 /** The deterministic source sample both implementations use. */
 std::vector<NodeId> bcSampleSources(const CsrGraph &g, int num_sources,
                                     std::uint64_t seed);
+
+/** Same sample drawn from a view (untimed degree probes; identical RNG
+ *  draws, so it matches the host-graph overload for the same graph). */
+std::vector<NodeId> bcSampleSources(const SegmentedCsrView &g,
+                                    int num_sources, std::uint64_t seed);
 
 }  // namespace memtier
 

@@ -28,8 +28,8 @@ flatten(Staging &staged)
 }  // namespace
 
 BfsOutput
-runBfs(Engine &eng, SimHeap &heap, const SimCsrGraph &g, NodeId source,
-       const BfsParams &params)
+runBfs(Engine &eng, SimHeap &heap, const SegmentedCsrView &g,
+       NodeId source, const BfsParams &params)
 {
     ThreadContext &t0 = eng.thread(0);
     const auto n = static_cast<std::uint64_t>(g.numNodes());

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/sim_graph.h"
+#include "bigraph/segmented_csr.h"
 #include "runtime/sim_heap.h"
 
 namespace memtier {
@@ -38,8 +38,9 @@ struct BfsParams
  * is allocated as tracked objects in simulated memory and freed before
  * returning; the returned host copy supports validation.
  */
-BfsOutput runBfs(Engine &engine, SimHeap &heap, const SimCsrGraph &g,
-                 NodeId source, const BfsParams &params = BfsParams{});
+BfsOutput runBfs(Engine &engine, SimHeap &heap,
+                 const SegmentedCsrView &g, NodeId source,
+                 const BfsParams &params = BfsParams{});
 
 /** Untimed host reference: depth per vertex, -1 unreached. */
 std::vector<std::int64_t> hostBfsDepths(const CsrGraph &g, NodeId source);

@@ -9,7 +9,7 @@
 namespace memtier {
 
 CcOutput
-runCc(Engine &eng, SimHeap &heap, const SimCsrGraph &g)
+runCc(Engine &eng, SimHeap &heap, const SegmentedCsrView &g)
 {
     ThreadContext &t0 = eng.thread(0);
     const auto n = static_cast<std::uint64_t>(g.numNodes());

@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/sim_graph.h"
+#include "bigraph/segmented_csr.h"
 #include "runtime/sim_heap.h"
 
 namespace memtier {
@@ -24,7 +24,7 @@ struct CcOutput
 };
 
 /** Run connected components. */
-CcOutput runCc(Engine &engine, SimHeap &heap, const SimCsrGraph &g);
+CcOutput runCc(Engine &engine, SimHeap &heap, const SegmentedCsrView &g);
 
 /** Untimed host reference labelling (BFS flood fill). */
 std::vector<NodeId> hostCcLabels(const CsrGraph &g);

@@ -8,7 +8,7 @@
 namespace memtier {
 
 PageRankOutput
-runPageRank(Engine &eng, SimHeap &heap, const SimCsrGraph &g,
+runPageRank(Engine &eng, SimHeap &heap, const SegmentedCsrView &g,
             int iterations, double damping)
 {
     ThreadContext &t0 = eng.thread(0);
@@ -52,7 +52,7 @@ runPageRank(Engine &eng, SimHeap &heap, const SimCsrGraph &g,
             [&](ThreadContext &t, std::uint64_t b, std::uint64_t e) {
                 Scratch &s = scratch[t.id()];
                 s.offs.resize(e - b + 1);
-                g.indexVector().copyOut(t, b, e + 1, s.offs.data());
+                g.offsetsInto(t, b, e + 1, s.offs.data());
                 s.vals.resize(e - b);
                 rank.copyOut(t, b, e, s.vals.data());
                 for (std::uint64_t v = b; v < e; ++v) {
@@ -79,15 +79,13 @@ runPageRank(Engine &eng, SimHeap &heap, const SimCsrGraph &g,
                     return;
                 Scratch &s = scratch[t.id()];
                 s.offs.resize(e - b + 1);
-                g.indexVector().copyOut(t, b, e + 1, s.offs.data());
+                g.offsetsInto(t, b, e + 1, s.offs.data());
                 const std::int64_t row_b = s.offs[0];
                 const std::int64_t row_e = s.offs[e - b];
                 const auto len =
                     static_cast<std::uint64_t>(row_e - row_b);
                 s.row.resize(len);
-                g.adjacencyVector().copyOut(
-                    t, static_cast<std::uint64_t>(row_b),
-                    static_cast<std::uint64_t>(row_e), s.row.data());
+                g.adjacencyInto(t, row_b, row_e, s.row.data());
                 s.neigh.resize(len);
                 contrib.gather(t, std::span<const NodeId>(s.row),
                                s.neigh.data());

@@ -11,7 +11,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/sim_graph.h"
+#include "bigraph/segmented_csr.h"
 #include "runtime/sim_heap.h"
 
 namespace memtier {
@@ -27,7 +27,7 @@ struct PageRankOutput
  * Run @p iterations of pull-based PageRank with damping @p damping.
  */
 PageRankOutput runPageRank(Engine &engine, SimHeap &heap,
-                           const SimCsrGraph &g, int iterations,
+                           const SegmentedCsrView &g, int iterations,
                            double damping = 0.85);
 
 /** Untimed host reference. */

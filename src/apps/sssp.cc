@@ -16,7 +16,8 @@ constexpr std::int64_t kInf = std::numeric_limits<std::int64_t>::max();
 }  // namespace
 
 SsspOutput
-runSssp(Engine &eng, SimHeap &heap, const SimCsrGraph &g, NodeId source)
+runSssp(Engine &eng, SimHeap &heap, const SegmentedCsrView &g,
+        NodeId source)
 {
     MEMTIER_ASSERT(g.hasWeights(), "SSSP needs a weighted graph");
     ThreadContext &t0 = eng.thread(0);

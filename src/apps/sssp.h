@@ -12,7 +12,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "graph/sim_graph.h"
+#include "bigraph/segmented_csr.h"
 #include "runtime/sim_heap.h"
 
 namespace memtier {
@@ -29,8 +29,8 @@ struct SsspOutput
  * Run SSSP from @p source. The graph must have weights loaded
  * (CsrGraph::generateWeights before SimCsrGraph::load).
  */
-SsspOutput runSssp(Engine &engine, SimHeap &heap, const SimCsrGraph &g,
-                   NodeId source);
+SsspOutput runSssp(Engine &engine, SimHeap &heap,
+                   const SegmentedCsrView &g, NodeId source);
 
 /** Untimed host reference (Dijkstra). */
 std::vector<std::int64_t> hostSsspDistances(const CsrGraph &g,

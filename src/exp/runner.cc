@@ -9,6 +9,8 @@
 #include "apps/pagerank.h"
 #include "apps/sssp.h"
 #include "base/logging.h"
+#include "bigraph/ooc_builder.h"
+#include "bigraph/segmented_csr.h"
 #include "core/dynamic_tiering.h"
 #include "core/object_planner.h"
 #include "graph/sim_graph.h"
@@ -36,16 +38,17 @@ digest(const std::vector<T> &values)
     return h;
 }
 
-/** Deterministic BFS sources: spread over the vertex range. */
+/** Deterministic BFS/SSSP sources: spread over the vertex range
+ *  (untimed degree probes, identical draws on any segmentation). */
 std::vector<NodeId>
-bfsSources(const CsrGraph &g, int trials, std::uint64_t seed)
+bfsSources(const SegmentedCsrView &g, int trials, std::uint64_t seed)
 {
     Rng rng(seed);
     std::vector<NodeId> out;
     const auto n = static_cast<std::uint64_t>(g.numNodes());
     while (out.size() < static_cast<std::size_t>(trials)) {
         const auto s = static_cast<NodeId>(rng.nextBounded(n));
-        if (g.degree(s) > 0)
+        if (g.rawDegree(s) > 0)
             out.push_back(s);
     }
     return out;
@@ -202,14 +205,41 @@ runGraphWorkload(const RunConfig &config, Engine &eng, SimHeap &heap,
                  RunResult *out)
 {
     const WorkloadSpec &w = config.workload;
-    const CsrGraph &host =
-        w.app == App::SSSP
-            ? weightedDatasetGraph(w.kind, w.scale, w.degree, w.seed)
-            : datasetGraph(w.kind, w.scale, w.degree, w.seed);
     ThreadContext &t0 = eng.thread(0);
 
-    // Input-reading phase (Figure 9's low-CPU prefix).
-    SimCsrGraph g = SimCsrGraph::load(eng, heap, t0, host, w.name());
+    // Input-reading phase (Figure 9's low-CPU prefix). Monolithic path:
+    // host graph through the dataset cache + SimCsrGraph::load.
+    // Segmented path: the out-of-core builder materializes row-range
+    // segments one at a time -- no whole host graph ever exists, which
+    // is what unlocks scales past WorkloadSpec::maxScale.
+    std::shared_ptr<const CsrGraph> host;
+    SimCsrGraph mono;
+    SegmentedCsrGraph seg;
+    SegmentedCsrView g;
+    if (w.segments > 1) {
+        BigraphSpec bs;
+        bs.kind = w.kind == GraphKind::Kron ? BigraphKind::Kron
+                                            : BigraphKind::Urand;
+        bs.scale = w.scale;
+        bs.degree = w.degree;
+        bs.seed = w.seed;
+        bs.segments = static_cast<std::uint32_t>(w.segments);
+        bs.weighted = w.app == App::SSSP;
+        seg = SegmentedCsrGraph::generate(eng, heap, t0, bs, w.name());
+        g = seg;
+    } else {
+        if (w.scale > w.maxScale) {
+            fatal("workload %s: scale %d exceeds the monolithic limit "
+                  "%d; set segments > 1 for the out-of-core path",
+                  w.name().c_str(), w.scale, w.maxScale);
+        }
+        host = w.app == App::SSSP
+                   ? weightedDatasetGraph(w.kind, w.scale, w.degree,
+                                          w.seed)
+                   : datasetGraph(w.kind, w.scale, w.degree, w.seed);
+        mono = SimCsrGraph::load(eng, heap, t0, *host, w.name());
+        g = mono;
+    }
     const double load_sec = cyclesToSeconds(eng.globalTime());
 
     // A SIGBUS kill inside a trial aborts that trial (the paper app
@@ -237,7 +267,7 @@ runGraphWorkload(const RunConfig &config, Engine &eng, SimHeap &heap,
       }
       case App::BFS: {
         std::vector<NodeId> reached;
-        for (const NodeId s : bfsSources(host, w.trials, w.seed)) {
+        for (const NodeId s : bfsSources(g, w.trials, w.seed)) {
             BfsOutput bfs = runBfs(eng, heap, g, s);
             ++out->iterationsTotal;
             if (!trialAborted())
@@ -266,7 +296,7 @@ runGraphWorkload(const RunConfig &config, Engine &eng, SimHeap &heap,
       }
       case App::SSSP: {
         std::vector<std::int64_t> sums;
-        for (const NodeId s : bfsSources(host, w.trials, w.seed)) {
+        for (const NodeId s : bfsSources(g, w.trials, w.seed)) {
             SsspOutput sp = runSssp(eng, heap, g, s);
             ++out->iterationsTotal;
             if (trialAborted())
@@ -285,7 +315,10 @@ runGraphWorkload(const RunConfig &config, Engine &eng, SimHeap &heap,
         break;
     }
 
-    g.free(heap, t0);
+    if (w.segments > 1)
+        seg.free(heap, t0);
+    else
+        mono.free(heap, t0);
     return load_sec;
 }
 

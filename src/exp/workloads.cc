@@ -1,7 +1,9 @@
 #include "exp/workloads.h"
 
+#include <cstdlib>
 #include <map>
 #include <memory>
+#include <tuple>
 
 #include "base/logging.h"
 #include "graph/generators.h"
@@ -73,61 +75,168 @@ paperWorkloads(int scale)
     return out;
 }
 
-const CsrGraph &
-datasetGraph(GraphKind kind, int scale, int degree, std::uint64_t seed)
+namespace {
+
+/** Identity of one cached host graph. */
+struct DatasetKey
 {
-    struct Key
+    GraphKind kind;
+    int scale;
+    int degree;
+    std::uint64_t seed;
+    bool weighted;
+    auto operator<=>(const DatasetKey &) const = default;
+};
+
+struct DatasetEntry
+{
+    std::shared_ptr<const CsrGraph> graph;
+    std::uint64_t bytes = 0;
+    std::uint64_t lastUse = 0;  ///< LRU tick of the latest hit.
+};
+
+/** Shared-state of the capped LRU dataset cache. */
+struct DatasetCache
+{
+    std::map<DatasetKey, DatasetEntry> entries;
+    std::uint64_t totalBytes = 0;
+    std::uint64_t tick = 0;
+    std::uint64_t capBytes;
+
+    DatasetCache()
     {
-        GraphKind kind;
-        int scale;
-        int degree;
-        std::uint64_t seed;
-        auto operator<=>(const Key &) const = default;
-    };
-    static std::map<Key, std::unique_ptr<CsrGraph>> cache;
+        capBytes = 1ULL << 30;  // 1 GiB default retention.
+        if (const char *env = std::getenv("MEMTIER_DATASET_CACHE_MB");
+            env && *env) {
+            capBytes = std::strtoull(env, nullptr, 10) << 20;
+        }
+    }
 
-    const Key key{kind, scale, degree, seed};
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return *it->second;
+    /** Evict least-recently-used graphs until under the cap. @p keep
+     *  is never evicted (it is the entry being returned right now). */
+    void
+    enforceCap(const DatasetKey &keep)
+    {
+        while (totalBytes > capBytes && entries.size() > 1) {
+            auto victim = entries.end();
+            for (auto it = entries.begin(); it != entries.end(); ++it) {
+                if (it->first == keep)
+                    continue;
+                if (victim == entries.end() ||
+                    it->second.lastUse < victim->second.lastUse) {
+                    victim = it;
+                }
+            }
+            if (victim == entries.end())
+                break;
+            totalBytes -= victim->second.bytes;
+            entries.erase(victim);
+        }
+    }
+};
 
-    inform("generating %s graph, scale %d, degree %d",
-           graphKindName(kind), scale, degree);
-    EdgeList edges = kind == GraphKind::Kron
-                         ? generateKron(scale, degree, seed)
-                         : generateUrand(scale, degree, seed);
-    auto graph = std::make_unique<CsrGraph>(CsrGraph::fromEdgeList(
-        static_cast<NodeId>(1LL << scale), edges));
-    const CsrGraph &ref = *graph;
-    cache.emplace(key, std::move(graph));
-    return ref;
+DatasetCache &
+datasetCache()
+{
+    static DatasetCache cache;
+    return cache;
 }
 
-const CsrGraph &
+std::shared_ptr<const CsrGraph>
+cachedDataset(GraphKind kind, int scale, int degree, std::uint64_t seed,
+              bool weighted)
+{
+    DatasetCache &cache = datasetCache();
+    const DatasetKey key{kind, scale, degree, seed, weighted};
+    if (auto it = cache.entries.find(key); it != cache.entries.end()) {
+        it->second.lastUse = ++cache.tick;
+        return it->second.graph;
+    }
+
+    std::shared_ptr<const CsrGraph> graph;
+    if (weighted) {
+        // Copy the (possibly cached) unweighted graph, then weight it.
+        auto weighted_graph = std::make_shared<CsrGraph>(
+            *cachedDataset(kind, scale, degree, seed, false));
+        weighted_graph->generateWeights(seed ^ 0x5eed);
+        graph = std::move(weighted_graph);
+    } else {
+        inform("generating %s graph, scale %d, degree %d",
+               graphKindName(kind), scale, degree);
+        EdgeList edges = kind == GraphKind::Kron
+                             ? generateKron(scale, degree, seed)
+                             : generateUrand(scale, degree, seed);
+        graph = std::make_shared<CsrGraph>(CsrGraph::fromEdgeList(
+            static_cast<NodeId>(1LL << scale), edges));
+    }
+
+    DatasetEntry entry;
+    entry.graph = graph;
+    entry.bytes = graph->serializedBytes();
+    entry.lastUse = ++cache.tick;
+    cache.totalBytes += entry.bytes;
+    cache.entries.emplace(key, std::move(entry));
+    cache.enforceCap(key);
+    if (cache.capBytes == 0) {
+        // Zero cap: hand the graph out but retain nothing.
+        clearDatasetCache();
+    }
+    return graph;
+}
+
+}  // namespace
+
+std::shared_ptr<const CsrGraph>
+datasetGraph(GraphKind kind, int scale, int degree, std::uint64_t seed)
+{
+    return cachedDataset(kind, scale, degree, seed, false);
+}
+
+std::shared_ptr<const CsrGraph>
 weightedDatasetGraph(GraphKind kind, int scale, int degree,
                      std::uint64_t seed)
 {
-    struct Key
-    {
-        GraphKind kind;
-        int scale;
-        int degree;
-        std::uint64_t seed;
-        auto operator<=>(const Key &) const = default;
-    };
-    static std::map<Key, std::unique_ptr<CsrGraph>> cache;
+    return cachedDataset(kind, scale, degree, seed, true);
+}
 
-    const Key key{kind, scale, degree, seed};
-    auto it = cache.find(key);
-    if (it != cache.end())
-        return *it->second;
+void
+setDatasetCacheCapBytes(std::uint64_t bytes)
+{
+    datasetCache().capBytes = bytes;
+    if (!datasetCache().entries.empty()) {
+        // Re-apply the cap with the most recent entry protected.
+        DatasetKey newest = datasetCache().entries.begin()->first;
+        std::uint64_t best = 0;
+        for (const auto &[key, entry] : datasetCache().entries) {
+            if (entry.lastUse >= best) {
+                best = entry.lastUse;
+                newest = key;
+            }
+        }
+        datasetCache().enforceCap(newest);
+        if (bytes == 0)
+            clearDatasetCache();
+    }
+}
 
-    auto graph = std::make_unique<CsrGraph>(
-        datasetGraph(kind, scale, degree, seed));
-    graph->generateWeights(seed ^ 0x5eed);
-    const CsrGraph &ref = *graph;
-    cache.emplace(key, std::move(graph));
-    return ref;
+std::uint64_t
+datasetCacheBytes()
+{
+    return datasetCache().totalBytes;
+}
+
+std::size_t
+datasetCacheCount()
+{
+    return datasetCache().entries.size();
+}
+
+void
+clearDatasetCache()
+{
+    DatasetCache &cache = datasetCache();
+    cache.entries.clear();
+    cache.totalBytes = 0;
 }
 
 }  // namespace memtier

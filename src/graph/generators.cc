@@ -1,61 +1,30 @@
 #include "graph/generators.h"
 
-#include "base/logging.h"
-#include "base/rng.h"
-
 namespace memtier {
 
 EdgeList
 generateKron(int scale, int degree, std::uint64_t seed)
 {
-    MEMTIER_ASSERT(scale > 0 && scale < 32, "kron scale out of range");
-    const std::uint64_t n = 1ULL << scale;
-    const std::uint64_t m = n * static_cast<std::uint64_t>(degree);
-    Rng rng(seed);
-
-    // Graph500 R-MAT quadrant probabilities.
-    constexpr double kA = 0.57;
-    constexpr double kB = 0.19;
-    constexpr double kC = 0.19;
-
+    const std::uint64_t m = (1ULL << scale) *
+                            static_cast<std::uint64_t>(degree);
     EdgeList edges;
     edges.reserve(m);
-    for (std::uint64_t e = 0; e < m; ++e) {
-        std::uint64_t u = 0;
-        std::uint64_t v = 0;
-        for (int bit = 0; bit < scale; ++bit) {
-            const double r = rng.nextDouble();
-            if (r < kA) {
-                // Top-left quadrant: no bits set.
-            } else if (r < kA + kB) {
-                v |= 1ULL << bit;
-            } else if (r < kA + kB + kC) {
-                u |= 1ULL << bit;
-            } else {
-                u |= 1ULL << bit;
-                v |= 1ULL << bit;
-            }
-        }
-        edges.push_back({static_cast<NodeId>(u), static_cast<NodeId>(v)});
-    }
+    forEachKronEdge(scale, degree, seed, [&](NodeId u, NodeId v) {
+        edges.push_back({u, v});
+    });
     return edges;
 }
 
 EdgeList
 generateUrand(int scale, int degree, std::uint64_t seed)
 {
-    MEMTIER_ASSERT(scale > 0 && scale < 32, "urand scale out of range");
-    const std::uint64_t n = 1ULL << scale;
-    const std::uint64_t m = n * static_cast<std::uint64_t>(degree);
-    Rng rng(seed);
-
+    const std::uint64_t m = (1ULL << scale) *
+                            static_cast<std::uint64_t>(degree);
     EdgeList edges;
     edges.reserve(m);
-    for (std::uint64_t e = 0; e < m; ++e) {
-        const auto u = static_cast<NodeId>(rng.nextBounded(n));
-        const auto v = static_cast<NodeId>(rng.nextBounded(n));
+    forEachUrandEdge(scale, degree, seed, [&](NodeId u, NodeId v) {
         edges.push_back({u, v});
-    }
+    });
     return edges;
 }
 

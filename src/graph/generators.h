@@ -7,6 +7,12 @@
  * The paper generates `-g30/-u31` (hundreds of GB); the scaled testbed
  * uses the same generators at smaller scale so the footprint exceeds
  * the scaled DRAM capacity by the same ratio.
+ *
+ * Both generators exist in two forms sharing one RNG sequence: the
+ * EdgeList builders below, and streaming forEach*Edge visitors that
+ * emit edges one at a time without materializing the list -- the form
+ * the out-of-core segmented builder (src/bigraph) consumes, where the
+ * full edge list at scale 24+ would not fit the host RSS budget.
  */
 
 #ifndef MEMTIER_GRAPH_GENERATORS_H_
@@ -14,9 +20,73 @@
 
 #include <cstdint>
 
+#include "base/logging.h"
+#include "base/rng.h"
 #include "graph/graph.h"
 
 namespace memtier {
+
+/**
+ * Stream the Kronecker (R-MAT) edge sequence with Graph500
+ * probabilities (A=0.57, B=0.19, C=0.19): calls @p fn(u, v) for each
+ * of the degree*2^scale generated edges, in generation order.
+ * Identical RNG draws to generateKron, so the emitted sequence is the
+ * edge list element for element.
+ */
+template <typename Fn>
+void
+forEachKronEdge(int scale, int degree, std::uint64_t seed, Fn &&fn)
+{
+    MEMTIER_ASSERT(scale > 0 && scale < 32, "kron scale out of range");
+    const std::uint64_t n = 1ULL << scale;
+    const std::uint64_t m = n * static_cast<std::uint64_t>(degree);
+    Rng rng(seed);
+
+    // Graph500 R-MAT quadrant probabilities.
+    constexpr double kA = 0.57;
+    constexpr double kB = 0.19;
+    constexpr double kC = 0.19;
+
+    for (std::uint64_t e = 0; e < m; ++e) {
+        std::uint64_t u = 0;
+        std::uint64_t v = 0;
+        for (int bit = 0; bit < scale; ++bit) {
+            const double r = rng.nextDouble();
+            if (r < kA) {
+                // Top-left quadrant: no bits set.
+            } else if (r < kA + kB) {
+                v |= 1ULL << bit;
+            } else if (r < kA + kB + kC) {
+                u |= 1ULL << bit;
+            } else {
+                u |= 1ULL << bit;
+                v |= 1ULL << bit;
+            }
+        }
+        fn(static_cast<NodeId>(u), static_cast<NodeId>(v));
+    }
+}
+
+/**
+ * Stream the uniform-random edge sequence: calls @p fn(u, v) for each
+ * of the degree*2^scale edges with independently uniform endpoints.
+ * Identical RNG draws to generateUrand.
+ */
+template <typename Fn>
+void
+forEachUrandEdge(int scale, int degree, std::uint64_t seed, Fn &&fn)
+{
+    MEMTIER_ASSERT(scale > 0 && scale < 32, "urand scale out of range");
+    const std::uint64_t n = 1ULL << scale;
+    const std::uint64_t m = n * static_cast<std::uint64_t>(degree);
+    Rng rng(seed);
+
+    for (std::uint64_t e = 0; e < m; ++e) {
+        const auto u = static_cast<NodeId>(rng.nextBounded(n));
+        const auto v = static_cast<NodeId>(rng.nextBounded(n));
+        fn(u, v);
+    }
+}
 
 /**
  * Kronecker (R-MAT) generator with Graph500 probabilities

@@ -4,39 +4,10 @@
 #include <cstring>
 
 #include "base/logging.h"
+#include "graph/stream_load.h"
 #include "runtime/sim_file.h"
 
 namespace memtier {
-
-namespace {
-
-/**
- * Stream @p count elements of type T from @p file at @p file_offset into
- * @p dst: one page-granular cache fetch plus line loads, interleaved
- * with the element stores, page by page -- the access pattern of a
- * buffered fread into a fresh allocation.
- */
-template <typename T>
-void
-streamInto(Engine &eng, SimFile &file, ThreadContext &t,
-           std::uint64_t file_offset, const SimVector<T> &dst,
-           const T *values, std::uint64_t count)
-{
-    std::uint64_t copied = 0;
-    while (copied < count) {
-        const std::uint64_t bytes_done = copied * sizeof(T);
-        const std::uint64_t chunk_bytes =
-            std::min<std::uint64_t>(kPageSize,
-                                    (count - copied) * sizeof(T));
-        file.read(t, file_offset + bytes_done, chunk_bytes);
-        const std::uint64_t chunk_elems = chunk_bytes / sizeof(T);
-        dst.putRange(t, copied, values + copied, chunk_elems);
-        copied += chunk_elems;
-    }
-    (void)eng;
-}
-
-}  // namespace
 
 SimCsrGraph
 SimCsrGraph::load(Engine &engine, SimHeap &heap, ThreadContext &t,
@@ -55,20 +26,18 @@ SimCsrGraph::load(Engine &engine, SimHeap &heap, ThreadContext &t,
 
     g.index = heap.alloc<std::int64_t>(t, "csr.index", offs.size());
     std::uint64_t file_pos = 3 * sizeof(std::int64_t);
-    streamInto(engine, file, t, file_pos, g.index, offs.data(),
-               offs.size());
+    streamInto(file, t, file_pos, g.index, offs.data(), offs.size());
     file_pos += offs.size() * sizeof(std::int64_t);
 
     g.adjacency = heap.alloc<NodeId>(t, "csr.adjacency", adj.size());
-    streamInto(engine, file, t, file_pos, g.adjacency, adj.data(),
-               adj.size());
+    streamInto(file, t, file_pos, g.adjacency, adj.data(), adj.size());
     file_pos += adj.size() * sizeof(NodeId);
 
     if (host.hasWeights()) {
         const auto &wts = host.weights();
         g.weights =
             heap.alloc<std::int32_t>(t, "csr.weights", wts.size());
-        streamInto(engine, file, t, file_pos, g.weights, wts.data(),
+        streamInto(file, t, file_pos, g.weights, wts.data(),
                    wts.size());
     }
     return g;

@@ -124,6 +124,12 @@ class SimCsrGraph
     /** The simulated adjacency object. */
     const SimVector<NodeId> &adjacencyVector() const { return adjacency; }
 
+    /** The simulated weights object (invalid for unweighted inputs). */
+    const SimVector<std::int32_t> &weightsVector() const
+    {
+        return weights;
+    }
+
     /** True when edge weights were loaded (.wsg input). */
     bool hasWeights() const { return weights.valid(); }
 

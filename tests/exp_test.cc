@@ -93,21 +93,43 @@ TEST(Workloads, PaperMatrixIsSixCombos)
 
 TEST(Workloads, DatasetCacheReturnsSameInstance)
 {
-    const CsrGraph &a = datasetGraph(GraphKind::Urand, 8, 4, 1);
-    const CsrGraph &b = datasetGraph(GraphKind::Urand, 8, 4, 1);
-    EXPECT_EQ(&a, &b);
-    const CsrGraph &c = datasetGraph(GraphKind::Urand, 8, 4, 2);
-    EXPECT_NE(&a, &c);
+    const auto a = datasetGraph(GraphKind::Urand, 8, 4, 1);
+    const auto b = datasetGraph(GraphKind::Urand, 8, 4, 1);
+    EXPECT_EQ(a.get(), b.get());
+    const auto c = datasetGraph(GraphKind::Urand, 8, 4, 2);
+    EXPECT_NE(a.get(), c.get());
 }
 
 TEST(Workloads, WeightedCacheIndependentOfUnweighted)
 {
-    const CsrGraph &plain = datasetGraph(GraphKind::Kron, 8, 4, 1);
-    const CsrGraph &weighted =
-        weightedDatasetGraph(GraphKind::Kron, 8, 4, 1);
-    EXPECT_FALSE(plain.hasWeights());
-    EXPECT_TRUE(weighted.hasWeights());
-    EXPECT_EQ(plain.numEdges(), weighted.numEdges());
+    const auto plain = datasetGraph(GraphKind::Kron, 8, 4, 1);
+    const auto weighted = weightedDatasetGraph(GraphKind::Kron, 8, 4, 1);
+    EXPECT_FALSE(plain->hasWeights());
+    EXPECT_TRUE(weighted->hasWeights());
+    EXPECT_EQ(plain->numEdges(), weighted->numEdges());
+}
+
+TEST(Workloads, DatasetCacheEvictsLeastRecentlyUsed)
+{
+    clearDatasetCache();
+    const auto a = datasetGraph(GraphKind::Urand, 8, 4, 11);
+    const std::uint64_t one = datasetCacheBytes();
+    ASSERT_GT(one, 0u);
+    // Cap to two graphs' worth: a third build must evict the oldest.
+    setDatasetCacheCapBytes(2 * one + one / 2);
+    const auto b = datasetGraph(GraphKind::Urand, 8, 4, 12);
+    EXPECT_EQ(datasetCacheCount(), 2u);
+    const auto c = datasetGraph(GraphKind::Urand, 8, 4, 13);
+    EXPECT_EQ(datasetCacheCount(), 2u);
+    EXPECT_LE(datasetCacheBytes(), 2 * one + one / 2);
+    // "a" was evicted, but the shared_ptr still owns a live graph.
+    EXPECT_EQ(a->numNodes(), 1 << 8);
+    // Rebuilding "a" gives a fresh instance (cache no longer holds it).
+    const auto a2 = datasetGraph(GraphKind::Urand, 8, 4, 11);
+    EXPECT_NE(a.get(), a2.get());
+    EXPECT_EQ(a->numEdges(), a2->numEdges());
+    setDatasetCacheCapBytes(1ULL << 30);
+    clearDatasetCache();
 }
 
 TEST(Runner, SamplingDoesNotPerturbTiming)
