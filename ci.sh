@@ -47,7 +47,13 @@
 #      short PageRank cell at 4 host threads and one KV serving cell
 #      at MEMTIER_HOST_THREADS=4, plus a determinism cell replaying
 #      the same seed twice at 4 host threads and diffing every
-#      simulated observable.
+#      simulated observable;
+#  10. an autotune pass: a short tuned PageRank + KV cell under the
+#      invariant checker asserting the online tuner actually moved at
+#      least one tunable, then a perf gate on the committed
+#      BENCH_autotune.json: tuned autonuma must be >= 1.0x the default
+#      configuration on every committed cell and keep a >5% win on at
+#      least one.
 #
 # All builds live in their own build directories so they never disturb
 # an existing developer build/.
@@ -56,19 +62,19 @@ cd "$(dirname "$0")"
 
 JOBS=$(nproc 2>/dev/null || echo 4)
 
-echo "=== [1/9] tier-1: RelWithDebInfo -Werror build + ctest ==="
+echo "=== [1/10] tier-1: RelWithDebInfo -Werror build + ctest ==="
 cmake -B build-ci -S . -DMEMTIER_WERROR=ON
 cmake --build build-ci -j "$JOBS"
 ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [2/9] sanitizers: ASan/UBSan build + ctest ==="
+echo "=== [2/10] sanitizers: ASan/UBSan build + ctest ==="
 cmake -B build-asan -S . -DMEMTIER_WERROR=ON \
     -DCMAKE_BUILD_TYPE=Debug \
     -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -fno-omit-frame-pointer"
 cmake --build build-asan -j "$JOBS"
 ctest --test-dir build-asan --output-on-failure -j "$JOBS"
 
-echo "=== [3/9] serving smoke: short tail sweep under ASan/UBSan ==="
+echo "=== [3/10] serving smoke: short tail sweep under ASan/UBSan ==="
 # One trial, two policies, THP off: small enough to stay fast under
 # the sanitizers, big enough to drive the generator, both stores, the
 # LSM flush/compaction path and the phase histograms end to end.
@@ -77,7 +83,7 @@ echo "=== [3/9] serving smoke: short tail sweep under ASan/UBSan ==="
     --out=build-asan/BENCH_serving_smoke.json \
     --csv=build-asan/serving_smoke.csv
 
-echo "=== [4/9] chaos: invariant checker on + fault plan, tier-1 binaries ==="
+echo "=== [4/10] chaos: invariant checker on + fault plan, tier-1 binaries ==="
 # MEMTIER_CHECK_INVARIANTS=ON arms the kernel invariant checker in
 # every Engine (observer-only: results stay bit-identical), and
 # MEMTIER_FAULT_PLAN overrides the chaos-aware tests' default plan.
@@ -103,7 +109,7 @@ print(f"scale smoke: {row['pgpromote']} promotions, dram_hit "
       f"{row['dram_hit_fraction']:.3f} under the invariant checker")
 EOF
 
-echo "=== [5/9] thp: MEMTIER_THP=ON + invariant checker, tier-1 binaries ==="
+echo "=== [5/10] thp: MEMTIER_THP=ON + invariant checker, tier-1 binaries ==="
 # MEMTIER_THP=ON force-enables the THP model in every Engine; the
 # extended invariant sweep (PMD/PTE consistency, THP counter identity)
 # runs continuously. Golden-value tests captured with THP off skip.
@@ -111,7 +117,7 @@ MEMTIER_THP=ON \
 MEMTIER_CHECK_INVARIANTS=ON \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [6/9] scalar path: MEMTIER_SCALAR_PATH=ON, tier-1 binaries ==="
+echo "=== [6/10] scalar path: MEMTIER_SCALAR_PATH=ON, tier-1 binaries ==="
 # MEMTIER_SCALAR_PATH=ON forces the element-at-a-time reference path in
 # every Engine. The hotpath golden tests assert exact captured
 # observables in both modes, so any scalar-vs-batched divergence fails
@@ -119,7 +125,7 @@ echo "=== [6/9] scalar path: MEMTIER_SCALAR_PATH=ON, tier-1 binaries ==="
 MEMTIER_SCALAR_PATH=ON \
     ctest --test-dir build-ci --output-on-failure -j "$JOBS"
 
-echo "=== [7/9] perf gate: hotpath throughput vs committed baseline ==="
+echo "=== [7/10] perf gate: hotpath throughput vs committed baseline ==="
 # Re-measure the batched hot path at the baseline's parameters and
 # fail on a >20% throughput regression. The bench itself also fails
 # when the scalar and batched paths stop being bit-identical, so this
@@ -212,7 +218,7 @@ if ratio < 0.8:
              "is intentional)")
 EOF
 
-echo "=== [8/9] ecc chaos: memory failures under the invariant checker ==="
+echo "=== [8/10] ecc chaos: memory failures under the invariant checker ==="
 # The BFS side: the memory-failure end-to-end tests replay an
 # ecc_ce/ecc_ue plan twice and assert bit-identity plus nonzero
 # hwpoison counters; forcing the checker on makes every other test in
@@ -247,7 +253,7 @@ print(f"ecc gate: {hot['frames_retired']} frames retired, "
       f"{float(hot['availability']):.4f} (baseline clean)")
 EOF
 
-echo "=== [9/9] tsan matrix: ThreadSanitizer build + threaded cells ==="
+echo "=== [9/10] tsan matrix: ThreadSanitizer build + threaded cells ==="
 # The host executor shares the engine with real std::threads; TSan
 # verifies the park/round protocol's happens-before edges for real.
 cmake -B build-tsan -S . -DMEMTIER_WERROR=ON \
@@ -284,5 +290,52 @@ if ! diff build-tsan/determinism_a.csv build-tsan/determinism_b.csv; then
     exit 1
 fi
 echo "tsan matrix: determinism cell identical"
+
+echo "=== [10/10] autotune: tuner smoke + tuned-vs-default perf gate ==="
+# Smoke: one graph cell and one serving cell under the invariant
+# checker. The run itself proves tuning keeps every kernel invariant;
+# the assertion below proves the tuner actually moved something (an
+# observe-only tuner would trivially "pass" any perf comparison).
+MEMTIER_CHECK_INVARIANTS=ON \
+    ./build-ci/bench/autotune_sweep --trials=2 --epoch-ms=0.2 \
+    --workload pr:kron --workload kv:kron \
+    --out=build-ci/BENCH_autotune_smoke.json \
+    --csv=build-ci/autotune_smoke.csv > /dev/null
+python3 - build-ci/BENCH_autotune_smoke.json <<'EOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))["cells"]
+for c in cells:
+    if c["tuner_applied"] < 1:
+        sys.exit(f"autotune smoke FAILED: tuner moved no tunable on "
+                 f"{c['workload']} (epochs={c['tuner_epochs']})")
+print("autotune smoke: " +
+      ", ".join(f"{c['workload']} applied {c['tuner_applied']} "
+                f"(accepted {c['tuner_accepted']})" for c in cells) +
+      " under the invariant checker")
+EOF
+# Perf gate on the committed record: the bench is fully deterministic
+# (seeded tuner, cycle clock), so the committed cells are exactly
+# reproducible via run_benches.sh. Online tuning must never lose to
+# the static default, and must keep a real win somewhere.
+python3 - BENCH_autotune.json <<'EOF'
+import json, sys
+cells = json.load(open(sys.argv[1]))["cells"]
+if len(cells) < 3:
+    sys.exit("autotune gate FAILED: fewer than 3 committed cells")
+worst = min(cells, key=lambda c: c["speedup"])
+best = max(cells, key=lambda c: c["speedup"])
+for c in cells:
+    print(f"autotune gate: {c['workload']} tuned/default "
+          f"{c['speedup']:.3f}x")
+if worst["speedup"] < 1.0:
+    sys.exit(f"autotune gate FAILED: tuned autonuma lost to the "
+             f"default on {worst['workload']} "
+             f"({worst['speedup']:.3f}x; refresh the baseline via "
+             f"run_benches.sh if the change is intentional)")
+if best["speedup"] <= 1.05:
+    sys.exit(f"autotune gate FAILED: best committed win is only "
+             f"{best['speedup']:.3f}x (need >1.05x on at least one "
+             f"cell)")
+EOF
 
 echo "ci.sh: all gates passed"

@@ -64,6 +64,13 @@ for b in $binaries; do
         # make_experiments_md.py renders into EXPERIMENTS.md.
         "$b" --out=BENCH_serving.json --csv=results/serving_tail.csv \
             2>/dev/null
+    elif [ "$name" = "autotune_sweep" ]; then
+        # Online tuning vs. the static default: tuned autonuma against
+        # the same mistuned starting configuration on graph + serving
+        # workloads. Writes the record the CI autotune gate compares
+        # against; fully deterministic (seeded tuner, cycle clock).
+        "$b" --out=BENCH_autotune.json \
+            --csv=results/autotune_sweep.csv 2>/dev/null
     elif [ "$name" = "degradation_sweep" ]; then
         # Graceful degradation: the KV replay under escalating ECC
         # error rates, per policy -- DRAM erosion vs tail latency and

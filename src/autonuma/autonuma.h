@@ -148,6 +148,51 @@ class AutoNuma : public TieringPolicy
     /** Configured scan period (the engine schedules scanTick with it). */
     Cycles scanPeriod() const override { return cfg.scanPeriod; }
 
+    // -- Live tunable setters (control-plane apply callbacks) ---------
+    //
+    // The policy layer registers these into the TunableRegistry (this
+    // library sits below src/policy and cannot name the registry
+    // itself). Each setter re-establishes exactly the state a fresh
+    // construction with the new value would have produced, so applying
+    // a tunable at cycle 0 is bit-identical to passing it to the ctor.
+
+    /** Current parameter block (live values, after any tuning). */
+    const AutoNumaParams &config() const { return cfg; }
+
+    void setScanPeriod(Cycles p) { cfg.scanPeriod = p; }
+
+    void
+    setScanPagesPerRound(std::uint32_t n)
+    {
+        cfg.scanPagesPerRound = n;
+    }
+
+    /** Moves both the configured initial threshold and the live
+     *  adaptive threshold, as a fresh construction would. */
+    void
+    setHotThreshold(Cycles t)
+    {
+        cfg.initialThreshold = t;
+        hotThreshold = t;
+    }
+
+    void setThresholdMin(Cycles t) { cfg.thresholdMin = t; }
+
+    void setThresholdMax(Cycles t) { cfg.thresholdMax = t; }
+
+    /** Installs the new rate and refills the token bucket to the new
+     *  full one-second budget, as a fresh construction would. */
+    void
+    setRateLimit(std::uint64_t bytesPerSec)
+    {
+        cfg.rateLimitBytesPerSec = bytesPerSec;
+        rateTokens = static_cast<double>(bytesPerSec);
+    }
+
+    void setAdjustPeriod(Cycles p) { cfg.adjustPeriod = p; }
+
+    void setFailureHoldoff(Cycles c) { cfg.failureHoldoff = c; }
+
   private:
     void maybeAdjustThreshold(Cycles now);
     bool rateLimitAllows(Cycles now, std::uint64_t bytes);

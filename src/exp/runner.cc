@@ -112,9 +112,10 @@ runWorkload(const RunConfig &config, const PlacementPlan *plan)
         sys.tieringKernel = true;
         sys.policyName = config.policy;
         for (const std::string &assignment : config.tunables) {
-            if (!sys.policyTunables.parseAssignment(assignment)) {
-                fatal("malformed tunable '%s' (expected key=value)",
-                      assignment.c_str());
+            std::string perr;
+            if (!sys.policyTunables.parseAssignment(assignment, &perr)) {
+                fatal("malformed tunable '%s': %s", assignment.c_str(),
+                      perr.c_str());
             }
         }
     }
@@ -184,6 +185,13 @@ runWorkload(const RunConfig &config, const PlacementPlan *plan)
         out.policyName = eng.tieringPolicy()->name();
         out.policyCounters = eng.tieringPolicy()->snapshotStats();
     }
+    // Post-tuning values of every live tunable: what the machine
+    // actually ran with at the end, not the defaults it started from.
+    for (const std::string &key : eng.tunableRegistry().keys()) {
+        out.effectiveTunables.emplace_back(
+            key, eng.tunableRegistry().formatValue(key));
+    }
+    out.metricsEpochs = eng.metricsEpochs();
     for (int l = 0; l < kNumMemLevels; ++l) {
         out.levelCounts[l] = eng.levelCount(static_cast<MemLevel>(l));
         out.totalAccesses += out.levelCounts[l];

@@ -83,6 +83,16 @@ struct RunResult
     /** The policy's snapshotStats() counters at end of run. */
     std::vector<PolicyCounter> policyCounters;
 
+    /**
+     * Effective (post-tuning) {key, value} of every live tunable the
+     * run registered (kernel-owned plus policy-owned), in key order.
+     * With no runtime tuning these equal the construction-time values.
+     */
+    std::vector<std::pair<std::string, std::string>> effectiveTunables;
+
+    /** Per-epoch MetricsView history (empty without an epoch policy). */
+    std::vector<MetricsView> metricsEpochs;
+
     std::uint64_t levelCounts[kNumMemLevels] = {};
     std::uint64_t totalAccesses = 0;
 

@@ -54,6 +54,11 @@ runSweep(const SweepSpec &spec, std::ostream *progress)
             p.workload = w.name();
             p.policy = spec.policy;
             p.tunables = combo;
+            for (const auto &[key, value] : r.effectiveTunables) {
+                if (!p.effectiveTunables.empty())
+                    p.effectiveTunables += ";";
+                p.effectiveTunables += key + "=" + value;
+            }
             p.totalSeconds = r.totalSeconds;
             p.computeSeconds = r.computeSeconds;
             p.hintFaults = r.vmstat.numaHintFaults;
@@ -90,6 +95,7 @@ writeSweepCsv(const SweepSpec &spec,
           "disk_read_retry", "breaker_trips"}) {
         columns.push_back(metric);
     }
+    columns.push_back("effective_tunables");
     csv.header(columns);
 
     const std::string thp = spec.sys.thp.enabled ? "on" : "off";
@@ -111,7 +117,8 @@ writeSweepCsv(const SweepSpec &spec,
             .cell(p.promoteRetry)
             .cell(p.allocFail)
             .cell(p.diskReadRetry)
-            .cell(p.breakerTrips);
+            .cell(p.breakerTrips)
+            .cell(p.effectiveTunables);
         csv.endRow();
     }
 }

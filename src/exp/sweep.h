@@ -48,6 +48,13 @@ struct SweepPoint
     /** Tunable assignment of this point, in axis order. */
     std::vector<std::pair<std::string, std::string>> tunables;
 
+    /**
+     * Effective (post-tuning) tunable values the run ended with, joined
+     * as "key=value;..." in key order. Equals the assignment above plus
+     * defaults when nothing tuned at runtime; diverges under autotune.
+     */
+    std::string effectiveTunables;
+
     double totalSeconds = 0.0;
     double computeSeconds = 0.0;
     std::uint64_t hintFaults = 0;

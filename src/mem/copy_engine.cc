@@ -16,6 +16,20 @@ CopyEngine::CopyEngine(const CopyEngineParams &params)
         cfg_.chunkPages = 1;
 }
 
+void
+CopyEngine::setWorkers(std::uint32_t workers)
+{
+    if (workers == 0)
+        workers = 1;
+    if (workers == cfg_.workers)
+        return;
+    cfg_.workers = workers;
+    // Growing adds idle workers; shrinking drops the tail horizons. A
+    // live resize is allowed to lose in-flight busy state -- the next
+    // copy simply sees a (partially) fresh pool.
+    busyUntil_.resize(workers, 0);
+}
+
 Cycles
 CopyEngine::schedule(Cycles now, std::uint64_t bytes, Cycles totalCycles)
 {

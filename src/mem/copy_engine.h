@@ -61,6 +61,14 @@ class CopyEngine
 
     const CopyEngineParams &params() const { return cfg_; }
 
+    /**
+     * Resize the worker pool to @p workers (live tunable path). New
+     * workers start idle; shrinking forgets the dropped workers'
+     * busy-until horizons. A no-op when the size is unchanged, so runs
+     * that never mutate the tunable stay bit-identical.
+     */
+    void setWorkers(std::uint32_t workers);
+
     /** Total bytes handed to the engine (foreground + background). */
     std::uint64_t bytesCopied() const { return bytesCopied_; }
     /** Sum of per-copy charged (caller-visible) cycles. */

@@ -385,6 +385,13 @@ class Kernel
     /** The migration copy engine (bandwidth/queue introspection). */
     const CopyEngine &copyEngine() const { return copyEngine_; }
 
+    /** Resize the migration copy worker pool (live "copy_threads"
+     *  tunable); a same-size call is a strict no-op. */
+    void setCopyThreads(std::uint32_t workers)
+    {
+        copyEngine_.setWorkers(workers);
+    }
+
   private:
     friend class InvariantChecker;  ///< Reads internal state, only.
 

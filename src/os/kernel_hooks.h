@@ -19,6 +19,8 @@
 namespace memtier {
 
 struct PageMeta;
+struct MetricsView;
+class TunableRegistry;
 
 /** Sentinel for "no page" in policy/kernel exchanges. */
 inline constexpr PageNum kNoPage = static_cast<PageNum>(-1);
@@ -220,6 +222,49 @@ class TieringPolicy
 
     /** Policy-private cumulative counters for reports/CSV export. */
     virtual std::vector<PolicyCounter> snapshotStats() const { return {}; }
+
+    // -- Live tunable control plane -----------------------------------
+
+    /**
+     * Register this policy's live-adjustable tunables into @p registry
+     * (keyed exactly like the "--tunable key=value" CLI surface, owner
+     * tag == name()). Called once right after construction; policies
+     * without tunables keep the default no-op.
+     */
+    virtual void registerTunables(TunableRegistry &registry)
+    {
+        (void)registry;
+    }
+
+    /**
+     * Effective (post-tuning) tunable values as {key, formatted value}
+     * pairs, in key order — what the policy is running with *now*, not
+     * the defaults it started from. Exported into sweep CSVs and bench
+     * reports.
+     */
+    virtual std::vector<std::pair<std::string, std::string>>
+    effectiveTunables() const
+    {
+        return {};
+    }
+
+    /**
+     * Period of @ref epochTick in cycles; 0 (the default) disables the
+     * epoch service entirely, so non-tuning policies cost nothing.
+     */
+    virtual Cycles epochPeriod() const { return 0; }
+
+    /**
+     * Per-epoch observation callback: the engine hands the policy a
+     * fresh cumulative @ref MetricsView every @ref epochPeriod cycles.
+     * Online tuners diff consecutive views and adjust tunables here.
+     */
+    virtual void
+    epochTick(Cycles now, const MetricsView &mv)
+    {
+        (void)now;
+        (void)mv;
+    }
 };
 
 /** Implemented by the mmap tracker (syscall_intercept equivalent). */

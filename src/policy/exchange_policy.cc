@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "policy/tunable_registry.h"
+
 namespace memtier {
 
 ExchangePolicy::ExchangePolicy(Kernel &kernel,
@@ -191,6 +193,61 @@ ExchangePolicy::snapshotStats() const
         {"memory_failures", stat.memoryFailures},
         {"promotions_held_off", stat.promotionsHeldOff},
     };
+}
+
+void
+ExchangePolicy::registerTunables(TunableRegistry &registry)
+{
+    registry.add({"scan_period_ms", "cycles between scan rounds (ms)",
+                  name(), 0.05, 1000.0, false, /*rearmScan=*/true,
+                  [this] { return cyclesToSeconds(cfg.scanPeriod) * 1e3; },
+                  [this](double v) {
+                      cfg.scanPeriod = secondsToCycles(v / 1000.0);
+                  }});
+    registry.add({"scan_pages", "pages marked PROT_NONE per scan round",
+                  name(), 16.0, 4096.0, /*integerValued=*/true, false,
+                  [this] {
+                      return static_cast<double>(cfg.scanPagesPerRound);
+                  },
+                  [this](double v) {
+                      cfg.scanPagesPerRound =
+                          static_cast<std::uint32_t>(v);
+                  }});
+    registry.add({"hot_threshold_ms",
+                  "fixed hint-fault hotness threshold (ms)", name(), 0.01,
+                  1000.0, false, false,
+                  [this] {
+                      return cyclesToSeconds(cfg.hotThreshold) * 1e3;
+                  },
+                  [this](double v) {
+                      cfg.hotThreshold = secondsToCycles(v / 1000.0);
+                  }});
+    registry.add({"exchange_batch", "exchanges allowed per scan period",
+                  name(), 1.0, 4096.0, /*integerValued=*/true, false,
+                  [this] {
+                      return static_cast<double>(cfg.exchangeBatch);
+                  },
+                  [this](double v) {
+                      cfg.exchangeBatch = static_cast<std::uint32_t>(v);
+                  }});
+    registry.add({"protect_ms",
+                  "reclaim protection window for exchanged-in pages (ms)",
+                  name(), 0.0, 1000.0, false, false,
+                  [this] {
+                      return cyclesToSeconds(cfg.protectWindow) * 1e3;
+                  },
+                  [this](double v) {
+                      cfg.protectWindow = secondsToCycles(v / 1000.0);
+                  }});
+    registry.add({"failure_holdoff_ms",
+                  "promotion holdoff after a DRAM frame retirement (ms)",
+                  name(), 0.0, 1000.0, false, false,
+                  [this] {
+                      return cyclesToSeconds(cfg.failureHoldoff) * 1e3;
+                  },
+                  [this](double v) {
+                      cfg.failureHoldoff = secondsToCycles(v / 1000.0);
+                  }});
 }
 
 }  // namespace memtier

@@ -95,8 +95,14 @@ class ExchangePolicy : public TieringPolicy
 
     std::vector<PolicyCounter> snapshotStats() const override;
 
+    /** Register every ExchangePolicyParams field as a live tunable. */
+    void registerTunables(TunableRegistry &registry) override;
+
     /** Policy statistics. */
     const ExchangePolicyStats &stats() const { return stat; }
+
+    /** Current parameter block (live values, after any tuning). */
+    const ExchangePolicyParams &config() const { return cfg; }
 
   private:
     Kernel &kernel;

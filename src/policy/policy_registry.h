@@ -22,6 +22,7 @@
 namespace memtier {
 
 class Kernel;
+class TunableRegistry;
 
 /** Everything a policy factory may draw on. */
 struct PolicyContext
@@ -38,11 +39,27 @@ struct PolicyContext
 
     /** String-keyed tunables from the CLI/config. */
     PolicyTunables tunables;
+
+    /**
+     * Live tunable registry the factory registers the policy's tunables
+     * into before applying the CLI assignments through it. When null
+     * (legacy/standalone construction) the factory uses a throwaway
+     * registry: the assignments still apply, nothing stays adjustable.
+     */
+    TunableRegistry *registry = nullptr;
 };
 
 /** Builds one configured policy instance. */
 using PolicyFactory =
     std::function<std::unique_ptr<TieringPolicy>(const PolicyContext &)>;
+
+/**
+ * Computes the allowed tunable keys from the assignments themselves,
+ * for policies whose key set depends on another tunable (autotune
+ * accepts its own keys plus whatever its "base" policy accepts).
+ */
+using TunableKeysFn =
+    std::function<std::vector<std::string>(const PolicyTunables &)>;
 
 /** Process-wide registry of tiering policies. */
 class PolicyRegistry
@@ -58,10 +75,12 @@ class PolicyRegistry
      * @param description one-line summary for listings.
      * @param tunable_keys tunable keys the policy understands.
      * @param factory instance builder.
+     * @param keys_fn optional dynamic key computation; when set it
+     *        replaces @p tunable_keys for create()-time validation.
      */
     void add(const std::string &name, const std::string &description,
              std::vector<std::string> tunable_keys,
-             PolicyFactory factory);
+             PolicyFactory factory, TunableKeysFn keys_fn = nullptr);
 
     /**
      * Build the policy registered under @p name.
@@ -98,6 +117,7 @@ class PolicyRegistry
         std::string description;
         std::vector<std::string> tunableKeys;
         PolicyFactory factory;
+        TunableKeysFn keysFn;
     };
 
     const Entry *find(const std::string &name) const;

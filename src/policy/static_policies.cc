@@ -1,5 +1,7 @@
 #include "policy/static_policies.h"
 
+#include "policy/tunable_registry.h"
+
 namespace memtier {
 
 std::vector<PolicyCounter>
@@ -43,6 +45,29 @@ InterleavePolicy::InterleavePolicy(Kernel &kernel,
       nvmStride(nvm_stride ? nvm_stride : 1)
 {
     kernel.setTieringPolicy(this);
+}
+
+void
+InterleavePolicy::registerTunables(TunableRegistry &registry)
+{
+    // The ratio only steers *future* first touches; changing it mid-run
+    // never moves already-placed pages.
+    registry.add({"dram_stride", "pages sent to DRAM per period", name(),
+                  1.0, 64.0, /*integerValued=*/true, false,
+                  [this] { return static_cast<double>(dramStride); },
+                  [this](double v) {
+                      dramStride = static_cast<std::uint32_t>(v);
+                      if (dramStride == 0)
+                          dramStride = 1;
+                  }});
+    registry.add({"nvm_stride", "pages sent to NVM per period", name(),
+                  1.0, 64.0, /*integerValued=*/true, false,
+                  [this] { return static_cast<double>(nvmStride); },
+                  [this](double v) {
+                      nvmStride = static_cast<std::uint32_t>(v);
+                      if (nvmStride == 0)
+                          nvmStride = 1;
+                  }});
 }
 
 MemNode

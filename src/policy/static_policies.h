@@ -101,6 +101,9 @@ class InterleavePolicy : public StaticPolicy
     MemNode onFirstTouchAlloc(PageNum vpn, Cycles now,
                               MemNode chosen) override;
 
+    /** Register the interleave ratio as live tunables. */
+    void registerTunables(TunableRegistry &registry) override;
+
   private:
     Kernel &kernel;
     std::uint32_t dramStride;

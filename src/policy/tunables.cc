@@ -9,12 +9,29 @@
 namespace memtier {
 
 bool
-PolicyTunables::parseAssignment(const std::string &assignment)
+PolicyTunables::parseAssignment(const std::string &assignment,
+                                std::string *error)
 {
     const std::size_t eq = assignment.find('=');
-    if (eq == std::string::npos || eq == 0)
+    if (eq == std::string::npos || eq == 0) {
+        if (error != nullptr)
+            *error = "expected key=value";
         return false;
-    values[assignment.substr(0, eq)] = assignment.substr(eq + 1);
+    }
+    const std::string key = assignment.substr(0, eq);
+    if (eq + 1 >= assignment.size()) {
+        if (error != nullptr)
+            *error = "empty value for tunable '" + key + "'";
+        return false;
+    }
+    if (values.count(key) != 0) {
+        if (error != nullptr) {
+            *error = "duplicate tunable '" + key + "' (already set to '" +
+                     values[key] + "')";
+        }
+        return false;
+    }
+    values[key] = assignment.substr(eq + 1);
     return true;
 }
 
@@ -52,6 +69,24 @@ PolicyTunables::assignments() const
     for (const auto &[key, value] : values)
         out.push_back(key + "=" + value);
     return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+PolicyTunables::items() const
+{
+    std::vector<std::pair<std::string, std::string>> out;
+    out.reserve(values.size());
+    for (const auto &[key, value] : values)
+        out.emplace_back(key, value);
+    return out;
+}
+
+std::string
+PolicyTunables::getString(const std::string &key,
+                          const std::string &fallback) const
+{
+    const auto it = values.find(key);
+    return it == values.end() ? fallback : it->second;
 }
 
 std::uint64_t

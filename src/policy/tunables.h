@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "base/types.h"
@@ -24,11 +25,18 @@ class PolicyTunables
 {
   public:
     /**
-     * Parse one "key=value" assignment into the map (later assignments
-     * to the same key win).
-     * @return false when @p assignment is malformed (no '=', empty key).
+     * Parse one "key=value" assignment into the map. Malformed input is
+     * a hard error: no '=', an empty key, an empty value ("key=") and a
+     * duplicate key across repeated assignments all fail (a silently
+     * dropped or overwritten tunable is how sweep results lie).
+     *
+     * @param assignment the "key=value" string.
+     * @param error receives a human-readable reason on failure; may be
+     *        nullptr.
+     * @return false when @p assignment was rejected.
      */
-    bool parseAssignment(const std::string &assignment);
+    bool parseAssignment(const std::string &assignment,
+                         std::string *error = nullptr);
 
     /** Set @p key to @p value directly. */
     void set(const std::string &key, const std::string &value);
@@ -46,7 +54,14 @@ class PolicyTunables
     /** All assignments as "k=v" strings, in key order (CSV labels). */
     std::vector<std::string> assignments() const;
 
+    /** All {key, value} pairs, in key order. */
+    std::vector<std::pair<std::string, std::string>> items() const;
+
     // -- Typed getters (fatal on an unparseable value) ----------------
+
+    /** Raw string value of @p key, or @p fallback when absent. */
+    std::string getString(const std::string &key,
+                          const std::string &fallback) const;
 
     /** Unsigned integer value of @p key, or @p fallback when absent. */
     std::uint64_t getU64(const std::string &key,

@@ -30,6 +30,10 @@ runServing(Engine &eng, SimHeap &heap, const ServingSpec &spec)
                    "server thread pool exceeds the machine");
 
     ServingReport out;
+    // Expose the live request-latency histogram to the engine's
+    // observation plane: per-epoch MetricsViews sample its quantiles
+    // while the serve phase runs (cleared before returning).
+    eng.setServingLatencyProbe(&out.latency);
     ThreadContext &t0 = eng.thread(0);
 
     // Construct only the selected store, on t0, so allocation and
@@ -136,6 +140,7 @@ runServing(Engine &eng, SimHeap &heap, const ServingSpec &spec)
         lsm->freeStorage(t0);
     }
     out.totalSeconds = cyclesToSeconds(eng.globalTime());
+    eng.setServingLatencyProbe(nullptr);
     return out;
 }
 

@@ -69,6 +69,19 @@ Engine::Engine(const SystemConfig &config)
     kern = std::make_unique<Kernel>(phys, kp);
     kern->setShootdownClient(this);
 
+    // Kernel-owned live tunables: registered before the policy so the
+    // control plane exists even for policy-less (vanilla) machines.
+    registry_.add({"copy_threads", "migration copy-engine worker threads",
+                   "kernel", 1.0, 64.0, /*integerValued=*/true, false,
+                   [this] {
+                       return static_cast<double>(
+                           kern->copyEngine().params().workers);
+                   },
+                   [this](double v) {
+                       kern->setCopyThreads(
+                           static_cast<std::uint32_t>(v));
+                   }});
+
     // A plan with no enabled point builds no injector at all, keeping
     // fault-free runs bit-identical (the kernel never even branches on
     // a plan, only on the injector pointer).
@@ -90,13 +103,39 @@ Engine::Engine(const SystemConfig &config)
             ? cfg.policyName
             : (cfg.autonumaEnabled ? "autonuma" : "");
     if (!policy_name.empty()) {
-        PolicyContext ctx{*kern, cfg.autonuma, cfg.policyTunables};
+        PolicyContext ctx{*kern, cfg.autonuma, cfg.policyTunables,
+                          &registry_};
         std::string error;
         tiering =
             PolicyRegistry::instance().create(policy_name, ctx, &error);
         if (tiering == nullptr)
             fatal("%s", error.c_str());
         kern->setTieringPolicy(tiering.get());
+    }
+
+    // Runtime mutations (TunableRegistry::set) land here; the
+    // construction-time setFromString path never fires the observer, so
+    // installing after create() changes nothing for config-only runs.
+    // A scan-period change re-arms the scan service: the next tick
+    // lands one *new* period after the mutation instead of on the old
+    // schedule.
+    registry_.setApplyObserver(
+        [this](const TunableRegistry::Tunable &t, Cycles now) {
+            if (t.rearmScan && tiering && tiering->scanPeriod() > 0) {
+                nextScan = now + tiering->scanPeriod();
+                recomputeNextServiceDue();
+            }
+        });
+
+    // Policy epoch service (the autotune observation plane). Policies
+    // with epochPeriod() == 0 -- every non-tuning policy -- add no
+    // service and keep the service cadence exactly as it was.
+    if (tiering && tiering->epochPeriod() > 0) {
+        addPeriodicService(tiering->epochPeriod(), [this](Cycles now) {
+            const MetricsView mv = sampleMetrics(now);
+            metricsEpochs_.push_back(mv);
+            tiering->epochTick(now, mv);
+        });
     }
 
     if (cfg.thp.enabled && cfg.thp.khugepagedPeriod > 0) {
@@ -225,6 +264,27 @@ Engine::maybeRunServicesImpl(Cycles now)
         nextTimeline += cfg.timelinePeriod;
     }
     recomputeNextServiceDue();
+}
+
+MetricsView
+Engine::sampleMetrics(Cycles now) const
+{
+    MetricsView mv;
+    mv.now = now;
+    // Master shards only: host-worker lanes merge at region end, so a
+    // snapshot taken from a service (every worker parked) is a pure
+    // function of the deterministic merged state.
+    for (int i = 0; i < kNumMemLevels; ++i)
+        mv.accesses += level_counts[i];
+    mv.accessCycles = accessCycles_;
+    mv.vm = kern->vmstat();
+    if (servingProbe_ != nullptr && servingProbe_->count() > 0) {
+        mv.hasServing = true;
+        mv.serveP50Cycles = servingProbe_->percentile(0.50);
+        mv.serveP99Cycles = servingProbe_->percentile(0.99);
+        mv.serveP999Cycles = servingProbe_->percentile(0.999);
+    }
+    return mv;
 }
 
 void
@@ -754,6 +814,7 @@ Engine::accessBatch(ThreadContext &t, std::span<const AccessRequest> reqs)
         for (AccessObserver *obs : observers)
             obs->onBatch(recScratch_.data(), recScratch_.size());
     }
+    accessCyclesRef() += total;
     return total;
 }
 
@@ -791,6 +852,7 @@ Engine::accessRange(ThreadContext &t, Addr base, std::uint64_t count,
             accessPrologue(t, false);
             total += accessCore(t, base + k * stride, op, false).cost;
         }
+        accessCyclesRef() += total;
         return total;
     }
 
@@ -828,6 +890,7 @@ Engine::accessRange(ThreadContext &t, Addr base, std::uint64_t count,
                          run - 1, is_store, consumed, prologue_done);
         k += consumed;
     }
+    accessCyclesRef() += total;
     return total;
 }
 
@@ -1009,6 +1072,7 @@ Engine::accessMany(ThreadContext &t, std::span<const Addr> addrs, MemOp op)
             accessPrologue(t, false);
             total += accessCore(t, addr, op, false).cost;
         }
+        accessCyclesRef() += total;
         return total;
     }
 
@@ -1044,6 +1108,7 @@ Engine::accessMany(ThreadContext &t, std::span<const Addr> addrs, MemOp op)
                          run_end - i, is_store, consumed, prologue_done);
         i += consumed;
     }
+    accessCyclesRef() += total;
     return total;
 }
 

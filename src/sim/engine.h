@@ -25,7 +25,9 @@
 #include "fault/fault_injector.h"
 #include "os/invariants.h"
 #include "os/kernel.h"
+#include "os/metrics_view.h"
 #include "os/physical_memory.h"
+#include "policy/tunable_registry.h"
 #include "sim/access_observer.h"
 #include "sim/host_lane.h"
 #include "sim/system_config.h"
@@ -95,6 +97,15 @@ class Engine : public TlbShootdownClient
 
     /** Collapse daemon, or nullptr when THP is off. */
     Khugepaged *khugepaged() { return khugepaged_.get(); }
+
+    /**
+     * Live tunable registry: kernel-owned tunables plus whatever the
+     * installed policy registered at construction. Mutations through
+     * TunableRegistry::set() take effect immediately; a scan-period
+     * change re-arms the scan service.
+     */
+    TunableRegistry &tunableRegistry() { return registry_; }
+    const TunableRegistry &tunableRegistry() const { return registry_; }
     ///@}
 
     /** Install the sole access observer (nullptr clears them all). */
@@ -339,6 +350,34 @@ class Engine : public TlbShootdownClient
      */
     const LatencyHistogram &hostGrainLatency() const { return hostLat_; }
 
+    // -- Observation plane ---------------------------------------------
+
+    /**
+     * Cumulative machine-metrics snapshot at @p now: accesses and their
+     * summed memory-system cycles, vmstat, and the serving-latency
+     * quantiles when a probe is registered. Reads only master state
+     * (host-worker lane shards merge at region end), so a snapshot
+     * taken from a service is deterministic for a fixed worker count.
+     */
+    MetricsView sampleMetrics(Cycles now) const;
+
+    /**
+     * Register the live serving-latency histogram the serving driver
+     * appends to (nullptr clears it). Sampled, never mutated, by
+     * sampleMetrics().
+     */
+    void
+    setServingLatencyProbe(const LatencyHistogram *probe)
+    {
+        servingProbe_ = probe;
+    }
+
+    /** MetricsView history, one per policy epoch tick (oldest first). */
+    const std::vector<MetricsView> &metricsEpochs() const
+    {
+        return metricsEpochs_;
+    }
+
     /** TlbShootdownClient: invalidate @p vpn everywhere. */
     void tlbShootdown(PageNum vpn) override;
 
@@ -404,6 +443,13 @@ class Engine : public TlbShootdownClient
     {
         HostLane *lane = tls_host_lane;
         return lane != nullptr ? lane->levelCounts : level_counts;
+    }
+
+    std::uint64_t &
+    accessCyclesRef()
+    {
+        HostLane *lane = tls_host_lane;
+        return lane != nullptr ? lane->accessCycles : accessCycles_;
     }
 
     Cycles
@@ -494,6 +540,19 @@ class Engine : public TlbShootdownClient
 
     /** Record staging for batch-at-a-time observer delivery. */
     std::vector<AccessRecord> recScratch_;
+
+    /** Live tunable control plane (kernel + installed policy). */
+    TunableRegistry registry_;
+
+    /** Summed memory-system cycles of every completed access entry
+     *  point (master shard; host lanes merge in at region end). */
+    std::uint64_t accessCycles_ = 0;
+
+    /** Live serving-latency histogram, owned by the serving driver. */
+    const LatencyHistogram *servingProbe_ = nullptr;
+
+    /** One MetricsView per policy epoch tick. */
+    std::vector<MetricsView> metricsEpochs_;
 
     std::uint64_t level_counts[kNumMemLevels] = {};
 };

@@ -300,6 +300,8 @@ HostExecutor::commitLanes()
             eng_.level_counts[i] += lane.levelCounts[i];
             lane.levelCounts[i] = 0;
         }
+        eng_.accessCycles_ += lane.accessCycles;
+        lane.accessCycles = 0;
         lane.dram.drainCountersInto(eng_.phys.dram().deviceMutable());
         lane.nvm.drainCountersInto(eng_.phys.nvm().deviceMutable());
 

@@ -55,6 +55,10 @@ struct HostLane
     /** Vmstat shard (only hostFastTouches moves outside rounds). */
     VmStat vm;
 
+    /** Summed memory-system cycles of this worker's accesses, merged
+     *  into the engine's master accumulator at commit. */
+    std::uint64_t accessCycles = 0;
+
     /** Recency stamps deferred by fastTouch, applied at rounds. */
     std::vector<std::pair<PageNum, Cycles>> recency;
 

@@ -30,6 +30,20 @@ class NullShootdown : public TlbShootdownClient
     void tlbShootdownHuge(PageNum) override {}
 };
 
+/**
+ * Fast touches exist only on the batched access path, so the
+ * counter-moved assertions below are vacuous under the CI pass that
+ * forces the scalar reference path.
+ */
+bool
+scalarPathForced()
+{
+    const char *env = std::getenv("MEMTIER_SCALAR_PATH");
+    return env != nullptr &&
+           (std::strcmp(env, "ON") == 0 || std::strcmp(env, "on") == 0 ||
+            std::strcmp(env, "1") == 0);
+}
+
 /** A migration-heavy PageRank run (DRAM overcommitted ~4x). */
 RunConfig
 parallelConfig(App app)
@@ -96,7 +110,9 @@ TEST(HostExecGolden, ReplayIsDeterministicAtFixedThreadCount)
     const RunResult a = runWorkload(rc);
     const RunResult b = runWorkload(rc);
     expectSameSimulation(a, b);
-    EXPECT_GT(a.vmstat.hostFastTouches, 0u);
+    if (!scalarPathForced()) {
+        EXPECT_GT(a.vmstat.hostFastTouches, 0u);
+    }
 }
 
 // The application's *answer* must not depend on the host thread count,
@@ -108,7 +124,9 @@ TEST(HostExecGolden, OutputChecksumInvariantAcrossThreadCounts)
     rc.sys.hostThreads = 4;
     const RunResult par = runWorkload(rc);
     EXPECT_EQ(par.outputChecksum, serial.outputChecksum);
-    EXPECT_GT(par.vmstat.hostFastTouches, 0u);
+    if (!scalarPathForced()) {
+        EXPECT_GT(par.vmstat.hostFastTouches, 0u);
+    }
 }
 
 TEST(HostExecGolden, EnvOverrideMatchesConfigField)
@@ -271,7 +289,9 @@ runEpochRaceStress(bool thp)
     ASSERT_NE(eng.invariantChecker(), nullptr);
     eng.invariantChecker()->checkNow(eng.globalTime());
     EXPECT_GT(eng.invariantChecker()->checksRun(), 0u);
-    EXPECT_GT(eng.kernel().vmstat().hostFastTouches, 0u);
+    if (!scalarPathForced()) {
+        EXPECT_GT(eng.kernel().vmstat().hostFastTouches, 0u);
+    }
     // The stress only means something if migrations actually raced the
     // accesses: scans must have queued and moved pages.
     EXPECT_GT(eng.kernel().vmstat().pgmigrateSuccess, 0u);

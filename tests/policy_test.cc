@@ -39,17 +39,27 @@ TEST(PolicyTunables, ParsesAssignments)
 TEST(PolicyTunables, RejectsMalformedAssignments)
 {
     PolicyTunables t;
-    EXPECT_FALSE(t.parseAssignment("no_equals_sign"));
-    EXPECT_FALSE(t.parseAssignment("=value_without_key"));
+    std::string error;
+    EXPECT_FALSE(t.parseAssignment("no_equals_sign", &error));
+    EXPECT_NE(error.find("expected key=value"), std::string::npos);
+    EXPECT_FALSE(t.parseAssignment("=value_without_key", &error));
+    EXPECT_NE(error.find("expected key=value"), std::string::npos);
+    EXPECT_FALSE(t.parseAssignment("k=", &error));
+    EXPECT_NE(error.find("empty value"), std::string::npos);
+    EXPECT_NE(error.find("'k'"), std::string::npos);
     EXPECT_EQ(t.size(), 0u);
 }
 
-TEST(PolicyTunables, LaterAssignmentWins)
+TEST(PolicyTunables, DuplicateAssignmentIsAnError)
 {
     PolicyTunables t;
-    EXPECT_TRUE(t.parseAssignment("k=1"));
-    EXPECT_TRUE(t.parseAssignment("k=2"));
-    EXPECT_EQ(t.getU64("k", 0), 2u);
+    std::string error;
+    EXPECT_TRUE(t.parseAssignment("k=1", &error));
+    EXPECT_FALSE(t.parseAssignment("k=2", &error));
+    EXPECT_NE(error.find("duplicate tunable 'k'"), std::string::npos);
+    EXPECT_NE(error.find("'1'"), std::string::npos);
+    // The first assignment survives untouched.
+    EXPECT_EQ(t.getU64("k", 0), 1u);
     EXPECT_EQ(t.size(), 1u);
 }
 
@@ -170,8 +180,8 @@ TEST_F(PolicyKernelTest, RegistryListsBuiltinsSorted)
     const std::vector<std::string> names =
         PolicyRegistry::instance().names();
     EXPECT_EQ(names, (std::vector<std::string>{
-                         "autonuma", "dram-only", "exchange",
-                         "interleave"}));
+                         "autonuma", "autotune", "dram-only",
+                         "exchange", "interleave"}));
     for (const std::string &name : names) {
         EXPECT_TRUE(PolicyRegistry::instance().contains(name));
         EXPECT_FALSE(
@@ -430,6 +440,48 @@ TEST(AutoNumaRegression, TunablesExpressTheSameConfig)
     rc.tunables = {"scan_period_ms=0.5", "adjust_period_ms=2",
                    "rate_limit_kib=4096"};
     expectGolden(runWorkload(rc));
+}
+
+TEST(AutoNumaRegression, EffectiveTunablesReflectConstruction)
+{
+    SKIP_UNDER_FORCED_THP();
+    RunConfig rc = goldenConfig();
+    rc.sys.autonuma = AutoNumaParams{};
+    rc.policy = "autonuma";
+    rc.tunables = {"scan_period_ms=0.5", "adjust_period_ms=2",
+                   "rate_limit_kib=4096"};
+    const RunResult r = runWorkload(rc);
+    auto value = [&](const std::string &k) -> std::string {
+        for (const auto &[key, v] : r.effectiveTunables) {
+            if (key == k)
+                return v;
+        }
+        return "<missing>";
+    };
+    // Nothing tuned at runtime: the effective values are exactly the
+    // construction-time assignments (plus kernel/policy defaults).
+    EXPECT_EQ(value("scan_period_ms"), "0.5");
+    EXPECT_EQ(value("adjust_period_ms"), "2");
+    EXPECT_EQ(value("rate_limit_kib"), "4096");
+    EXPECT_EQ(value("copy_threads"), "1");
+}
+
+TEST(AutoNumaRegression, AutotuneObserveOnlyMatchesSeed)
+{
+    SKIP_UNDER_FORCED_THP();
+    RunConfig rc = goldenConfig();
+    rc.sys.autonuma = AutoNumaParams{};
+    // The autotune wrapper with max_steps=0 observes every epoch but
+    // never writes the registry: the wrapped autonuma run must stay
+    // bit-identical to the seed golden.
+    rc.policy = "autotune";
+    rc.tunables = {"base=autonuma", "max_steps=0",
+                   "scan_period_ms=0.5", "adjust_period_ms=2",
+                   "rate_limit_kib=4096"};
+    const RunResult r = runWorkload(rc);
+    EXPECT_EQ(r.policyName, "autotune");
+    EXPECT_FALSE(r.metricsEpochs.empty());
+    expectGolden(r);
 }
 
 // --------------------------------------------------- Policy end-to-end
